@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Growth-shape analysis of the complexity-theorem benchmarks.
+
+Runs the implication/XNF scaling series directly (without
+pytest-benchmark) with increasing sizes, fits log-log slopes, and
+reports whether the observed growth matches the paper's bounds:
+
+* Theorem 3 — implication over simple DTDs: polynomial, low degree
+  (the paper proves quadratic in |D| + |Σ| per query);
+* Theorem 4 — disjunctive DTDs with bounded N_D: polynomial;
+* Theorem 5 — unbounded disjunctions: exponential in the number of
+  independent disjunction choices;
+* Corollary 1 — the XNF test over simple DTDs: cubic upper bound.
+
+Run:  python benchmarks/bench_report.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.datasets.generators import scaled_university_spec
+from repro.fd.chase import chase_implies
+from repro.fd.implication import ImplicationEngine
+from repro.fd.model import FD
+from repro.xnf.check import is_in_xnf
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_implication import (  # noqa: E402
+    _disjunctive_dtd,
+    _disjunctive_sigma,
+)
+
+
+def _time(callable_, *, repeat: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fit_loglog(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log(y) against log(x): the polynomial
+    degree of the growth."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-9)) for y in ys]
+    n = len(xs)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    return num / den
+
+
+def _fit_exponent_base(xs: list[float], ys: list[float]) -> float:
+    """Least-squares base b of y = c * b^x (log(y) linear in x)."""
+    ly = [math.log(max(y, 1e-9)) for y in ys]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ly) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(xs, ly))
+    den = sum((a - mean_x) ** 2 for a in xs)
+    return math.exp(num / den)
+
+
+def report_theorem3() -> None:
+    print("== Theorem 3: implication over simple DTDs ==")
+    sizes = [1, 2, 4, 8, 16]
+    times = []
+    for k in sizes:
+        spec = scaled_university_spec(k)
+
+        def run(spec=spec):
+            oracle = ImplicationEngine(spec.dtd, spec.sigma,
+                                       engine="closure")
+            for fd in spec.sigma:
+                oracle.implies(fd)
+
+        times.append(_time(run))
+    for k, t in zip(sizes, times):
+        print(f"  k={k:3d}  |Sigma|={3 * k:3d}  time={t * 1e3:9.2f} ms")
+    degree = _fit_loglog([float(s) for s in sizes], times)
+    print(f"  fitted polynomial degree over k: {degree:.2f} "
+          f"(paper: polynomial — quadratic per query; PASS if small)")
+
+
+def report_corollary1() -> None:
+    print("\n== Corollary 1: the XNF test over simple DTDs ==")
+    sizes = [1, 2, 4, 8, 16]
+    times = []
+    for k in sizes:
+        spec = scaled_university_spec(k)
+        times.append(_time(lambda spec=spec: is_in_xnf(spec.dtd,
+                                                       spec.sigma)))
+    for k, t in zip(sizes, times):
+        print(f"  k={k:3d}  time={t * 1e3:9.2f} ms")
+    degree = _fit_loglog([float(s) for s in sizes], times)
+    print(f"  fitted polynomial degree over k: {degree:.2f} "
+          f"(paper bound: cubic; PASS if <= ~3)")
+
+
+def report_theorem4() -> None:
+    print("\n== Theorem 4: bounded disjunction stays polynomial ==")
+    paddings = [0, 4, 8, 16, 32]
+    times = []
+    query = FD.parse("r -> r.c.@x")
+    for padding in paddings:
+        dtd = _disjunctive_dtd(1, padding)
+        sigma = _disjunctive_sigma(1)
+        times.append(_time(
+            lambda d=dtd, s=sigma: chase_implies(d, s, query)))
+    for padding, t in zip(paddings, times):
+        print(f"  padding={padding:3d}  time={t * 1e3:9.2f} ms")
+    degree = _fit_loglog([float(p + 2) for p in paddings], times)
+    print(f"  fitted polynomial degree over |D|: {degree:.2f} "
+          f"(paper: polynomial for N_D <= k log |D|)")
+
+
+def report_theorem5() -> None:
+    print("\n== Theorem 5: unbounded disjunction is exponential ==")
+    hards = [1, 2, 3, 4, 5, 6]
+    times = []
+    query = FD.parse("r -> r.c.@x")
+    for hard in hards:
+        dtd = _disjunctive_dtd(hard, 0)
+        sigma = _disjunctive_sigma(hard)
+        times.append(_time(
+            lambda d=dtd, s=sigma: chase_implies(d, s, query), repeat=1))
+    for hard, t in zip(hards, times):
+        print(f"  disjunctions={hard}  N_D=2^{hard}  "
+              f"time={t * 1e3:9.2f} ms")
+    base = _fit_exponent_base([float(h) for h in hards], times)
+    print(f"  fitted growth base per extra disjunction: {base:.2f} "
+          f"(paper: coNP-complete — expect ~2x per disjunction)")
+
+
+if __name__ == "__main__":
+    report_theorem3()
+    report_corollary1()
+    report_theorem4()
+    report_theorem5()

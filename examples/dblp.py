@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Example 1.2 of the paper: the DBLP ``year`` anomaly.
+
+Every paper in an issue stores the issue's year — a *relative* FD —
+and the fix is structural: ``year`` becomes an attribute of ``issue``
+(the *moving attributes* transformation).  The implication-free variant
+of the algorithm (Proposition 7) instead creates a new element type;
+both results are in XNF, illustrating the paper's "may produce
+suboptimal results" remark.
+
+Run:  python examples/dblp.py
+"""
+
+from repro import serialize_xml
+from repro.datasets.dblp import dblp_document, dblp_spec
+from repro.lossless import check_normalization_lossless
+from repro.xnf import is_in_xnf
+
+
+def main() -> None:
+    spec = dblp_spec()
+    doc = dblp_document()
+
+    print("== the Example 1.2 DTD and FDs ==")
+    print(spec.dtd)
+    for fd in spec.sigma:
+        print(" ", fd)
+
+    print("\n(D, Sigma) in XNF:", spec.is_in_xnf())
+    for fd in spec.xnf_violations():
+        print("anomalous (FD5):", fd)
+
+    print("\n== main algorithm: moves the attribute ==")
+    result = spec.normalize()
+    for step in result.step_descriptions:
+        print("step:", step)
+    print(result.dtd)
+    print("remaining FDs:")
+    for fd in result.sigma:
+        print(" ", fd)
+    print("note: FD5 became the trivial issue -> issue.@year and was "
+          "dropped,\nexactly as discussed in Example 5.2.")
+
+    print("\n== migrated document ==")
+    migrated = result.migrate(doc)
+    print(serialize_xml(migrated))
+    print("lossless:", check_normalization_lossless(result, spec.dtd, doc))
+
+    print("\n== Proposition 7 variant: no implication tests ==")
+    simple_result = spec.normalize_simple()
+    for step in simple_result.step_descriptions:
+        print("step:", step)
+    print(simple_result.dtd)
+    print("in XNF (but with an extra element type instead of the "
+          "attribute move):",
+          is_in_xnf(simple_result.dtd, simple_result.sigma))
+
+
+if __name__ == "__main__":
+    main()

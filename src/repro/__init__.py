@@ -1,0 +1,66 @@
+"""repro — a reproduction of "A Normal Form for XML Documents"
+(Arenas & Libkin, PODS 2002).
+
+The package implements XML functional dependencies, the XML normal
+form XNF, and the lossless XNF decomposition algorithm, together with
+every substrate the paper relies on: DTDs with regular-expression
+content models, unordered XML trees, tree tuples, FDs over incomplete
+relations, classical relational normalization (BCNF), and nested
+relations with PNF/NNF.
+
+Quickstart::
+
+    from repro import XMLSpec
+
+    spec = XMLSpec.parse(dtd_text, fd_lines)
+    spec.is_in_xnf()                  # Definition 8 (via Prop. 10)
+    result = spec.normalize()         # the Figure 4 algorithm
+    print(result.dtd)                 # the XNF redesign
+    new_doc = result.migrate(doc)     # carry documents across, lossless
+"""
+
+__version__ = "1.0.0"
+
+from repro.dtd import (
+    DTD,
+    Path,
+    is_disjunctive_dtd,
+    is_simple_dtd,
+    parse_dtd,
+    serialize_dtd,
+)
+from repro.xmltree import XMLTree, conforms, elem, parse_xml, serialize_xml
+from repro.tuples import TreeTuple, trees_of, tuples_of
+from repro.fd import FD, ImplicationEngine, implies, is_trivial, satisfies
+from repro.xnf import is_in_xnf, xnf_violations
+from repro.normalize import (
+    NewElementNames,
+    NormalizationResult,
+    normalize,
+    normalize_simple,
+)
+from repro.spec import XMLSpec
+from repro.mvd import MVD, is_in_xnf4, satisfies_mvd, tree_induced_mvds
+from repro.report import DesignReport, analyze, redundancy_of
+from repro.fd.explain import explain_implication
+
+__all__ = [
+    "__version__",
+    # DTDs and paths
+    "DTD", "Path", "parse_dtd", "serialize_dtd",
+    "is_simple_dtd", "is_disjunctive_dtd",
+    # XML trees
+    "XMLTree", "elem", "parse_xml", "serialize_xml", "conforms",
+    # tree tuples
+    "TreeTuple", "tuples_of", "trees_of",
+    # FDs
+    "FD", "satisfies", "implies", "is_trivial", "ImplicationEngine",
+    # XNF + normalization
+    "is_in_xnf", "xnf_violations", "normalize", "normalize_simple",
+    "NormalizationResult", "NewElementNames",
+    # the facade
+    "XMLSpec",
+    # extensions: MVDs (Section 8), reporting, explanations
+    "MVD", "satisfies_mvd", "tree_induced_mvds", "is_in_xnf4",
+    "DesignReport", "analyze", "redundancy_of", "explain_implication",
+]

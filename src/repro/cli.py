@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro`` / the ``xnf`` script.
+
+Subcommands::
+
+    xnf check      DTD_FILE FD_FILE          # XNF test + violations
+    xnf normalize  DTD_FILE FD_FILE [-o DIR] # Figure 4 algorithm
+    xnf implies    DTD_FILE FD_FILE "S -> p" # implication query
+    xnf tuples     DTD_FILE XML_FILE         # tuples_D(T) as a table
+    xnf classify   DTD_FILE                  # simple / disjunctive / N_D
+    xnf explain    DTD_FILE FD_FILE "S -> p" # derivation of an implication
+    xnf analyze    DTD_FILE FD_FILE [XML...] # design + redundancy report
+
+FD files contain one FD per line (``#`` comments allowed), e.g.::
+
+    courses.course.@cno -> courses.course
+    courses.course.taken_by.student.@sno ->
+        courses.course.taken_by.student.name.S
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path as FilePath
+
+from repro.errors import ReproError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.fd.model import FD, parse_fds
+from repro.spec import XMLSpec
+from repro.xmltree.parser import parse_xml
+
+
+def _load_spec(dtd_file: str, fd_file: str | None,
+               root: str | None) -> XMLSpec:
+    dtd_text = FilePath(dtd_file).read_text()
+    fd_text = FilePath(fd_file).read_text() if fd_file else ""
+    return XMLSpec.parse(dtd_text, fd_text, root=root)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.dtd, args.fds, args.root)
+    violations = spec.xnf_violations()
+    if not violations:
+        print("(D, Sigma) is in XNF")
+        return 0
+    print(f"(D, Sigma) is NOT in XNF: {len(violations)} anomalous FD(s)")
+    for fd in violations:
+        print(f"  anomalous: {fd}")
+    return 1
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.dtd, args.fds, args.root)
+    result = spec.normalize()
+    for index, step in enumerate(result.steps, start=1):
+        print(f"step {index}: {step.description}", file=sys.stderr)
+    print(serialize_dtd(result.dtd), end="")
+    if result.sigma:
+        print()
+        for fd in result.sigma:
+            print(f"# FD: {fd}")
+    if args.output:
+        out = FilePath(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "normalized.dtd").write_text(serialize_dtd(result.dtd))
+        (out / "normalized.fds").write_text(
+            "".join(f"{fd}\n" for fd in result.sigma))
+        print(f"\nwritten to {out}/", file=sys.stderr)
+    return 0
+
+
+def _cmd_implies(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.dtd, args.fds, args.root)
+    fd = FD.parse(args.fd)
+    answer = spec.implies(fd)
+    print("implied" if answer else "not implied")
+    return 0 if answer else 1
+
+
+def _cmd_tuples(args: argparse.Namespace) -> int:
+    dtd = parse_dtd(FilePath(args.dtd).read_text(), root=args.root)
+    tree = parse_xml(FilePath(args.xml).read_text())
+    from repro.tuples.extract import tuples_of
+    tuples = tuples_of(tree, dtd)
+    paths = sorted({p for t in tuples for p in t.paths}, key=str)
+    print("\t".join(str(p) for p in paths))
+    for tuple_ in tuples:
+        print("\t".join(tuple_.get(p) or "_|_" for p in paths))
+    print(f"# {len(tuples)} tuple(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.dtd, args.fds, args.root)
+    from repro.fd.explain import explain_implication
+    print(explain_implication(spec.dtd, spec.sigma, args.fd), end="")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.dtd, args.fds, args.root)
+    from repro.report import analyze
+    documents = [parse_xml(FilePath(path).read_text())
+                 for path in args.xml]
+    report = analyze(spec, documents)
+    print(report.render(), end="")
+    return 0 if report.in_xnf else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.dtd.classify import (
+        disjunction_measure, is_disjunctive_dtd, is_simple_dtd)
+    dtd = parse_dtd(FilePath(args.dtd).read_text(), root=args.root)
+    print(f"recursive:   {dtd.is_recursive}")
+    simple = is_simple_dtd(dtd)
+    print(f"simple:      {simple}")
+    disjunctive = is_disjunctive_dtd(dtd)
+    print(f"disjunctive: {disjunctive}")
+    if disjunctive and not dtd.is_recursive:
+        print(f"N_D:         {disjunction_measure(dtd)}")
+    if not dtd.is_recursive:
+        print(f"paths:       {len(dtd.paths)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xnf",
+        description="XML normal form toolkit (Arenas & Libkin, PODS 2002)")
+    parser.add_argument("--root", help="root element type "
+                        "(default: first declared)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="test whether (D, Sigma) is in XNF")
+    check.add_argument("dtd")
+    check.add_argument("fds")
+    check.set_defaults(func=_cmd_check)
+
+    norm = sub.add_parser("normalize",
+                          help="run the XNF decomposition algorithm")
+    norm.add_argument("dtd")
+    norm.add_argument("fds")
+    norm.add_argument("-o", "--output", help="directory for the results")
+    norm.set_defaults(func=_cmd_normalize)
+
+    imp = sub.add_parser("implies", help="decide (D, Sigma) |- FD")
+    imp.add_argument("dtd")
+    imp.add_argument("fds")
+    imp.add_argument("fd", help='query, e.g. "db.conf.title.S -> db.conf"')
+    imp.set_defaults(func=_cmd_implies)
+
+    tup = sub.add_parser("tuples", help="print tuples_D(T) as a table")
+    tup.add_argument("dtd")
+    tup.add_argument("xml")
+    tup.set_defaults(func=_cmd_tuples)
+
+    cls = sub.add_parser("classify", help="classify a DTD (Section 7)")
+    cls.add_argument("dtd")
+    cls.set_defaults(func=_cmd_classify)
+
+    exp = sub.add_parser("explain",
+                         help="show the derivation of an implication")
+    exp.add_argument("dtd")
+    exp.add_argument("fds")
+    exp.add_argument("fd")
+    exp.set_defaults(func=_cmd_explain)
+
+    ana = sub.add_parser("analyze",
+                         help="design analysis + redundancy report")
+    ana.add_argument("dtd")
+    ana.add_argument("fds")
+    ana.add_argument("xml", nargs="*", help="documents to measure")
+    ana.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's running examples and synthetic workload generators.
+
+Concrete datasets (verbatim from the paper):
+
+* :mod:`university` — Example 1.1 / Figure 1 (courses, students);
+* :mod:`dblp` — Example 1.2 (conferences, issues, inproceedings);
+* :mod:`ebxml` — Figure 5 (the Business Process Specification Schema
+  fragment, used as the paper's real-world *simple* DTD witness);
+* :mod:`faq` — the Section 7 FAQ ``section`` production (relational
+  but not disjunctive);
+* :mod:`nested_geo` — Figure 3 (Country/State/City nested relation).
+
+:mod:`generators` builds random simple DTDs, FD sets and conforming
+documents (seeded) for property tests and scaling benchmarks.
+"""
+
+from repro.datasets.university import (
+    university_document,
+    university_fds,
+    university_spec,
+)
+from repro.datasets.dblp import dblp_document, dblp_fds, dblp_spec
+from repro.datasets.ebxml import ebxml_dtd
+from repro.datasets.faq import faq_dtd
+from repro.datasets.nested_geo import geo_instance, geo_schema
+from repro.datasets.generators import (
+    random_document,
+    random_fds,
+    random_simple_dtd,
+    scaled_university_spec,
+)
+
+__all__ = [
+    "university_spec", "university_fds", "university_document",
+    "dblp_spec", "dblp_fds", "dblp_document",
+    "ebxml_dtd", "faq_dtd", "geo_schema", "geo_instance",
+    "random_simple_dtd", "random_fds", "random_document",
+    "scaled_university_spec",
+]

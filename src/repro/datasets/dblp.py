@@ -1,0 +1,109 @@
+"""Example 1.2: the DBLP conference fragment.
+
+The paper's DTD reuses ``title`` under both ``conf`` and
+``inproceedings``; paths keep the two apart, and the normalization
+step (moving ``year``) touches neither, so the shared element type is
+preserved verbatim.  The ``key`` attribute is declared ``ID`` in the
+paper; attribute types do not affect the FD semantics (Definition 3),
+so it is coded ``CDATA`` here like every other attribute.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.spec import XMLSpec
+from repro.xmltree.model import XMLTree
+from repro.xmltree.parser import parse_xml
+
+DBLP_DTD = """
+<!ELEMENT db (conf*)>
+<!ELEMENT conf (title, issue+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT issue (inproceedings+)>
+<!ELEMENT inproceedings (author+, title, booktitle)>
+<!ATTLIST inproceedings
+    key CDATA #REQUIRED
+    pages CDATA #REQUIRED
+    year CDATA #REQUIRED>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+"""
+
+#: (FD4) a conference is identified by its title; (FD5) all papers in
+#: one issue share the year — the anomalous dependency of Example 5.2.
+DBLP_FDS = """
+db.conf.title.S -> db.conf
+db.conf.issue -> db.conf.issue.inproceedings.@year
+"""
+
+DBLP_DOCUMENT = """
+<db>
+  <conf>
+    <title>PODS</title>
+    <issue>
+      <inproceedings key="AL02" pages="85-96" year="2002">
+        <author>Arenas</author><author>Libkin</author>
+        <title>A Normal Form for XML Documents</title>
+        <booktitle>PODS 2002</booktitle>
+      </inproceedings>
+      <inproceedings key="BDFHT02" pages="97-108" year="2002">
+        <author>Buneman</author>
+        <title>Keys for XML</title>
+        <booktitle>PODS 2002</booktitle>
+      </inproceedings>
+    </issue>
+    <issue>
+      <inproceedings key="FL01" pages="114-125" year="2001">
+        <author>Fan</author><author>Libkin</author>
+        <title>On XML integrity constraints</title>
+        <booktitle>PODS 2001</booktitle>
+      </inproceedings>
+    </issue>
+  </conf>
+</db>
+"""
+
+
+def dblp_spec() -> XMLSpec:
+    """``(D, Σ)`` of Example 1.2 / Example 5.2."""
+    return XMLSpec.parse(DBLP_DTD, DBLP_FDS)
+
+
+def dblp_fds() -> list:
+    return dblp_spec().sigma
+
+
+def dblp_document() -> XMLTree:
+    return parse_xml(DBLP_DOCUMENT)
+
+
+def synthetic_dblp_document(confs: int, issues_per_conf: int,
+                            papers_per_issue: int, *,
+                            seed: int = 0) -> XMLTree:
+    """A larger Example 1.2-shaped document: every paper in an issue
+    repeats the issue's year (the FD5 redundancy)."""
+    rng = random.Random(seed)
+    tree = XMLTree()
+    db = tree.add_node("db")
+    key = 0
+    for c in range(confs):
+        conf = tree.add_node("conf", parent=db)
+        tree.add_node("title", parent=conf, text=f"Conf{c}")
+        for i in range(issues_per_conf):
+            issue = tree.add_node("issue", parent=conf)
+            year = str(1990 + i)
+            for _p in range(papers_per_issue):
+                paper = tree.add_node(
+                    "inproceedings", parent=issue,
+                    attrs={"@key": f"k{key}",
+                           "@pages": f"{key}-{key + 9}",
+                           "@year": year})
+                key += 1
+                for a in range(rng.randint(1, 3)):
+                    tree.add_node("author", parent=paper,
+                                  text=f"Author{rng.randint(0, 50)}")
+                tree.add_node("title", parent=paper, text=f"Paper {key}")
+                tree.add_node("booktitle", parent=paper,
+                              text=f"Conf{c} {year}")
+    return tree.freeze()

@@ -1,0 +1,71 @@
+"""Figure 5: the ebXML Business Process Specification Schema fragment.
+
+The paper exhibits this fragment as a real-world *simple* DTD: every
+production, including the large disjunctions under ``*``, is
+permutation-equivalent to a trivial regular expression.  Element types
+referenced by the fragment but not declared in it are declared EMPTY
+here so the DTD is self-contained (the figure shows only part of the
+schema).  The original schema lists ``ProcessSpecification`` inside its
+own production; Definition 1 assumes (wlog) that the root occurs in no
+production, so that self-reference is dropped — it plays no role in the
+simplicity claim the figure supports.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+
+EBXML_DTD = """
+<!ELEMENT ProcessSpecification (Documentation*, SubstitutionSet*,
+    (Include | BusinessDocument | Package | BinaryCollaboration |
+     BusinessTransaction | MultiPartyCollaboration)*)>
+<!ATTLIST ProcessSpecification
+    name CDATA #REQUIRED
+    version CDATA #REQUIRED>
+<!ELEMENT Include (Documentation*)>
+<!ATTLIST Include
+    name CDATA #REQUIRED>
+<!ELEMENT BusinessDocument (ConditionExpression?, Documentation*)>
+<!ATTLIST BusinessDocument
+    name CDATA #REQUIRED>
+<!ELEMENT SubstitutionSet (DocumentSubstitution | AttributeSubstitution |
+    Documentation)*>
+<!ELEMENT BinaryCollaboration (Documentation*, InitiatingRole,
+    RespondingRole, (Documentation | Start | Transition | Success |
+    Failure | BusinessTransactionActivity | CollaborationActivity |
+    Fork | Join)*)>
+<!ATTLIST BinaryCollaboration
+    name CDATA #REQUIRED>
+<!ELEMENT Transition (ConditionExpression?, Documentation*)>
+<!ELEMENT Documentation (#PCDATA)>
+<!ELEMENT ConditionExpression EMPTY>
+<!ATTLIST ConditionExpression
+    expressionLanguage CDATA #REQUIRED
+    expression CDATA #REQUIRED>
+<!ELEMENT Package EMPTY>
+<!ELEMENT BusinessTransaction (Documentation*)>
+<!ATTLIST BusinessTransaction
+    name CDATA #REQUIRED>
+<!ELEMENT MultiPartyCollaboration (Documentation*)>
+<!ELEMENT DocumentSubstitution EMPTY>
+<!ELEMENT AttributeSubstitution EMPTY>
+<!ELEMENT InitiatingRole EMPTY>
+<!ATTLIST InitiatingRole
+    name CDATA #REQUIRED>
+<!ELEMENT RespondingRole EMPTY>
+<!ATTLIST RespondingRole
+    name CDATA #REQUIRED>
+<!ELEMENT Start EMPTY>
+<!ELEMENT Success EMPTY>
+<!ELEMENT Failure EMPTY>
+<!ELEMENT BusinessTransactionActivity EMPTY>
+<!ELEMENT CollaborationActivity EMPTY>
+<!ELEMENT Fork EMPTY>
+<!ELEMENT Join EMPTY>
+"""
+
+
+def ebxml_dtd() -> DTD:
+    """The (self-contained) Figure 5 fragment."""
+    return parse_dtd(EBXML_DTD)

@@ -1,0 +1,32 @@
+"""The Section 7 FAQ DTD fragment.
+
+The ``section`` production ``(logo*, title, (qna+ | q+ |
+(p | div | section)+))`` is the paper's example of a *relational* but
+not disjunctive (nor simple) DTD; it is also recursive (``section``
+under ``section``).  Since Definition 1 assumes the root occurs in no
+production, the fragment is wrapped under a fresh ``faq`` root.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+
+FAQ_DTD = """
+<!ELEMENT faq (section+)>
+<!ELEMENT section (logo*, title, (qna+ | q+ | (p | div | section)+))>
+<!ELEMENT logo EMPTY>
+<!ATTLIST logo
+    uri CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT qna (q, a)>
+<!ELEMENT q (#PCDATA)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT p (#PCDATA)>
+<!ELEMENT div (p*)>
+"""
+
+
+def faq_dtd() -> DTD:
+    """The (recursive) FAQ DTD."""
+    return parse_dtd(FAQ_DTD)

@@ -1,0 +1,174 @@
+"""Seeded random generators for property tests and benchmarks.
+
+* :func:`random_simple_dtd` — random non-recursive simple DTDs (each
+  production a trivial regex over fresh children, attributes
+  sprinkled);
+* :func:`random_fds` — random FD sets over a DTD's paths, in the
+  Section 6 shape (at most one element path per LHS);
+* :func:`random_document` — random conforming documents with a small
+  value domain (so FDs both hold and fail interestingly);
+* :func:`scaled_university_spec` — the Example 1.1 schema pattern
+  repeated ``k`` times, the workload for the normalization and
+  implication scaling benchmarks (Theorem 3's quadratic regime).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+from repro.fd.model import FD
+from repro.regex.analysis import Multiplicity
+from repro.regex.ast import EPSILON, PCDATA, Regex, concat, optional, plus, star, sym
+from repro.spec import XMLSpec
+from repro.xmltree.model import XMLTree
+
+_WRAPPERS = {
+    Multiplicity.ONE: lambda r: r,
+    Multiplicity.OPT: optional,
+    Multiplicity.PLUS: plus,
+    Multiplicity.STAR: star,
+}
+
+
+def random_simple_dtd(rng: random.Random, *, max_depth: int = 3,
+                      max_children: int = 3,
+                      max_attrs: int = 2,
+                      text_probability: float = 0.3) -> DTD:
+    """A random non-recursive simple DTD."""
+    counter = 0
+    productions: dict[str, Regex] = {}
+    attributes: dict[str, frozenset[str]] = {}
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def build(depth: int) -> str:
+        name = fresh("e")
+        n_attrs = rng.randint(0, max_attrs)
+        if n_attrs:
+            attributes[name] = frozenset(
+                f"@a{fresh('')}" for _ in range(n_attrs))
+        if depth >= max_depth or rng.random() < 0.25:
+            if rng.random() < text_probability:
+                productions[name] = PCDATA
+            else:
+                productions[name] = EPSILON
+            return name
+        n_children = rng.randint(1, max_children)
+        parts = []
+        for _ in range(n_children):
+            child = build(depth + 1)
+            wrapper = _WRAPPERS[rng.choice(list(_WRAPPERS))]
+            parts.append(wrapper(sym(child)))
+        productions[name] = concat(parts)
+        return name
+
+    root = build(0)
+    return DTD(root=root, productions=productions, attributes=attributes)
+
+
+def random_fds(rng: random.Random, dtd: DTD, count: int) -> list[FD]:
+    """Random FDs over ``paths(D)`` in the Section 6 shape."""
+    paths = sorted(dtd.paths, key=str)
+    value_paths = [p for p in paths if not p.is_element]
+    element_paths = [p for p in paths if p.is_element]
+    fds: list[FD] = []
+    attempts = 0
+    while len(fds) < count and attempts < count * 20:
+        attempts += 1
+        lhs: set[Path] = set()
+        if element_paths and rng.random() < 0.5:
+            lhs.add(rng.choice(element_paths))
+        n_attrs = rng.randint(0 if lhs else 1, 2)
+        if value_paths:
+            lhs.update(rng.choice(value_paths) for _ in range(n_attrs))
+        if not lhs:
+            continue
+        rhs = rng.choice(paths)
+        if rhs in lhs:
+            continue
+        fds.append(FD(frozenset(lhs), frozenset({rhs})))
+    return fds
+
+
+def random_document(rng: random.Random, dtd: DTD, *,
+                    max_repeat: int = 3,
+                    domain: Sequence[str] = ("0", "1", "2")) -> XMLTree:
+    """A random conforming document (stars/pluses repeated up to
+    ``max_repeat``; values drawn from ``domain``)."""
+    from repro.regex.ast import (
+        Concat, Optional as ROptional, PCData, Plus as RPlus,
+        Star as RStar, Sym as RSym,
+    )
+
+    tree = XMLTree()
+
+    def trivial_parts(production) -> list[tuple[str, int, int]]:
+        """(symbol, min, max-repeat) in production order; the generator
+        only ever produces trivial regexes, so this walk is total."""
+        parts = production.parts if isinstance(production, Concat) else [
+            production]
+        result: list[tuple[str, int, int]] = []
+        for part in parts:
+            if isinstance(part, RSym):
+                result.append((part.name, 1, 1))
+            elif isinstance(part, ROptional):
+                result.append((part.inner.name, 0, 1))
+            elif isinstance(part, RPlus):
+                result.append((part.inner.name, 1, max_repeat))
+            elif isinstance(part, RStar):
+                result.append((part.inner.name, 0, max_repeat))
+            else:  # pragma: no cover - generator invariant
+                raise AssertionError(f"non-trivial part {part!r}")
+        return result
+
+    def build(element: str, parent: str | None) -> None:
+        node = tree.add_node(
+            element, parent=parent,
+            attrs={attr: rng.choice(domain)
+                   for attr in sorted(dtd.attrs(element))})
+        production = dtd.content(element)
+        if isinstance(production, PCData):
+            tree.set_text(node, rng.choice(domain))
+            return
+        if isinstance(production, (RSym, ROptional, RPlus, RStar, Concat)):
+            for child, low, high in trivial_parts(production):
+                for _ in range(rng.randint(low, high)):
+                    build(child, node)
+
+    build(dtd.root, None)
+    return tree.freeze()
+
+
+def scaled_university_spec(k: int) -> XMLSpec:
+    """``k`` side-by-side copies of the Example 1.1 schema (each with
+    its own FD1-FD3), under one root: the scaling workload for the
+    implication, XNF and normalization benchmarks."""
+    lines = ["<!ELEMENT uni (%s)>" % ", ".join(
+        f"courses{i}" for i in range(k))]
+    fd_lines: list[str] = []
+    for i in range(k):
+        lines.extend([
+            f"<!ELEMENT courses{i} (course{i}*)>",
+            f"<!ELEMENT course{i} (title{i}, taken_by{i})>",
+            f"<!ATTLIST course{i} cno CDATA #REQUIRED>",
+            f"<!ELEMENT title{i} (#PCDATA)>",
+            f"<!ELEMENT taken_by{i} (student{i}*)>",
+            f"<!ELEMENT student{i} (name{i}, grade{i})>",
+            f"<!ATTLIST student{i} sno CDATA #REQUIRED>",
+            f"<!ELEMENT name{i} (#PCDATA)>",
+            f"<!ELEMENT grade{i} (#PCDATA)>",
+        ])
+        course = f"uni.courses{i}.course{i}"
+        student = f"{course}.taken_by{i}.student{i}"
+        fd_lines.extend([
+            f"{course}.@cno -> {course}",
+            f"{{{course}, {student}.@sno}} -> {student}",
+            f"{student}.@sno -> {student}.name{i}.S",
+        ])
+    return XMLSpec.parse("\n".join(lines), "\n".join(fd_lines))

@@ -1,0 +1,25 @@
+"""Figure 3: the Country/State/City nested relation."""
+
+from __future__ import annotations
+
+from repro.nested.instance import NestedRelation
+from repro.nested.schema import NestedSchema
+
+
+def geo_schema() -> NestedSchema:
+    """``H1 = Country(H2)*, H2 = State(H3)*, H3 = City``."""
+    h3 = NestedSchema("H3", ("City",))
+    h2 = NestedSchema("H2", ("State",), (h3,))
+    return NestedSchema("H1", ("Country",), (h2,))
+
+
+def geo_instance() -> NestedRelation:
+    """The Figure 3(a) instance."""
+    return NestedRelation.build(geo_schema(), [
+        {"Country": "United States", "H2": [
+            {"State": "Texas", "H3": [
+                {"City": "Houston"}, {"City": "Dallas"}]},
+            {"State": "Ohio", "H3": [
+                {"City": "Columbus"}, {"City": "Cleveland"}]},
+        ]},
+    ])

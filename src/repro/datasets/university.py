@@ -1,0 +1,97 @@
+"""Example 1.1 / Figure 1: the university DTD and document."""
+
+from __future__ import annotations
+
+import random
+
+from repro.spec import XMLSpec
+from repro.xmltree.model import XMLTree
+from repro.xmltree.parser import parse_xml
+
+UNIVERSITY_DTD = """
+<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course
+    cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name, grade)>
+<!ATTLIST student
+    sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>
+"""
+
+#: (FD1) cno is a key of course; (FD2) within a course, sno identifies
+#: the student subelement; (FD3) sno determines the student name —
+#: the redundancy-causing dependency (Example 4.1).
+UNIVERSITY_FDS = """
+courses.course.@cno -> courses.course
+{courses.course, courses.course.taken_by.student.@sno} -> courses.course.taken_by.student
+courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S
+"""
+
+#: Figure 1(a): two courses; Deere (st1) takes both, so the name is
+#: stored redundantly.
+UNIVERSITY_DOCUMENT = """
+<courses>
+  <course cno="csc200">
+    <title>Automata Theory</title>
+    <taken_by>
+      <student sno="st1"><name>Deere</name><grade>A+</grade></student>
+      <student sno="st2"><name>Smith</name><grade>B-</grade></student>
+    </taken_by>
+  </course>
+  <course cno="mat100">
+    <title>Calculus I</title>
+    <taken_by>
+      <student sno="st1"><name>Deere</name><grade>A-</grade></student>
+      <student sno="st3"><name>Smith</name><grade>B+</grade></student>
+    </taken_by>
+  </course>
+</courses>
+"""
+
+
+def university_spec() -> XMLSpec:
+    """``(D, Σ)`` of Example 1.1 / Example 4.1."""
+    return XMLSpec.parse(UNIVERSITY_DTD, UNIVERSITY_FDS)
+
+
+def university_fds() -> list:
+    return university_spec().sigma
+
+
+def university_document() -> XMLTree:
+    """The Figure 1(a) document."""
+    return parse_xml(UNIVERSITY_DOCUMENT)
+
+
+def synthetic_university_document(courses: int, students_per_course: int,
+                                  *, student_pool: int | None = None,
+                                  seed: int = 0) -> XMLTree:
+    """A larger Figure 1(a)-shaped document.
+
+    Students are drawn from a shared pool so names repeat across
+    courses, exercising the FD3 redundancy exactly as in the paper's
+    motivation.  Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    pool = student_pool if student_pool is not None else max(
+        2, courses * students_per_course // 2)
+    names = [f"Name{i % max(1, pool // 2)}" for i in range(pool)]
+    tree = XMLTree()
+    root = tree.add_node("courses")
+    for c in range(courses):
+        course = tree.add_node("course", parent=root,
+                               attrs={"@cno": f"c{c}"})
+        tree.add_node("title", parent=course, text=f"Course {c}")
+        taken_by = tree.add_node("taken_by", parent=course)
+        chosen = rng.sample(range(pool), min(students_per_course, pool))
+        for s in chosen:
+            student = tree.add_node("student", parent=taken_by,
+                                    attrs={"@sno": f"st{s}"})
+            tree.add_node("name", parent=student, text=names[s])
+            tree.add_node("grade", parent=student,
+                          text=rng.choice(["A", "B", "C", "D"]))
+    return tree.freeze()

@@ -1,0 +1,24 @@
+"""DTDs (Document Type Definitions) — Definition 1 of the paper.
+
+A DTD is a tuple ``D = (E, A, P, R, r)``: element types, attributes,
+content-model productions, per-element attribute sets, and a root
+element type.  This package provides the model, a parser and serializer
+for standard ``<!ELEMENT>`` / ``<!ATTLIST>`` syntax, path enumeration
+(``paths(D)``, ``EPaths(D)``), and the Section 7 classification of DTDs
+(simple, disjunctive) with the disjunction measure ``N_D``.
+"""
+
+from repro.dtd.paths import Path
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.dtd.classify import (
+    disjunction_measure,
+    is_disjunctive_dtd,
+    is_simple_dtd,
+)
+
+__all__ = [
+    "Path", "DTD", "parse_dtd", "serialize_dtd",
+    "is_simple_dtd", "is_disjunctive_dtd", "disjunction_measure",
+]

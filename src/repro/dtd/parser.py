@@ -1,0 +1,119 @@
+"""Parser for DTD text (``<!ELEMENT ...>`` / ``<!ATTLIST ...>``).
+
+Supports the fragment used throughout the paper:
+
+* ``<!ELEMENT name content>`` with content ``EMPTY``, ``(#PCDATA)`` or a
+  regular expression over element names;
+* ``<!ATTLIST name (attr TYPE DEFAULT)+>`` — attribute types (``CDATA``,
+  ``ID``, ...) and defaults (``#REQUIRED``, ``#IMPLIED``) are accepted
+  syntactically, but the paper's model (Definition 3) treats every
+  declared attribute as required, so they do not affect semantics;
+* XML comments (``<!-- ... -->``) anywhere between declarations.
+
+By default the root element type is the first declared element; pass
+``root=`` to override.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.model import DTD
+from repro.regex.parser import parse_content_model
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_DECL_RE = re.compile(r"<!\s*(ELEMENT|ATTLIST)\s+(.*?)>", re.DOTALL)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.:-]*")
+
+_ATT_TYPES = {"CDATA", "ID", "IDREF", "IDREFS", "NMTOKEN", "NMTOKENS",
+              "ENTITY", "ENTITIES", "NOTATION"}
+_ATT_DEFAULTS = {"#REQUIRED", "#IMPLIED", "#FIXED"}
+
+
+def parse_dtd(text: str, *, root: str | None = None) -> DTD:
+    """Parse DTD text into a :class:`~repro.dtd.model.DTD`.
+
+    >>> dtd = parse_dtd('''
+    ...   <!ELEMENT db (G*)>
+    ...   <!ELEMENT G EMPTY>
+    ...   <!ATTLIST G A CDATA #REQUIRED B CDATA #REQUIRED>
+    ... ''')
+    >>> sorted(dtd.attrs("G"))
+    ['@A', '@B']
+    """
+    cleaned = _COMMENT_RE.sub(" ", text)
+    remainder = _DECL_RE.sub(" ", cleaned).strip()
+    if remainder:
+        snippet = remainder.split("\n")[0][:60]
+        raise DTDSyntaxError(
+            f"unrecognized content outside declarations: {snippet!r}")
+
+    elements: dict[str, str] = {}
+    attlists: dict[str, list[str]] = {}
+    order: list[str] = []
+
+    for match in _DECL_RE.finditer(cleaned):
+        kind, body = match.group(1), match.group(2).strip()
+        name_match = _NAME_RE.match(body)
+        if name_match is None:
+            raise DTDSyntaxError(f"missing element name in <!{kind} ...>")
+        name = name_match.group()
+        rest = body[name_match.end():].strip()
+        if kind == "ELEMENT":
+            if name in elements:
+                raise DTDSyntaxError(
+                    f"duplicate <!ELEMENT> declaration for {name!r}")
+            if not rest:
+                raise DTDSyntaxError(
+                    f"<!ELEMENT {name}> is missing a content model")
+            elements[name] = rest
+            order.append(name)
+        else:
+            attlists.setdefault(name, []).extend(_parse_attlist(name, rest))
+
+    if not elements:
+        raise DTDSyntaxError("no <!ELEMENT> declarations found")
+    root_name = root if root is not None else order[0]
+    if root_name not in elements:
+        raise DTDSyntaxError(f"root element type {root_name!r} not declared")
+
+    productions = {
+        name: parse_content_model(model) for name, model in elements.items()
+    }
+    return DTD(root=root_name, productions=productions,
+               attributes={name: frozenset("@" + a for a in attrs)
+                           for name, attrs in attlists.items()})
+
+
+def _parse_attlist(element: str, body: str) -> list[str]:
+    """Parse the attribute definitions of one ``<!ATTLIST>`` body."""
+    tokens = body.split()
+    attrs: list[str] = []
+    index = 0
+    while index < len(tokens):
+        name = tokens[index]
+        if not _NAME_RE.fullmatch(name):
+            raise DTDSyntaxError(
+                f"invalid attribute name {name!r} in ATTLIST of {element!r}")
+        index += 1
+        if index >= len(tokens) or tokens[index] not in _ATT_TYPES:
+            found = tokens[index] if index < len(tokens) else "<end>"
+            raise DTDSyntaxError(
+                f"expected attribute type after {name!r} in ATTLIST of "
+                f"{element!r}, found {found!r}")
+        index += 1
+        if index >= len(tokens) or tokens[index] not in _ATT_DEFAULTS:
+            found = tokens[index] if index < len(tokens) else "<end>"
+            raise DTDSyntaxError(
+                f"expected attribute default after {name!r} in ATTLIST of "
+                f"{element!r}, found {found!r}")
+        if tokens[index] == "#FIXED":
+            index += 1  # skip the fixed value token
+            if index >= len(tokens):
+                raise DTDSyntaxError(
+                    f"#FIXED attribute {name!r} of {element!r} "
+                    "is missing its value")
+        index += 1
+        attrs.append(name)
+    return attrs

@@ -1,0 +1,39 @@
+"""Serialization of DTDs back to ``<!ELEMENT>`` / ``<!ATTLIST>`` text."""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.regex.ast import Epsilon, PCData, Regex
+
+
+def serialize_content_model(production: Regex) -> str:
+    """Render a content model in declaration syntax."""
+    if isinstance(production, Epsilon):
+        return "EMPTY"
+    if isinstance(production, PCData):
+        return "(#PCDATA)"
+    rendered = production.to_dtd()
+    if not rendered.startswith("("):
+        rendered = f"({rendered})"
+    return rendered
+
+
+def serialize_dtd(dtd: DTD, *, declared_order: bool = True) -> str:
+    """Serialize a DTD; the root element is always emitted first.
+
+    ``declared_order`` keeps the remaining elements in insertion order
+    (matching how the DTD was built); otherwise they are sorted.
+    """
+    names = [name for name in dtd.productions if name != dtd.root]
+    if not declared_order:
+        names.sort()
+    lines: list[str] = []
+    for name in [dtd.root, *names]:
+        model = serialize_content_model(dtd.content(name))
+        lines.append(f"<!ELEMENT {name} {model}>")
+        attrs = sorted(dtd.attrs(name))
+        if attrs:
+            body = "\n".join(
+                f"    {attr[1:]} CDATA #REQUIRED" for attr in attrs)
+            lines.append(f"<!ATTLIST {name}\n{body}>")
+    return "\n".join(lines) + "\n"

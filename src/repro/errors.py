@@ -1,0 +1,90 @@
+"""Shared exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  Subclasses are
+split by subsystem to make targeted handling (and testing) possible.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when textual input (DTD, XML, FD, regex) cannot be parsed.
+
+    Carries optional position information to make diagnostics useful.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class RegexSyntaxError(ParseError):
+    """Raised for malformed content-model regular expressions."""
+
+
+class DTDSyntaxError(ParseError):
+    """Raised for malformed ``<!ELEMENT>`` / ``<!ATTLIST>`` declarations."""
+
+
+class XMLSyntaxError(ParseError):
+    """Raised for malformed XML documents."""
+
+
+class FDSyntaxError(ParseError):
+    """Raised for malformed functional-dependency expressions."""
+
+
+class InvalidDTDError(ReproError):
+    """Raised when a structurally valid DTD violates Definition 1.
+
+    Examples: a production referring to an undeclared element type, the
+    root element type occurring in some content model, or an attribute
+    set mentioning names that do not start with ``@``.
+    """
+
+
+class InvalidTreeError(ReproError):
+    """Raised when an XML tree violates Definition 2 (e.g. not a tree)."""
+
+
+class InvalidPathError(ReproError):
+    """Raised when a path is not in ``paths(D)`` for the relevant DTD."""
+
+
+class InvalidFDError(ReproError):
+    """Raised when an FD mentions paths outside ``paths(D)`` or is empty."""
+
+
+class ConformanceError(ReproError):
+    """Raised when an operation requires ``T |= D`` and the tree fails it."""
+
+
+class RecursionLimitError(ReproError):
+    """Raised when an operation needs ``paths(D)`` but the DTD is recursive
+    and no finite enumeration bound applies."""
+
+
+class NormalizationError(ReproError):
+    """Raised when the XNF decomposition algorithm cannot make progress.
+
+    Under the paper's assumptions (non-recursive DTD, FDs with at most one
+    element path on the left-hand side) this should never happen; hitting
+    it indicates the input violates those assumptions.
+    """
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised for inputs outside the fragment the paper covers (e.g. FD
+    normalization over recursive DTDs)."""

@@ -1,0 +1,166 @@
+"""Exhaustive bounded model search — the test oracle for implication.
+
+Enumerates every tree conforming to a (non-recursive) DTD whose child
+words stay within a length bound and whose attribute/text values come
+from a small fixed domain, then checks ``T |= Σ`` and ``T |= φ``
+directly.  A countermodel found this way *refutes* implication
+definitively; exhausting the bounded space without one supports (but,
+being bounded, does not prove) implication.
+
+This engine exists to cross-validate the closure and chase engines on
+small random instances (see ``tests/property/test_implication_agree``);
+it is intentionally simple rather than fast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import RecursionLimitError
+from repro.dtd.model import DTD
+from repro.fd.model import FD
+from repro.fd.satisfaction import satisfies, satisfies_all
+from repro.regex.ast import EMPTY_SET, PCData, Regex
+from repro.regex.matching import derivative
+from repro.xmltree.model import XMLTree
+
+DEFAULT_DOMAIN = ("0", "1", "2")
+DEFAULT_MAX_WORD = 3
+
+
+def bounded_words(production: Regex, max_length: int) -> Iterator[list[str]]:
+    """All words of ``L(production)`` of length at most ``max_length``."""
+    frontier: list[tuple[Regex, list[str]]] = [(production, [])]
+    while frontier:
+        state, word = frontier.pop()
+        if state.nullable():
+            yield word
+        if len(word) >= max_length:
+            continue
+        for symbol in sorted(state.alphabet()):
+            next_state = derivative(state, symbol)
+            if next_state is not EMPTY_SET:
+                frontier.append((next_state, word + [symbol]))
+
+
+def enumerate_trees(dtd: DTD, *, domain: Sequence[str] = DEFAULT_DOMAIN,
+                    max_word: int = DEFAULT_MAX_WORD,
+                    max_trees: int | None = None,
+                    max_variants: int = 100_000) -> Iterator[XMLTree]:
+    """All conforming trees within the bounds (lazily).
+
+    ``max_word`` bounds each node's number of children; ``domain`` is
+    the value universe for attributes and text.  Subtree variants are
+    memoized per element type and capped at ``max_variants`` (the space
+    is a nested product and explodes quickly on deep schemas — the
+    engine is an oracle for *small* DTDs); the root level is generated
+    lazily so ``max_trees`` keeps memory bounded.
+    """
+    if dtd.is_recursive:
+        raise RecursionLimitError(
+            "bounded enumeration requires a non-recursive DTD")
+
+    from repro.errors import ReproError
+
+    memo: dict[str, list] = {}
+
+    def attr_choices_of(element: str) -> list[dict]:
+        attr_names = sorted(dtd.attrs(element))
+        return [
+            dict(zip(attr_names, values))
+            for values in itertools.product(domain, repeat=len(attr_names))
+        ]
+
+    def subtree_variants(element: str) -> list:
+        """Nested (label, attrs, children-or-text) variants (memoized)."""
+        cached = memo.get(element)
+        if cached is not None:
+            return cached
+        production = dtd.content(element)
+        bodies: list = []
+        if isinstance(production, PCData):
+            bodies = [("text", value) for value in domain]
+        else:
+            for word in bounded_words(production, max_word):
+                child_variant_lists = [subtree_variants(c) for c in word]
+                for combo in itertools.product(*child_variant_lists):
+                    bodies.append(("children", list(combo)))
+                    if len(bodies) > max_variants:
+                        raise ReproError(
+                            f"bounded enumeration exceeds {max_variants} "
+                            f"variants at element {element!r}; shrink "
+                            "max_word/domain — the brute engine targets "
+                            "small DTDs")
+        variants = [(element, attrs, body)
+                    for attrs in attr_choices_of(element)
+                    for body in bodies]
+        if len(variants) > max_variants:
+            raise ReproError(
+                f"bounded enumeration exceeds {max_variants} variants "
+                f"at element {element!r}; shrink max_word/domain — the "
+                "brute engine targets small DTDs")
+        memo[element] = variants
+        return variants
+
+    def root_variants() -> Iterator:
+        """The root level lazily: memory stays bounded by max_trees."""
+        production = dtd.content(dtd.root)
+        attr_choices = attr_choices_of(dtd.root)
+        if isinstance(production, PCData):
+            for attrs in attr_choices:
+                for value in domain:
+                    yield (dtd.root, attrs, ("text", value))
+            return
+        for word in bounded_words(production, max_word):
+            child_variant_lists = [subtree_variants(c) for c in word]
+            for combo in itertools.product(*child_variant_lists):
+                for attrs in attr_choices:
+                    yield (dtd.root, attrs, ("children", list(combo)))
+
+    def materialize(variant) -> XMLTree:
+        tree = XMLTree()
+
+        def build(item, parent: str | None) -> None:
+            label, attrs, body = item
+            kind, payload = body
+            node = tree.add_node(
+                label, parent=parent, attrs=attrs,
+                text=payload if kind == "text" else None)
+            if kind == "children":
+                for child in payload:
+                    build(child, node)
+
+        build(variant, None)
+        return tree.freeze()
+
+    produced = 0
+    for variant in root_variants():
+        yield materialize(variant)
+        produced += 1
+        if max_trees is not None and produced >= max_trees:
+            return
+
+
+def find_countermodel(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
+                      domain: Sequence[str] = DEFAULT_DOMAIN,
+                      max_word: int = DEFAULT_MAX_WORD,
+                      max_trees: int | None = 200_000,
+                      ) -> XMLTree | None:
+    """A bounded-space countermodel to ``(D, Σ) |- fd``, if any."""
+    sigma = list(sigma)
+    for tree in enumerate_trees(dtd, domain=domain, max_word=max_word,
+                                max_trees=max_trees):
+        if satisfies_all(tree, dtd, sigma) and not satisfies(tree, dtd, fd):
+            return tree
+    return None
+
+
+def brute_implies(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
+                  domain: Sequence[str] = DEFAULT_DOMAIN,
+                  max_word: int = DEFAULT_MAX_WORD,
+                  max_trees: int | None = 200_000) -> bool:
+    """Bounded-exhaustive implication: ``False`` is definitive,
+    ``True`` holds within the enumerated space."""
+    return find_countermodel(dtd, sigma, fd, domain=domain,
+                             max_word=max_word, max_trees=max_trees) is None

@@ -1,0 +1,89 @@
+"""The FD implication facade: ``(D, Σ) |- φ`` (Section 7).
+
+Engine selection (``engine="auto"``):
+
+* the **closure** engine runs first — it is sound for every DTD and
+  complete for simple DTDs (Theorem 3's quadratic regime), so a
+  ``True`` answer is always final and a ``False`` answer is final when
+  the DTD is simple;
+* otherwise the **chase** engine decides exactly, enumerating the
+  DTD's disjunction choices (polynomial when ``N_D`` is logarithmic —
+  Theorem 4 — and exponential in general, matching the
+  coNP-completeness of Theorem 5);
+* ``engine="closure" | "chase" | "brute"`` forces a specific engine.
+
+:class:`ImplicationEngine` caches query results, which the XNF test and
+the normalization algorithm exploit heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.errors import UnsupportedFeatureError
+from repro.dtd.classify import is_simple_dtd
+from repro.dtd.model import DTD
+from repro.fd.brute import brute_implies
+from repro.fd.chase import chase_implies
+from repro.fd.closure import closure_implies
+from repro.fd.model import FD
+
+EngineName = Literal["auto", "closure", "chase", "brute"]
+
+
+class ImplicationEngine:
+    """A cached implication oracle for a fixed ``(D, Σ)``."""
+
+    def __init__(self, dtd: DTD, sigma: Iterable[FD], *,
+                 engine: EngineName = "auto") -> None:
+        self.dtd = dtd
+        self.sigma = [fd.validate(dtd) for fd in sigma]
+        self.engine: EngineName = engine
+        self._simple = is_simple_dtd(dtd)
+        self._cache: dict[FD, bool] = {}
+
+    def implies(self, fd: FD) -> bool:
+        """``(D, Σ) |- fd``."""
+        result = True
+        for single in fd.expand():
+            cached = self._cache.get(single)
+            if cached is None:
+                cached = self._decide(single)
+                self._cache[single] = cached
+            result = result and cached
+        return result
+
+    def is_trivial(self, fd: FD) -> bool:
+        """``(D, ∅) |- fd``: the FD holds in every conforming tree."""
+        return implies(self.dtd, [], fd, engine=self.engine)
+
+    def _decide(self, fd: FD) -> bool:
+        if self.engine == "closure":
+            return closure_implies(self.dtd, self.sigma, fd)
+        if self.engine == "chase":
+            return chase_implies(self.dtd, self.sigma, fd)
+        if self.engine == "brute":
+            return brute_implies(self.dtd, self.sigma, fd)
+        # auto: closure first (sound everywhere, complete for simple
+        # DTDs), then the chase for the general case.
+        if closure_implies(self.dtd, self.sigma, fd):
+            return True
+        if self._simple:
+            return False
+        if self.dtd.is_recursive:
+            raise UnsupportedFeatureError(
+                "exact implication over recursive non-simple DTDs is not "
+                "supported; force engine='closure' for a sound "
+                "approximation")
+        return chase_implies(self.dtd, self.sigma, fd)
+
+
+def implies(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
+            engine: EngineName = "auto") -> bool:
+    """One-shot ``(D, Σ) |- fd``."""
+    return ImplicationEngine(dtd, sigma, engine=engine).implies(fd)
+
+
+def is_trivial(dtd: DTD, fd: FD, *, engine: EngineName = "auto") -> bool:
+    """Whether ``fd`` is trivial: implied by the DTD alone."""
+    return implies(dtd, [], fd, engine=engine)

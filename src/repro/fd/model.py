@@ -1,0 +1,135 @@
+"""The FD type and its textual syntax.
+
+Syntax accepted by :meth:`FD.parse` (one FD per string)::
+
+    courses.course.@cno -> courses.course
+    {courses.course, courses.course.taken_by.student.@sno}
+        -> courses.course.taken_by.student
+    db.conf.issue -> db.conf.issue.inproceedings.@year
+
+Braces around a multi-path side are optional; paths are separated by
+commas.  Both sides may list several paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import FDSyntaxError, InvalidFDError
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs -> rhs`` over paths."""
+
+    lhs: frozenset[Path]
+    rhs: frozenset[Path]
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise InvalidFDError(
+                "both sides of an FD must be non-empty sets of paths")
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def of(cls, lhs: Iterable[Path | str], rhs: Iterable[Path | str] | Path
+           | str) -> "FD":
+        """Build from paths or path strings; ``rhs`` may be a single
+        path."""
+        if isinstance(rhs, (Path, str)):
+            rhs = [rhs]
+        return cls(
+            lhs=frozenset(_as_path(p) for p in lhs),
+            rhs=frozenset(_as_path(p) for p in rhs),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FD":
+        """Parse ``lhs -> rhs`` textual syntax."""
+        if "->" not in text:
+            raise FDSyntaxError(f"missing '->' in FD {text!r}")
+        left, _, right = text.partition("->")
+        return cls(lhs=_parse_side(left, text), rhs=_parse_side(right, text))
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def paths(self) -> frozenset[Path]:
+        """All paths mentioned by the FD."""
+        return self.lhs | self.rhs
+
+    def expand(self) -> Iterator["FD"]:
+        """Split into single-path-RHS FDs (standard wlog reduction)."""
+        for path in sorted(self.rhs, key=str):
+            yield FD(lhs=self.lhs, rhs=frozenset({path}))
+
+    @property
+    def single_rhs(self) -> Path:
+        """The RHS path of a single-RHS FD."""
+        if len(self.rhs) != 1:
+            raise InvalidFDError(f"{self} does not have a single RHS path")
+        return next(iter(self.rhs))
+
+    def lhs_element_paths(self) -> list[Path]:
+        """The element paths on the left-hand side."""
+        return [p for p in self.lhs if p.is_element]
+
+    def validate(self, dtd: DTD) -> "FD":
+        """Check that every mentioned path is a path of the DTD."""
+        for path in self.paths:
+            if not dtd.is_path(path):
+                raise InvalidFDError(
+                    f"FD {self} mentions {path}, which is not a path "
+                    "of the DTD")
+        return self
+
+    def rename(self, mapping: dict[Path, Path]) -> "FD":
+        """Rewrite paths via an explicit path mapping (used by the
+        normalization transformations); unmapped paths are kept."""
+        return FD(
+            lhs=frozenset(mapping.get(p, p) for p in self.lhs),
+            rhs=frozenset(mapping.get(p, p) for p in self.rhs),
+        )
+
+    def __str__(self) -> str:
+        def side(paths: frozenset[Path]) -> str:
+            rendered = ", ".join(str(p) for p in sorted(paths, key=str))
+            return "{" + rendered + "}" if len(paths) > 1 else rendered
+
+        return f"{side(self.lhs)} -> {side(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"FD.parse({str(self)!r})"
+
+
+def _as_path(value: Path | str) -> Path:
+    return value if isinstance(value, Path) else Path.parse(value)
+
+
+def _parse_side(text: str, original: str) -> frozenset[Path]:
+    text = text.strip()
+    if text.startswith("{"):
+        if not text.endswith("}"):
+            raise FDSyntaxError(f"unbalanced braces in FD {original!r}")
+        text = text[1:-1]
+    parts = [part.strip() for part in text.split(",")]
+    paths = frozenset(Path.parse(part) for part in parts if part)
+    if not paths:
+        raise FDSyntaxError(f"empty side in FD {original!r}")
+    return paths
+
+
+def parse_fds(text: str) -> list[FD]:
+    """Parse several FDs: one per non-empty, non-comment (``#``) line."""
+    fds = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            fds.append(FD.parse(line))
+    return fds

@@ -1,0 +1,73 @@
+"""FD satisfaction on XML trees (Section 4).
+
+``T |= S1 -> S2`` iff for all ``t1, t2 ∈ tuples_D(T)``: if
+``t1.S1 = t2.S1`` and ``t1.S1 ≠ ⊥`` then ``t1.S2 = t2.S2``.  This is
+the Atzeni–Morfuni semantics of FDs over relations with nulls, applied
+to the tree-tuple relation.
+
+Satisfaction is invariant under ≡ (unordered equivalence), since
+``tuples_D`` is.  The implementation groups tuples by their (non-null)
+LHS projection, so a check is linear in ``|tuples_D(T)|`` rather than
+quadratic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dtd.model import DTD
+from repro.fd.model import FD
+from repro.tuples.extract import tuples_of
+from repro.tuples.model import TreeTuple
+from repro.xmltree.model import XMLTree
+
+
+def satisfies(tree: XMLTree, dtd: DTD, fd: FD, *,
+              tuples: Sequence[TreeTuple] | None = None) -> bool:
+    """``T |= fd``; pass precomputed ``tuples`` to amortize extraction."""
+    return not violating_pairs(tree, dtd, fd, tuples=tuples, limit=1)
+
+
+def satisfies_all(tree: XMLTree, dtd: DTD, fds: Iterable[FD], *,
+                  tuples: Sequence[TreeTuple] | None = None) -> bool:
+    """``T |= Σ``."""
+    if tuples is None:
+        tuples = tuples_of(tree, dtd)
+    return all(satisfies(tree, dtd, fd, tuples=tuples) for fd in fds)
+
+
+def violating_pairs(tree: XMLTree, dtd: DTD, fd: FD, *,
+                    tuples: Sequence[TreeTuple] | None = None,
+                    limit: int | None = None,
+                    ) -> list[tuple[TreeTuple, TreeTuple]]:
+    """Pairs of maximal tuples witnessing a violation of ``fd``.
+
+    A pair ``(t1, t2)`` violates ``S1 -> S2`` when both agree non-null
+    on ``S1`` but differ somewhere on ``S2``.
+    """
+    if tuples is None:
+        tuples = tuples_of(tree, dtd)
+    lhs = sorted(fd.lhs, key=str)
+    rhs = sorted(fd.rhs, key=str)
+    groups: dict[tuple[str, ...], list[TreeTuple]] = {}
+    violations: list[tuple[TreeTuple, TreeTuple]] = []
+    for tuple_ in tuples:
+        key = tuple_.project(lhs)
+        if any(value is None for value in key):
+            continue  # the FD's hypothesis needs a non-null LHS
+        groups.setdefault(key, []).append(tuple_)  # type: ignore[arg-type]
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        # Within a group all pairs must agree on the RHS, i.e. the RHS
+        # projection must be constant.
+        by_rhs: dict[tuple[str | None, ...], TreeTuple] = {}
+        for member in members:
+            by_rhs.setdefault(member.project(rhs), member)
+        if len(by_rhs) > 1:
+            witnesses = list(by_rhs.values())
+            for index in range(1, len(witnesses)):
+                violations.append((witnesses[0], witnesses[index]))
+                if limit is not None and len(violations) >= limit:
+                    return violations
+    return violations

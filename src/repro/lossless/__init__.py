@@ -1,0 +1,23 @@
+"""Instance-level losslessness checks (Section 6, Proposition 8).
+
+The paper defines ``(D1, Σ1) <=_lossless (D2, Σ2)`` through relational
+algebra queries over the tuple representations that make a commuting
+diagram close.  This package implements the checkable core of that
+definition: for every step of the decomposition algorithm, migrating a
+document forward and translating its tuple table back must reproduce
+the original document's information content exactly.
+"""
+
+from repro.lossless.check import (
+    check_normalization_lossless,
+    check_step_lossless,
+    reconstruct_projection,
+    string_projection,
+)
+from repro.lossless.queries import diagram_commutes, q1, q2
+
+__all__ = [
+    "check_step_lossless", "check_normalization_lossless",
+    "string_projection", "reconstruct_projection",
+    "diagram_commutes", "q1", "q2",
+]

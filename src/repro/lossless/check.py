@@ -1,0 +1,141 @@
+"""Commuting-diagram losslessness checks on instances.
+
+``string_projection`` renders a document's maximal tuples as a set of
+value rows over the DTD's attribute/text paths — the document's
+information content with node identities abstracted away (the job of
+the query ``Q2`` in the paper's diagram, which strips the node ids a
+transformation invents).
+
+``reconstruct_projection`` plays ``Q1'``: from the *migrated* document
+it rebuilds the original-schema rows.  For *moving attributes* the
+moved value is read back from its new home; for *creating element
+types* the original row joins its ``tau`` group on the key attributes
+(the relational-algebra join the paper's proof uses).  A step is
+lossless on a document when the reconstruction equals the original
+projection.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+from repro.normalize.transforms import TransformStep
+from repro.tuples.extract import tuples_of
+from repro.xmltree.model import XMLTree
+
+#: A value row: ``str(path) -> value`` with nulls omitted, frozen for
+#: set membership.
+Row = frozenset
+
+
+def string_projection(dtd: DTD, tree: XMLTree) -> set[Row]:
+    """The document's tuple table projected onto string-valued paths."""
+    value_paths = [p for p in sorted(dtd.paths, key=str)
+                   if not p.is_element]
+    rows: set[Row] = set()
+    for tuple_ in tuples_of(tree, dtd):
+        rows.add(Row(
+            (str(path), tuple_.get(path))
+            for path in value_paths if tuple_.get(path) is not None))
+    return rows
+
+
+def reconstruct_projection(step: TransformStep, old_dtd: DTD,
+                           migrated: XMLTree) -> set[Row]:
+    """Rebuild the original-schema value rows from a migrated document."""
+    if step.kind == "move":
+        return _reconstruct_move(step, old_dtd, migrated)
+    if step.kind == "create":
+        return _reconstruct_create(step, old_dtd, migrated)
+    raise ReproError(f"unknown transformation kind {step.kind!r}")
+
+
+def _old_value_paths(old_dtd: DTD) -> list[Path]:
+    return [p for p in sorted(old_dtd.paths, key=str) if not p.is_element]
+
+
+def _reconstruct_move(step: TransformStep, old_dtd: DTD,
+                      migrated: XMLTree) -> set[Row]:
+    (old_value, new_value), = step.renaming.items()
+    keep = [p for p in _old_value_paths(old_dtd) if p != old_value]
+    owner = old_value.parent
+    rows: set[Row] = set()
+    for tuple_ in tuples_of(migrated, step.dtd):
+        entries = {str(p): tuple_.get(p) for p in keep
+                   if tuple_.get(p) is not None}
+        # The old value was present iff its owner node was; for a moved
+        # text element the owner is gone, so presence is inferred from
+        # the owner's parent (the element was a forced child where the
+        # algorithm applies this step).
+        present = (tuple_.get(owner) is not None
+                   if step.dtd.is_path(owner)
+                   else tuple_.get(owner.parent) is not None)
+        if present:
+            value = tuple_.get(new_value)
+            if value is not None:
+                entries[str(old_value)] = value
+        rows.add(Row(entries.items()))
+    return rows
+
+
+def _reconstruct_create(step: TransformStep, old_dtd: DTD,
+                        migrated: XMLTree) -> set[Row]:
+    # Recover the step's path vocabulary from its renaming map.
+    old_value = step.fd.single_rhs
+    new_value = step.renaming[old_value]
+    key_pairs = [
+        (old, new) for old, new in step.renaming.items()
+        if old.is_attribute and old != old_value]
+    keep = [p for p in _old_value_paths(old_dtd) if p != old_value]
+
+    bases: dict[Row, set[str]] = {}
+    for tuple_ in tuples_of(migrated, step.dtd):
+        base = Row(
+            (str(p), tuple_.get(p)) for p in keep
+            if tuple_.get(p) is not None)
+        candidates = bases.setdefault(base, set())
+        joined = all(
+            tuple_.get(old_key) is not None
+            and tuple_.get(old_key) == tuple_.get(new_key)
+            for old_key, new_key in key_pairs)
+        if joined:
+            value = tuple_.get(new_value)
+            if value is not None:
+                candidates.add(value)
+    rows: set[Row] = set()
+    for base, values in bases.items():
+        if len(values) > 1:
+            raise ReproError(
+                "reconstruction is ambiguous: the migrated document "
+                f"associates values {sorted(values)} with one row — "
+                "the key FD does not hold")
+        if values:
+            rows.add(Row(set(base) | {(str(old_value), values.pop())}))
+        else:
+            rows.add(base)
+    return rows
+
+
+def check_step_lossless(step: TransformStep, old_dtd: DTD,
+                        document: XMLTree) -> bool:
+    """Whether one transformation step loses information on a document:
+    migrate forward, reconstruct backward, compare."""
+    original = string_projection(old_dtd, document)
+    migrated = step.migrate(document)
+    reconstructed = reconstruct_projection(step, old_dtd, migrated)
+    return original == reconstructed
+
+
+def check_normalization_lossless(result, original_dtd: DTD,
+                                 document: XMLTree) -> bool:
+    """Check every step of a :class:`NormalizationResult` on a document
+    (losslessness composes — Proposition 8(a))."""
+    dtd = original_dtd
+    current = document
+    for step in result.steps:
+        if not check_step_lossless(step, dtd, current):
+            return False
+        current = step.migrate(current)
+        dtd = step.dtd
+    return True

@@ -1,0 +1,102 @@
+"""Proposition 8's queries as actual Codd-table relational algebra.
+
+The paper defines ``(D1, Σ1) <=_lossless (D2, Σ2)`` via relational
+algebra queries over the tuple tables::
+
+                        T  ————————→  T'
+            tuples_D1   |                |   tuples_D2
+                        ↓                ↓
+      tuples_D1(T)  ←—Q1'—  Q1(·)  ←—Q2—  tuples_D2(T')
+
+``Q2`` eliminates the node ids a transformation invents, and ``Q1`` /
+``Q1'`` translate between the two schemas.  This module builds those
+queries concretely for each transformation step, operating on
+:class:`~repro.relational.codd.CoddTable` under Codd-table semantics
+(nulls do not join/select), and checks the diagram commutes —
+the same verdict as :mod:`repro.lossless.check`, but derived through
+the paper's own query formalism.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.dtd.model import DTD
+from repro.normalize.transforms import TransformStep
+from repro.relational.codd import CoddTable, tuples_table
+from repro.xmltree.model import XMLTree
+
+
+def value_columns(dtd: DTD) -> list[str]:
+    """The attribute/text columns of the tuple table (node-id columns
+    are what Q2 eliminates)."""
+    return [str(p) for p in sorted(dtd.paths, key=str)
+            if not p.is_element]
+
+
+def q1(step: TransformStep, old_dtd: DTD, table: CoddTable) -> CoddTable:
+    """Translate the *old* tuple table into the shared value schema:
+    project onto value columns (dropping node ids)."""
+    return table.project(
+        [c for c in value_columns(old_dtd) if c in table.attributes])
+
+
+def q2(step: TransformStep, old_dtd: DTD, table: CoddTable) -> CoddTable:
+    """Translate the *new* tuple table back to the old value schema.
+
+    * ``move``: rename the moved column back and project.
+    * ``create``: select the rows whose tau-branch joins the original
+      branch on the key attributes (σ over Codd semantics drops
+      null-keyed rows, so value-less rows survive via the union with
+      the key-null selection), rename the value column back, project.
+    """
+    old_value = step.fd.single_rhs if step.kind == "create" else \
+        next(iter(step.renaming))
+    new_value = step.renaming[old_value]
+    keep = [c for c in value_columns(old_dtd) if c != str(old_value)]
+
+    if step.kind == "move":
+        renamed = table.rename({str(new_value): str(old_value)})
+        return renamed.project(
+            [c for c in keep + [str(old_value)]
+             if c in renamed.attributes])
+
+    if step.kind != "create":
+        raise ReproError(f"unknown step kind {step.kind!r}")
+
+    key_pairs = [
+        (str(old), str(new)) for old, new in step.renaming.items()
+        if old.is_attribute and old != old_value]
+    # Rows whose new-schema key attributes equal the old-branch ones:
+    joined = table
+    for old_key, new_key in key_pairs:
+        joined = joined.select_eq(old_key, new_key)
+    joined = joined.rename({str(new_value): str(old_value)})
+    with_value = joined.project(
+        [c for c in keep + [str(old_value)] if c in joined.attributes])
+    if not key_pairs:
+        # n = 0: no selection dropped anything; nulls are already in
+        # the value column where the tau branch is absent.
+        return with_value
+    # Rows whose original branch carries no key at all (the value was
+    # null there): the Codd-semantics selection dropped them, so they
+    # re-enter with a null value column.
+    no_branch = table
+    for old_key, _new_key in key_pairs:
+        no_branch = no_branch.select(
+            lambda row, k=old_key: row.get(k) is None)
+    padded = no_branch.project(
+        [c for c in keep if c in no_branch.attributes])
+    rows = [dict(row, **{str(old_value): None}) for row in padded.rows]
+    completed = CoddTable(with_value.attributes, rows)
+    return with_value.union(completed)
+
+
+def diagram_commutes(step: TransformStep, old_dtd: DTD,
+                     document: XMLTree) -> bool:
+    """Check Proposition 8's commuting diagram on one document."""
+    migrated = step.migrate(document)
+    old_table = tuples_table(old_dtd, document)
+    new_table = tuples_table(step.dtd, migrated)
+    left = q1(step, old_dtd, old_table)
+    right = q2(step, old_dtd, new_table)
+    return left == right

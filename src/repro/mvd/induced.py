@@ -1,0 +1,65 @@
+"""Tree-induced MVDs — the structural dependencies the paper alludes to.
+
+In ``tuples_D(T)`` the maximal tuples below a fixed node form the
+*cross product* of the per-child-label choices (Definition 6).  Hence
+for every element path ``p`` and every child label ``c`` of ``p``, the
+MVD ``{p} ->> branch(p.c)`` — where ``branch(p.c)`` is every DTD path
+extending ``p.c`` — holds in **every** tree compatible with the DTD.
+These are the "multi-valued dependencies naturally induced by the tree
+structure" of Section 8, and they play the role of trivial MVDs in the
+4NF-style strengthening of XNF.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import RecursionLimitError
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+from repro.mvd.model import MVD
+
+
+def branch_partition(dtd: DTD, element_path: Path) -> dict[str, frozenset[Path]]:
+    """The partition of the paths strictly below ``element_path`` by
+    first child label."""
+    dtd.check_path(element_path)
+    partition: dict[str, set[Path]] = {}
+    for path in dtd.paths:
+        if element_path.is_prefix_of(path, proper=True):
+            step = path.steps[element_path.length]
+            partition.setdefault(step, set()).add(path)
+    return {label: frozenset(paths)
+            for label, paths in partition.items()}
+
+
+def tree_induced_mvds(dtd: DTD) -> Iterator[MVD]:
+    """Every structurally valid ``{p} ->> branch(p.c)`` of the DTD."""
+    if dtd.is_recursive:
+        raise RecursionLimitError(
+            "tree-induced MVDs enumerate paths(D); bound the DTD first")
+    for path in sorted(dtd.epaths, key=str):
+        for _label, branch in sorted(branch_partition(dtd, path).items()):
+            if branch:
+                yield MVD(frozenset({path}), branch)
+
+
+def is_induced(dtd: DTD, mvd: MVD) -> bool:
+    """Whether the MVD follows from the tree structure alone:
+    some element path in the LHS splits the RHS off as a union of
+    complete child branches (plus paths already in the LHS)."""
+    for anchor in (p for p in mvd.lhs if p.is_element):
+        partition = branch_partition(dtd, anchor)
+        remainder = set(mvd.rhs) - set(mvd.lhs)
+        if not remainder:
+            return True  # relationally trivial: rhs ⊆ lhs
+        covered: set[Path] = set()
+        for branch in partition.values():
+            if branch & remainder:
+                if not branch <= (remainder | mvd.lhs):
+                    break
+                covered |= branch
+        else:
+            if remainder <= covered | set(mvd.lhs):
+                return True
+    return not (set(mvd.rhs) - set(mvd.lhs))

@@ -1,0 +1,83 @@
+"""The MVD type: ``S1 ->> S2`` over paths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import FDSyntaxError, InvalidFDError
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+
+
+@dataclass(frozen=True)
+class MVD:
+    """A multivalued dependency ``lhs ->> rhs`` over paths.
+
+    Semantics (classical exchange property, over ``tuples_D(T)``): for
+    any two tuples agreeing (non-null) on ``lhs``, the tuple taking the
+    ``rhs`` projection of the first and the remaining projection of the
+    second also occurs among the maximal tuples.  The "remaining"
+    attributes are all paths of the DTD outside ``lhs ∪ rhs``, fixed at
+    satisfaction-checking time.
+    """
+
+    lhs: frozenset[Path]
+    rhs: frozenset[Path]
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise InvalidFDError(
+                "both sides of an MVD must be non-empty sets of paths")
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    @classmethod
+    def of(cls, lhs: Iterable[Path | str],
+           rhs: Iterable[Path | str]) -> "MVD":
+        def as_path(value):
+            return value if isinstance(value, Path) else Path.parse(value)
+        return cls(frozenset(as_path(p) for p in lhs),
+                   frozenset(as_path(p) for p in rhs))
+
+    @classmethod
+    def parse(cls, text: str) -> "MVD":
+        """Parse ``lhs ->> rhs`` (sides as in FD syntax)."""
+        if "->>" not in text:
+            raise FDSyntaxError(f"missing '->>' in MVD {text!r}")
+        left, _, right = text.partition("->>")
+
+        def side(chunk: str) -> frozenset[Path]:
+            chunk = chunk.strip()
+            if chunk.startswith("{"):
+                if not chunk.endswith("}"):
+                    raise FDSyntaxError(
+                        f"unbalanced braces in MVD {text!r}")
+                chunk = chunk[1:-1]
+            paths = frozenset(
+                Path.parse(part) for part in chunk.split(",")
+                if part.strip())
+            if not paths:
+                raise FDSyntaxError(f"empty side in MVD {text!r}")
+            return paths
+
+        return cls(side(left), side(right))
+
+    @property
+    def paths(self) -> frozenset[Path]:
+        return self.lhs | self.rhs
+
+    def validate(self, dtd: DTD) -> "MVD":
+        for path in self.paths:
+            if not dtd.is_path(path):
+                raise InvalidFDError(
+                    f"MVD {self} mentions {path}, which is not a path "
+                    "of the DTD")
+        return self
+
+    def __str__(self) -> str:
+        def side(paths: frozenset[Path]) -> str:
+            rendered = ", ".join(str(p) for p in sorted(paths, key=str))
+            return "{" + rendered + "}" if len(paths) > 1 else rendered
+
+        return f"{side(self.lhs)} ->> {side(self.rhs)}"

@@ -1,0 +1,60 @@
+"""XNF4 — a 4NF-style strengthening of XNF (the Section 8 programme).
+
+Relational 4NF demands that every non-trivial MVD ``X ->> Y`` have a
+superkey left-hand side.  The XML analogue built here, in the spirit
+of Definition 8 and Proposition 10:
+
+    ``(D, Σ, M)`` is in **XNF4** iff ``(D, Σ)`` is in XNF and for every
+    declared MVD ``S ->> S2 ∈ M`` that is not *tree-induced* (and not
+    relationally trivial), ``S`` determines the node carrying each
+    ``S2`` value: ``S -> p`` is implied by ``(D, Σ)`` for the element
+    prefix ``p`` of every path in ``S2``.
+
+When the left side pins the nodes down, the exchanged combinations are
+the originals and the MVD causes no extra stored combinations — the
+same intuition as XNF's "store each value once".  As with Proposition
+10, only the *declared* dependencies are inspected.
+
+This module is a construction of the paper's future work, not a
+reproduction of published results; its behaviour is pinned by tests
+including the relational-4NF correspondence under the flat coding of
+Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dtd.model import DTD
+from repro.fd.implication import EngineName, ImplicationEngine
+from repro.fd.model import FD
+from repro.mvd.induced import is_induced
+from repro.mvd.model import MVD
+from repro.xnf.check import xnf_violations
+
+
+def xnf4_violations(dtd: DTD, sigma: Iterable[FD],
+                    mvds: Iterable[MVD], *,
+                    engine: EngineName = "auto") -> list[FD | MVD]:
+    """The declared dependencies breaking XNF4 (FDs first)."""
+    sigma = list(sigma)
+    violations: list[FD | MVD] = list(
+        xnf_violations(dtd, sigma, engine=engine))
+    oracle = ImplicationEngine(dtd, sigma, engine=engine)
+    for mvd in mvds:
+        mvd.validate(dtd)
+        if is_induced(dtd, mvd):
+            continue
+        for target in sorted(mvd.rhs - mvd.lhs, key=str):
+            node = target.element_prefix
+            node_fd = FD(mvd.lhs, frozenset({node}))
+            if not oracle.implies(node_fd):
+                violations.append(mvd)
+                break
+    return violations
+
+
+def is_in_xnf4(dtd: DTD, sigma: Iterable[FD], mvds: Iterable[MVD], *,
+               engine: EngineName = "auto") -> bool:
+    """Whether ``(D, Σ, M)`` is in XNF4."""
+    return not xnf4_violations(dtd, sigma, mvds, engine=engine)

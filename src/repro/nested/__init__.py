@@ -1,0 +1,26 @@
+"""Nested relations, PNF and NNF — the Section 5 comparison target.
+
+A nested schema is ``X`` (a set of atomic attributes) or
+``X(G1)* ... (Gn)*`` with nested subschemas; instances nest relations
+inside tuples (Figure 3).  The paper relates its XML normal form to the
+Nested Normal Form (NNF) of Özsoyoğlu–Yuan / Mok–Ng–Embley via the
+canonical coding of nested schemas as DTDs (Proposition 5).
+"""
+
+from repro.nested.schema import NestedSchema
+from repro.nested.instance import NestedRelation
+from repro.nested.unnest import complete_unnesting
+from repro.nested.pnf import is_in_pnf
+from repro.nested.nnf import ancestor_attributes, is_in_nnf
+from repro.nested.xml_coding import (
+    encode_nested_relation,
+    nested_dtd,
+    nested_sigma,
+    schema_path,
+)
+
+__all__ = [
+    "NestedSchema", "NestedRelation", "complete_unnesting", "is_in_pnf",
+    "is_in_nnf", "ancestor_attributes",
+    "nested_dtd", "nested_sigma", "schema_path", "encode_nested_relation",
+]

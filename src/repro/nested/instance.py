@@ -1,0 +1,71 @@
+"""Nested relation instances (Figure 3a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.nested.schema import NestedSchema
+
+
+@dataclass
+class NestedTuple:
+    """One tuple: atomic values plus one nested relation per child."""
+
+    values: dict[str, str]
+    nested: dict[str, "NestedRelation"] = field(default_factory=dict)
+
+
+@dataclass
+class NestedRelation:
+    """An instance of a nested schema: a list of nested tuples."""
+
+    schema: NestedSchema
+    tuples: list[NestedTuple] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, schema: NestedSchema, rows: Iterable[Mapping]) -> \
+            "NestedRelation":
+        """Build from nested dict literals::
+
+            NestedRelation.build(H1, [
+                {"Country": "United States", "H2": [
+                    {"State": "Texas", "H3": [{"City": "Houston"},
+                                              {"City": "Dallas"}]},
+                ]},
+            ])
+        """
+        relation = cls(schema)
+        for row in rows:
+            values = {}
+            nested = {}
+            for attr in schema.atomic:
+                if attr not in row:
+                    raise ReproError(
+                        f"row misses atomic attribute {attr!r} "
+                        f"of {schema.name}")
+                values[attr] = row[attr]
+            for child in schema.children:
+                nested[child.name] = cls.build(child, row.get(child.name, []))
+            extraneous = set(row) - set(schema.atomic) - {
+                child.name for child in schema.children}
+            if extraneous:
+                raise ReproError(
+                    f"row mentions unknown keys {sorted(extraneous)} "
+                    f"for {schema.name}")
+            relation.tuples.append(NestedTuple(values, nested))
+        return relation
+
+    def to_rows(self) -> list[dict]:
+        """Back to nested dict literals."""
+        rows: list[dict] = []
+        for tuple_ in self.tuples:
+            row: dict = dict(tuple_.values)
+            for name, relation in tuple_.nested.items():
+                row[name] = relation.to_rows()
+            rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.tuples)

@@ -1,0 +1,67 @@
+"""Nested Normal Form (NNF) — the Section 5 presentation of [22, 23].
+
+For a nested schema ``G`` with FDs ``FD`` over its atomic attributes:
+``(G, FD)`` is in NNF iff for every non-trivial implied FD ``X -> A``
+(``A`` atomic), ``X -> ancestor(A)`` is also implied, where
+``ancestor(A)`` is the union of the atomic attributes of every
+subschema along ``path(R)`` for the subschema ``R`` owning ``A``
+(e.g. ``ancestor(State) = {Country, State}`` in Figure 3).
+
+Implication ``(G, FD)+`` here is classical Armstrong implication over
+the complete unnesting: every flat relation over ``U`` can be nested
+back into a PNF instance of ``G`` (group repeatedly), so FDs on
+unnestings behave exactly like relational FDs.  This keeps the NNF side
+of Proposition 5 independent of the XML machinery it is compared
+against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.nested.schema import NestedSchema
+from repro.relational.schema import RelationalFD, armstrong_closure
+
+
+def ancestor_attributes(schema: NestedSchema,
+                        attribute: str) -> frozenset[str]:
+    """``ancestor(A)``: atomic attributes of every schema on the path
+    from the root subschema to the owner of ``A`` (inclusive)."""
+    owner = schema.schema_of_attribute(attribute)
+    chain: list[NestedSchema] = []
+    current: NestedSchema | None = owner
+    while current is not None:
+        chain.append(current)
+        parent = schema.parent_of(current.name)
+        current = parent
+    attrs: set[str] = set()
+    for sub in chain:
+        attrs.update(sub.atomic)
+    return frozenset(attrs)
+
+
+def nnf_violations(schema: NestedSchema,
+                   fds: Iterable[RelationalFD]) -> list[RelationalFD]:
+    """Implied non-trivial ``X -> A`` with ``X -> ancestor(A)`` not
+    implied (enumerating LHS subsets of ``U``)."""
+    fds = list(fds)
+    universe = sorted(schema.all_attributes)
+    violations: list[RelationalFD] = []
+    for size in range(1, len(universe) + 1):
+        for combo in itertools.combinations(universe, size):
+            lhs = frozenset(combo)
+            closure = armstrong_closure(lhs, fds)
+            for attr in sorted(closure - lhs):
+                if attr not in universe:
+                    continue
+                if not ancestor_attributes(schema, attr) <= closure:
+                    violations.append(
+                        RelationalFD(lhs, frozenset({attr})))
+    return violations
+
+
+def is_in_nnf(schema: NestedSchema,
+              fds: Iterable[RelationalFD]) -> bool:
+    """Whether ``(G, FD)`` is in Nested Normal Form."""
+    return not nnf_violations(schema, list(fds))

@@ -1,0 +1,39 @@
+"""Partition Normal Form (PNF) for nested relations (Section 5).
+
+A nested relation is in PNF when (1) tuples agreeing on the atomic
+attributes have *equal* nested components, and (2) every nested
+component is itself in PNF.  Normalization theory for nested relations
+is usually stated for PNF instances, and the paper shows PNF is
+enforceable by FDs on the XML coding.
+"""
+
+from __future__ import annotations
+
+from repro.nested.instance import NestedRelation
+
+
+def is_in_pnf(relation: NestedRelation) -> bool:
+    """The recursive PNF test."""
+    seen: dict[tuple, dict] = {}
+    for tuple_ in relation.tuples:
+        key = tuple(tuple_.values[a] for a in relation.schema.atomic)
+        canon = {
+            name: _canonical(nested)
+            for name, nested in tuple_.nested.items()
+        }
+        if key in seen and seen[key] != canon:
+            return False
+        seen[key] = canon
+    return all(
+        is_in_pnf(nested)
+        for tuple_ in relation.tuples
+        for nested in tuple_.nested.values())
+
+
+def _canonical(relation: NestedRelation):
+    """Order-insensitive canonical form of an instance."""
+    return frozenset(
+        (tuple(t.values[a] for a in relation.schema.atomic),
+         frozenset((name, _canonical(nested))
+                   for name, nested in t.nested.items()))
+        for t in relation.tuples)

@@ -1,0 +1,71 @@
+"""Nested relation schemas: ``X(G1)* ... (Gn)*`` (Section 5).
+
+Example (Figure 3)::
+
+    H3 = NestedSchema("H3", ("City",))
+    H2 = NestedSchema("H2", ("State",), (H3,))
+    H1 = NestedSchema("H1", ("Country",), (H2,))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class NestedSchema:
+    """A nested relation schema with atomic attributes and nested
+    subschemas."""
+
+    name: str
+    atomic: tuple[str, ...]
+    children: tuple["NestedSchema", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atomic", tuple(self.atomic))
+        object.__setattr__(self, "children", tuple(self.children))
+        names = [s.name for s in self.walk()]
+        if len(set(names)) != len(names):
+            raise ReproError(
+                f"subschema names must be unique, got {names}")
+        attrs = [a for s in self.walk() for a in s.atomic]
+        if len(set(attrs)) != len(attrs):
+            raise ReproError(
+                f"atomic attributes must be unique across the schema, "
+                f"got {attrs}")
+
+    def walk(self) -> Iterator["NestedSchema"]:
+        """This schema and all subschemas, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "NestedSchema":
+        for schema in self.walk():
+            if schema.name == name:
+                return schema
+        raise ReproError(f"no subschema named {name!r}")
+
+    def parent_of(self, name: str) -> "NestedSchema | None":
+        for schema in self.walk():
+            if any(child.name == name for child in schema.children):
+                return schema
+        return None
+
+    def schema_of_attribute(self, attribute: str) -> "NestedSchema":
+        for schema in self.walk():
+            if attribute in schema.atomic:
+                return schema
+        raise ReproError(f"no atomic attribute {attribute!r}")
+
+    @property
+    def all_attributes(self) -> tuple[str, ...]:
+        """``U``: every atomic attribute, document order."""
+        return tuple(a for s in self.walk() for a in s.atomic)
+
+    def __str__(self) -> str:
+        inner = "".join(f"({child})*" for child in self.children)
+        return f"{self.name} = {{{', '.join(self.atomic)}}}{inner}"

@@ -1,0 +1,37 @@
+"""Complete unnesting of nested relations (Figure 3b).
+
+The complete unnesting flattens every nested level into a relation over
+all atomic attributes; a tuple whose nested relation is empty
+contributes no rows for that branch (as in the standard definition —
+unnesting is "inner-join"-like), so Figure 3's two-level example
+flattens to four (Country, State, City) rows.
+"""
+
+from __future__ import annotations
+
+from repro.nested.instance import NestedRelation
+from repro.relational.codd import CoddTable
+
+
+def complete_unnesting(relation: NestedRelation) -> CoddTable:
+    """Flatten to a table over all atomic attributes."""
+    attributes = relation.schema.all_attributes
+    table = CoddTable(attributes)
+    for row in _rows(relation):
+        table.add(row)
+    return table
+
+
+def _rows(relation: NestedRelation) -> list[dict[str, str]]:
+    result: list[dict[str, str]] = []
+    for tuple_ in relation.tuples:
+        partials = [dict(tuple_.values)]
+        for child in relation.schema.children:
+            nested_rows = _rows(tuple_.nested[child.name])
+            partials = [
+                {**partial, **nested_row}
+                for partial in partials
+                for nested_row in nested_rows
+            ]
+        result.extend(partials)
+    return result

@@ -1,0 +1,116 @@
+"""The nested → XML coding of Section 5 (Proposition 5).
+
+A nested schema ``G = X(G1)* ... (Gn)*`` maps to an element type ``G``
+with ``P(G) = G1*, ..., Gn*`` and ``R(G)`` the atomic attributes of
+``X``, under a root ``db`` with ``P(db) = G*``.  ``path(Gi)`` and
+``path(A)`` are the induced DTD paths, and ``Σ_FD`` codes the given
+FDs plus the PNF-enforcing keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+from repro.fd.model import FD
+from repro.nested.instance import NestedRelation
+from repro.nested.schema import NestedSchema
+from repro.regex.ast import EPSILON, concat, star, sym
+from repro.relational.schema import RelationalFD
+from repro.xmltree.model import XMLTree
+
+
+def nested_dtd(schema: NestedSchema, *, root: str = "db") -> DTD:
+    """``D_G``: the DTD coding of a nested schema."""
+    productions = {root: star(sym(schema.name))}
+    attributes: dict[str, frozenset[str]] = {}
+    for sub in schema.walk():
+        if sub.children:
+            productions[sub.name] = concat(
+                [star(sym(child.name)) for child in sub.children])
+        else:
+            productions[sub.name] = EPSILON
+        if sub.atomic:
+            attributes[sub.name] = frozenset("@" + a for a in sub.atomic)
+    return DTD(root=root, productions=productions, attributes=attributes)
+
+
+def schema_path(schema: NestedSchema, name: str, *,
+                root: str = "db") -> Path:
+    """``path(Gi)``: root-to-subschema path."""
+    chain: list[str] = []
+    current: str | None = name
+    while current is not None:
+        chain.append(current)
+        parent = schema.parent_of(current)
+        current = parent.name if parent is not None else None
+    if chain[-1] != schema.name:
+        raise ValueError(f"{name!r} is not a subschema of {schema.name!r}")
+    return Path([root, *reversed(chain)])
+
+
+def attribute_path(schema: NestedSchema, attribute: str, *,
+                   root: str = "db") -> Path:
+    """``path(A)``: the path of an atomic attribute."""
+    owner = schema.schema_of_attribute(attribute)
+    return schema_path(schema, owner.name, root=root).attribute(attribute)
+
+
+def nested_sigma(schema: NestedSchema, fds: Iterable[RelationalFD], *,
+                 root: str = "db") -> list[FD]:
+    """``Σ_FD``: coded FDs plus the PNF-enforcing keys (Section 5).
+
+    * each ``Ai1 ... Aim -> Aj`` becomes
+      ``{path(Ai1), ...} -> path(Aj)``;
+    * for every subschema ``Gi`` nested in ``Gj``:
+      ``{path(Gj), path(Ai1), ..., path(Aim)} -> path(Gi)`` where the
+      ``Ai*`` are the atomic attributes of ``Gi``;
+    * for the top schema: ``{path(B1), ..., path(Bk)} -> path(G1)``
+      over its atomic attributes.
+    """
+    sigma: list[FD] = []
+    for fd in fds:
+        sigma.append(FD(
+            lhs=frozenset(attribute_path(schema, a, root=root)
+                          for a in fd.lhs),
+            rhs=frozenset(attribute_path(schema, a, root=root)
+                          for a in fd.rhs),
+        ))
+    for sub in schema.walk():
+        parent = schema.parent_of(sub.name)
+        if parent is None:
+            if sub.atomic:
+                sigma.append(FD(
+                    lhs=frozenset(attribute_path(schema, a, root=root)
+                                  for a in sub.atomic),
+                    rhs=frozenset({schema_path(schema, sub.name,
+                                               root=root)}),
+                ))
+            continue
+        lhs: set[Path] = {schema_path(schema, parent.name, root=root)}
+        lhs.update(attribute_path(schema, a, root=root)
+                   for a in sub.atomic)
+        sigma.append(FD(
+            lhs=frozenset(lhs),
+            rhs=frozenset({schema_path(schema, sub.name, root=root)}),
+        ))
+    return sigma
+
+
+def encode_nested_relation(relation: NestedRelation, *,
+                           root: str = "db") -> XMLTree:
+    """A nested instance as an XML document conforming to ``D_G``."""
+    tree = XMLTree()
+    db = tree.add_node(root)
+
+    def build(rel: NestedRelation, parent: str) -> None:
+        for tuple_ in rel.tuples:
+            node = tree.add_node(
+                rel.schema.name, parent=parent,
+                attrs={"@" + a: v for a, v in tuple_.values.items()})
+            for child in rel.schema.children:
+                build(tuple_.nested[child.name], node)
+
+    build(relation, db)
+    return tree.freeze()

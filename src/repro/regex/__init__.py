@@ -1,0 +1,71 @@
+"""Regular expressions for DTD content models.
+
+This package implements the regular-expression fragment of Definition 1
+of the paper: ``a ::= S | tau | e | a|a | a,a | a*`` plus the standard
+DTD abbreviations ``a?`` (= ``a|e``) and ``a+`` (= ``a,a*``).
+
+Modules
+-------
+``ast``
+    Immutable expression nodes with smart constructors.
+``parser``
+    Parser for DTD content-model syntax (``(title, taken_by)`` etc.).
+``matching``
+    Word and multiset (permutation) membership via Brzozowski
+    derivatives.
+``analysis``
+    Per-symbol occurrence bounds and multiplicity classes.
+``classify``
+    The paper's Section 7 taxonomy: trivial, simple, simple
+    disjunction, and disjunctive productions, plus the ``N_s`` measure.
+"""
+
+from repro.regex.ast import (
+    EMPTY_SET,
+    EPSILON,
+    PCDATA,
+    Concat,
+    Epsilon,
+    EmptySet,
+    Optional,
+    PCData,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    concat,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.regex.parser import parse_content_model, parse_regex
+from repro.regex.matching import matches, matches_multiset
+from repro.regex.analysis import (
+    Multiplicity,
+    occurrence_bounds,
+    symbol_multiplicities,
+)
+from repro.regex.classify import (
+    disjunction_measure,
+    is_disjunctive_production,
+    is_simple,
+    is_simple_disjunction,
+    is_trivial,
+    simple_multiplicities,
+)
+
+__all__ = [
+    "Regex", "Epsilon", "EmptySet", "PCData", "Sym", "Union", "Concat",
+    "Star", "Plus", "Optional",
+    "EPSILON", "EMPTY_SET", "PCDATA",
+    "sym", "union", "concat", "star", "plus", "optional",
+    "parse_regex", "parse_content_model",
+    "matches", "matches_multiset",
+    "Multiplicity", "occurrence_bounds", "symbol_multiplicities",
+    "is_trivial", "is_simple", "is_simple_disjunction",
+    "is_disjunctive_production", "disjunction_measure",
+    "simple_multiplicities",
+]

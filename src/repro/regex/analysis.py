@@ -1,0 +1,195 @@
+"""Occurrence analysis of content-model regexes.
+
+Computes, for each symbol, the exact minimum and maximum number of
+occurrences over all words of the language, and classifies symbols into
+the multiplicity classes that drive both the Section 7 simplicity test
+and the FD closure engine:
+
+========== =====================
+class      occurrence set
+========== =====================
+``ZERO``   {0}
+``ONE``    {1}
+``OPT``    {0, 1}
+``PLUS``   {1, 2, 3, ...}
+``STAR``   {0, 1, 2, ...}
+========== =====================
+
+A symbol whose occurrence set is not one of these (e.g. exactly two, as
+in ``(b, b)``) has multiplicity ``None``; such productions are not
+simple.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from functools import lru_cache
+
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    EmptySet,
+    Optional,
+    PCData,
+    Plus,
+    Regex,
+    S_SYMBOL,
+    Star,
+    Sym,
+    Union,
+)
+
+
+class Multiplicity(enum.Enum):
+    """Occurrence class of a symbol in a content model."""
+
+    ZERO = "zero"
+    ONE = "one"
+    OPT = "opt"
+    PLUS = "plus"
+    STAR = "star"
+
+    @property
+    def min_count(self) -> int:
+        """Least achievable occurrence count."""
+        return 1 if self in (Multiplicity.ONE, Multiplicity.PLUS) else 0
+
+    @property
+    def max_count(self) -> float:
+        """Greatest achievable occurrence count (``inf`` if unbounded)."""
+        if self in (Multiplicity.PLUS, Multiplicity.STAR):
+            return math.inf
+        return 0 if self is Multiplicity.ZERO else 1
+
+    @property
+    def forced(self) -> bool:
+        """Whether at least one occurrence is guaranteed."""
+        return self.min_count >= 1
+
+    @property
+    def at_most_one(self) -> bool:
+        """Whether no word can contain two occurrences."""
+        return self.max_count <= 1
+
+    def to_suffix(self) -> str:
+        """DTD occurrence suffix for a trivial regex (``""``, ``?``, ...)."""
+        return {
+            Multiplicity.ONE: "",
+            Multiplicity.OPT: "?",
+            Multiplicity.PLUS: "+",
+            Multiplicity.STAR: "*",
+        }.get(self, "")
+
+
+def multiplicity_from_bounds(low: int, high: float) -> Multiplicity | None:
+    """Map exact occurrence bounds to a class, or ``None`` if no class
+    matches (the occurrence set must additionally be an interval, which
+    holds for all bounds produced by :func:`occurrence_bounds` on
+    expressions containing ``*``/``+``/``?``/``|`` pumping — see note in
+    :func:`symbol_multiplicities`)."""
+    if (low, high) == (0, 0):
+        return Multiplicity.ZERO
+    if (low, high) == (1, 1):
+        return Multiplicity.ONE
+    if (low, high) == (0, 1):
+        return Multiplicity.OPT
+    if low == 1 and high == math.inf:
+        return Multiplicity.PLUS
+    if low == 0 and high == math.inf:
+        return Multiplicity.STAR
+    return None
+
+
+def add_multiplicity(a: Multiplicity | None,
+                     b: Multiplicity | None) -> Multiplicity | None:
+    """Minkowski sum of two occurrence classes (concatenation)."""
+    if a is None or b is None:
+        return None
+    if a is Multiplicity.ZERO:
+        return b
+    if b is Multiplicity.ZERO:
+        return a
+    table = {
+        frozenset({Multiplicity.ONE, Multiplicity.STAR}): Multiplicity.PLUS,
+        frozenset({Multiplicity.OPT, Multiplicity.PLUS}): Multiplicity.PLUS,
+        frozenset({Multiplicity.OPT, Multiplicity.STAR}): Multiplicity.STAR,
+        frozenset({Multiplicity.PLUS, Multiplicity.STAR}): Multiplicity.PLUS,
+        frozenset({Multiplicity.STAR}): Multiplicity.STAR,
+    }
+    return table.get(frozenset({a, b}))
+
+
+def union_multiplicity(a: Multiplicity | None,
+                       b: Multiplicity | None) -> Multiplicity | None:
+    """Union of two occurrence classes (alternation); always defined for
+    defined inputs because the class lattice is closed under union."""
+    if a is None or b is None:
+        return None
+    if a is b:
+        return a
+    pair = frozenset({a, b})
+    table = {
+        frozenset({Multiplicity.ZERO, Multiplicity.ONE}): Multiplicity.OPT,
+        frozenset({Multiplicity.ZERO, Multiplicity.OPT}): Multiplicity.OPT,
+        frozenset({Multiplicity.ZERO, Multiplicity.PLUS}): Multiplicity.STAR,
+        frozenset({Multiplicity.ZERO, Multiplicity.STAR}): Multiplicity.STAR,
+        frozenset({Multiplicity.ONE, Multiplicity.OPT}): Multiplicity.OPT,
+        frozenset({Multiplicity.ONE, Multiplicity.PLUS}): Multiplicity.PLUS,
+        frozenset({Multiplicity.ONE, Multiplicity.STAR}): Multiplicity.STAR,
+        frozenset({Multiplicity.OPT, Multiplicity.PLUS}): Multiplicity.STAR,
+        frozenset({Multiplicity.OPT, Multiplicity.STAR}): Multiplicity.STAR,
+        frozenset({Multiplicity.PLUS, Multiplicity.STAR}): Multiplicity.STAR,
+    }
+    return table[pair]
+
+
+@lru_cache(maxsize=65536)
+def occurrence_bounds(regex: Regex, symbol: str) -> tuple[int, float]:
+    """Exact (min, max) occurrence counts of ``symbol`` over ``L(regex)``.
+
+    ``max`` is ``math.inf`` when unbounded.  For the empty language the
+    bounds are vacuous and reported as ``(0, 0)``.
+    """
+    if isinstance(regex, (Epsilon, EmptySet)):
+        return (0, 0)
+    if isinstance(regex, PCData):
+        return (1, 1) if symbol == S_SYMBOL else (0, 0)
+    if isinstance(regex, Sym):
+        return (1, 1) if regex.name == symbol else (0, 0)
+    if isinstance(regex, Union):
+        bounds = [occurrence_bounds(p, symbol) for p in regex.parts]
+        return (min(b[0] for b in bounds), max(b[1] for b in bounds))
+    if isinstance(regex, Concat):
+        bounds = [occurrence_bounds(p, symbol) for p in regex.parts]
+        low = sum(b[0] for b in bounds)
+        high = sum(b[1] for b in bounds)
+        return (low, high)
+    if isinstance(regex, Star):
+        _, high = occurrence_bounds(regex.inner, symbol)
+        return (0, 0) if high == 0 else (0, math.inf)
+    if isinstance(regex, Plus):
+        low, high = occurrence_bounds(regex.inner, symbol)
+        return (low, 0) if high == 0 else (low, math.inf)
+    if isinstance(regex, Optional):
+        _, high = occurrence_bounds(regex.inner, symbol)
+        return (0, high)
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def symbol_multiplicities(regex: Regex) -> dict[str, Multiplicity | None]:
+    """Per-symbol multiplicity classes of a content model.
+
+    Bounds alone do not prove the occurrence set is an interval (e.g.
+    ``(a, a)?`` has bounds (0, 2) but occurrence set {0, 2}); bound pairs
+    that map to no class yield ``None``, and the only interval-shaped
+    bounds that can hide a gap are unbounded ones, which cannot arise
+    for gapped sets here because pumping a ``*``/``+`` adds occurrences
+    one word at a time.  The simplicity test in
+    :mod:`repro.regex.classify` performs the stronger cross-symbol
+    independence check on top of this map.
+    """
+    return {
+        symbol: multiplicity_from_bounds(*occurrence_bounds(regex, symbol))
+        for symbol in sorted(regex.alphabet())
+    }

@@ -1,0 +1,312 @@
+"""Immutable AST for DTD content-model regular expressions.
+
+The grammar follows Definition 1 of the paper:
+
+    a ::= S | tau | epsilon | a "|" a | a "," a | a "*"
+
+``S`` stands for ``#PCDATA`` and ``epsilon`` for ``EMPTY``.  The usual
+DTD abbreviations ``a?`` and ``a+`` are first-class nodes (they matter
+for the Section 7 classification), and an explicit empty *language*
+node is provided so derivatives have a bottom element.
+
+All nodes are hashable and compare structurally; the module-level smart
+constructors (:func:`union`, :func:`concat`, :func:`star`, ...) perform
+light normalization (flattening, identity elements) which keeps
+Brzozowski derivatives small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+#: The reserved text symbol (``S`` in the paper, ``#PCDATA`` in DTDs).
+S_SYMBOL = "S"
+
+
+class Regex:
+    """Base class for content-model regular expressions."""
+
+    __slots__ = ()
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of symbols (element names / ``S``) occurring in the
+        expression."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Whether the empty word belongs to the language."""
+        raise NotImplementedError
+
+    def is_empty_language(self) -> bool:
+        """Whether the language is empty (no word at all)."""
+        return False
+
+    def to_dtd(self) -> str:
+        """Render in DTD content-model syntax."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.to_dtd()!r})"
+
+    def __str__(self) -> str:
+        return self.to_dtd()
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The empty word (``EMPTY`` in DTD syntax)."""
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_dtd(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True, slots=True)
+class EmptySet(Regex):
+    """The empty language; used internally by derivatives."""
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return False
+
+    def is_empty_language(self) -> bool:
+        return True
+
+    def to_dtd(self) -> str:
+        return "<empty-language>"
+
+
+@dataclass(frozen=True, slots=True)
+class PCData(Regex):
+    """``#PCDATA``: the single word consisting of the text symbol S."""
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset({S_SYMBOL})
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_dtd(self) -> str:
+        return "(#PCDATA)"
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Regex):
+    """A single element-type symbol."""
+
+    name: str
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_dtd(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    """Alternation ``a | b``; ``parts`` has at least two members."""
+
+    parts: tuple[Regex, ...]
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset().union(*(p.alphabet() for p in self.parts))
+
+    def nullable(self) -> bool:
+        return any(p.nullable() for p in self.parts)
+
+    def to_dtd(self) -> str:
+        return "(" + " | ".join(p.to_dtd() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """Concatenation ``a, b``; ``parts`` has at least two members."""
+
+    parts: tuple[Regex, ...]
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset().union(*(p.alphabet() for p in self.parts))
+
+    def nullable(self) -> bool:
+        return all(p.nullable() for p in self.parts)
+
+    def to_dtd(self) -> str:
+        return "(" + ", ".join(p.to_dtd() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """Kleene closure ``a*``."""
+
+    inner: Regex
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_dtd(self) -> str:
+        return _suffix(self.inner, "*")
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Regex):
+    """One-or-more ``a+`` (kept as a node; semantically ``a, a*``)."""
+
+    inner: Regex
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def to_dtd(self) -> str:
+        return _suffix(self.inner, "+")
+
+
+@dataclass(frozen=True, slots=True)
+class Optional(Regex):
+    """Zero-or-one ``a?`` (semantically ``a | epsilon``)."""
+
+    inner: Regex
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_dtd(self) -> str:
+        return _suffix(self.inner, "?")
+
+
+def _suffix(inner: Regex, op: str) -> str:
+    body = inner.to_dtd()
+    if isinstance(inner, (Sym, Union, Concat, PCData)):
+        # Union/Concat/PCData already render parenthesized.
+        if isinstance(inner, Sym):
+            return body + op
+        return body + op
+    return "(" + body + ")" + op
+
+
+EPSILON = Epsilon()
+EMPTY_SET = EmptySet()
+PCDATA = PCData()
+
+
+def sym(name: str) -> Sym:
+    """Build a symbol node."""
+    return Sym(name)
+
+
+def union(parts: Iterable[Regex]) -> Regex:
+    """Smart union: flattens, drops empty languages, deduplicates."""
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for part in _flatten(parts, Union):
+        if part.is_empty_language() or part in seen:
+            continue
+        seen.add(part)
+        flat.append(part)
+    if not flat:
+        return EMPTY_SET
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def concat(parts: Iterable[Regex]) -> Regex:
+    """Smart concatenation: flattens, absorbs epsilon and empty set."""
+    flat: list[Regex] = []
+    for part in _flatten(parts, Concat):
+        if part.is_empty_language():
+            return EMPTY_SET
+        if isinstance(part, Epsilon):
+            continue
+        flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    """Smart Kleene star: ``(a*)* = a*``, ``eps* = eps``."""
+    if isinstance(inner, (Epsilon, EmptySet)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, (Plus, Optional)):
+        return star(inner.inner)
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """Smart one-or-more."""
+    if isinstance(inner, (Epsilon, EmptySet)):
+        return inner
+    if isinstance(inner, (Star, Plus)):
+        return inner
+    if isinstance(inner, Optional):
+        return star(inner.inner)
+    return Plus(inner)
+
+
+def optional(inner: Regex) -> Regex:
+    """Smart zero-or-one."""
+    if isinstance(inner, (Epsilon, Star, Optional)):
+        return inner
+    if isinstance(inner, EmptySet):
+        return EPSILON
+    if isinstance(inner, Plus):
+        return star(inner.inner)
+    return Optional(inner)
+
+
+def _flatten(parts: Iterable[Regex], kind: type) -> Iterator[Regex]:
+    for part in parts:
+        if isinstance(part, kind):
+            yield from part.parts  # type: ignore[attr-defined]
+        else:
+            yield part
+
+
+@lru_cache(maxsize=8192)
+def desugar(regex: Regex) -> Regex:
+    """Rewrite ``a+`` and ``a?`` into the core Definition 1 grammar.
+
+    Returns an equivalent expression using only epsilon, symbols, union,
+    concatenation and star; useful when comparing against the paper's
+    core fragment.
+    """
+    if isinstance(regex, (Epsilon, EmptySet, PCData, Sym)):
+        return regex
+    if isinstance(regex, Union):
+        return union(desugar(p) for p in regex.parts)
+    if isinstance(regex, Concat):
+        return concat(desugar(p) for p in regex.parts)
+    if isinstance(regex, Star):
+        return star(desugar(regex.inner))
+    if isinstance(regex, Plus):
+        inner = desugar(regex.inner)
+        return concat([inner, star(inner)])
+    if isinstance(regex, Optional):
+        return union([desugar(regex.inner), EPSILON])
+    raise TypeError(f"unknown regex node: {regex!r}")

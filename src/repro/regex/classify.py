@@ -1,0 +1,364 @@
+"""The Section 7 taxonomy of content-model regular expressions.
+
+The paper (Section 7) distinguishes:
+
+* **trivial** regexes: ``s1, ..., sn`` where each ``si`` is ``a``,
+  ``a?``, ``a+`` or ``a*`` with pairwise-distinct symbols;
+* **simple** regexes: permutation-equivalent to a trivial one, i.e.
+  their Parikh image (multiset of symbol counts) is a *product* of
+  independent per-symbol occurrence classes;
+* **simple disjunctions**: ``eps``, a single symbol, or a ``|`` of
+  simple disjunctions over disjoint alphabets;
+* **disjunctive productions**: ``s1, ..., sm`` where each ``si`` is a
+  simple regex or a simple disjunction, over disjoint alphabets —
+  together with the measure ``N_s`` that bounds the number of
+  disjunction choices (Theorem 4).
+
+Simplicity is decided structurally by computing a Parikh
+*factorization*; the structural rules are exact for star and sound
+(conservative) elsewhere, so a regex classified as simple always is,
+while an exotic regex may fall back to the general (slower) engines.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ReproError
+from repro.regex.analysis import (
+    Multiplicity,
+    add_multiplicity,
+    union_multiplicity,
+)
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    EmptySet,
+    Optional,
+    PCData,
+    Plus,
+    Regex,
+    S_SYMBOL,
+    Star,
+    Sym,
+    Union,
+)
+from repro.regex.matching import accepts_single_symbol
+
+#: Representative counts used to verify that a union of products is a
+#: product; unbounded classes are represented by {min, min + 1}.
+_REPRESENTATIVES = {
+    Multiplicity.ZERO: (0,),
+    Multiplicity.ONE: (1,),
+    Multiplicity.OPT: (0, 1),
+    Multiplicity.PLUS: (1, 2),
+    Multiplicity.STAR: (0, 1, 2),
+}
+
+#: Beyond this alphabet size the union-of-products verification would
+#: enumerate too many representatives; we answer conservatively.
+_MAX_UNION_ALPHABET = 8
+
+
+def _count_in_class(count: int, cls: Multiplicity) -> bool:
+    return cls.min_count <= count <= cls.max_count
+
+
+Factorization = dict[str, Multiplicity]
+
+
+@lru_cache(maxsize=16384)
+def parikh_factorization(regex: Regex) -> tuple[tuple[str, Multiplicity], ...] | None:
+    """Parikh factorization of a regex, or ``None`` if it has none (or
+    the structural rules cannot establish one).
+
+    A factorization maps each symbol to an occurrence class such that
+    the language's Parikh image equals the product of the classes.
+    Returned as a sorted tuple so the result is hashable/cacheable;
+    symbols with class ``ZERO`` are omitted.
+    """
+    result = _factorize(regex)
+    if result is None:
+        return None
+    items = tuple(sorted(
+        (symbol, cls) for symbol, cls in result.items()
+        if cls is not Multiplicity.ZERO))
+    return items
+
+
+def _factorize(regex: Regex) -> Factorization | None:
+    if isinstance(regex, Epsilon):
+        return {}
+    if isinstance(regex, EmptySet):
+        return None
+    if isinstance(regex, PCData):
+        return {S_SYMBOL: Multiplicity.ONE}
+    if isinstance(regex, Sym):
+        return {regex.name: Multiplicity.ONE}
+    if isinstance(regex, Concat):
+        combined: Factorization = {}
+        for part in regex.parts:
+            factors = _factorize(part)
+            if factors is None:
+                return None
+            for symbol, cls in factors.items():
+                if symbol in combined:
+                    summed = add_multiplicity(combined[symbol], cls)
+                    if summed is None:
+                        return None
+                    combined[symbol] = summed
+                else:
+                    combined[symbol] = cls
+        return combined
+    if isinstance(regex, Union):
+        factorizations = []
+        for part in regex.parts:
+            factors = _factorize(part)
+            if factors is None:
+                return None
+            factorizations.append(factors)
+        return _union_of_products(regex, factorizations)
+    if isinstance(regex, Star):
+        return _factorize_star(regex.inner)
+    if isinstance(regex, Plus):
+        starred = _factorize_star(regex.inner)
+        base = _factorize(regex.inner)
+        if starred is None or base is None:
+            return None
+        result: Factorization = {}
+        for symbol in starred:
+            cls = add_multiplicity(
+                base.get(symbol, Multiplicity.ZERO), Multiplicity.STAR)
+            if cls is None:  # pragma: no cover - STAR sums are total
+                return None
+            result[symbol] = cls
+        return result
+    if isinstance(regex, Optional):
+        base = _factorize(regex.inner)
+        if base is None:
+            return None
+        non_nullable = [s for s, cls in base.items() if cls.min_count >= 1]
+        if not non_nullable:
+            return base
+        if len(non_nullable) > 1:
+            # Adding the zero vector to a product missing it in >= 2
+            # coordinates never yields a product: (a, b)? and friends.
+            return None
+        only = non_nullable[0]
+        merged = union_multiplicity(base[only], Multiplicity.ZERO)
+        assert merged is not None
+        result = dict(base)
+        result[only] = merged
+        return result
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def _factorize_star(inner: Regex) -> Factorization | None:
+    """Factorize ``inner*``: exact — the Parikh image of ``r*`` is a
+    product iff every occurring symbol is achievable as a one-letter
+    word of ``r`` (then every symbol gets class ``STAR``)."""
+    alphabet = sorted(inner.alphabet())
+    occurring = [s for s in alphabet
+                 if not _never_occurs(inner, s)]
+    for symbol in occurring:
+        if not accepts_single_symbol(inner, symbol):
+            return None
+    return {symbol: Multiplicity.STAR for symbol in occurring}
+
+
+def _never_occurs(regex: Regex, symbol: str) -> bool:
+    from repro.regex.analysis import occurrence_bounds
+    return occurrence_bounds(regex, symbol)[1] == 0
+
+
+def _union_of_products(
+        regex: Union,
+        factorizations: list[Factorization]) -> Factorization | None:
+    """Whether a union of Parikh products is itself a product.
+
+    The candidate is the per-symbol class union; it is correct iff every
+    candidate vector is covered by some branch product, which we verify
+    on representative counts (exact for these interval classes as long
+    as coverage is checked per vector)."""
+    symbols = sorted({s for f in factorizations for s in f})
+    candidate: Factorization = {}
+    for symbol in symbols:
+        cls: Multiplicity | None = None
+        for factors in factorizations:
+            branch_cls = factors.get(symbol, Multiplicity.ZERO)
+            cls = branch_cls if cls is None else union_multiplicity(
+                cls, branch_cls)
+        assert cls is not None
+        candidate[symbol] = cls
+    if len(symbols) > _MAX_UNION_ALPHABET:
+        # Fall back to the (sound) pairwise containment test.
+        for factors in factorizations:
+            if not all(_class_subset(factors.get(s, Multiplicity.ZERO),
+                                     candidate[s]) for s in symbols):
+                return None  # pragma: no cover - containment holds by def
+        covering = [f for f in factorizations
+                    if all(f.get(s, Multiplicity.ZERO) == candidate[s]
+                           for s in symbols)]
+        return candidate if covering else None
+    # Enumerate representative vectors of the candidate product.
+    vectors: list[list[int]] = [[]]
+    for symbol in symbols:
+        reps = _REPRESENTATIVES[candidate[symbol]]
+        vectors = [v + [count] for v in vectors for count in reps]
+    for vector in vectors:
+        if not any(
+            all(_count_in_class(count, f.get(symbol, Multiplicity.ZERO))
+                for symbol, count in zip(symbols, vector))
+            for f in factorizations
+        ):
+            return None
+    return candidate
+
+
+def _class_subset(a: Multiplicity, b: Multiplicity) -> bool:
+    return union_multiplicity(a, b) == b
+
+
+# ---------------------------------------------------------------------------
+# Public classification predicates
+# ---------------------------------------------------------------------------
+
+def is_trivial(regex: Regex) -> bool:
+    """Syntactically trivial: ``s1, ..., sn`` with distinct symbols and
+    each ``si`` of the form ``a``, ``a?``, ``a+`` or ``a*``."""
+    parts: tuple[Regex, ...]
+    if isinstance(regex, Concat):
+        parts = regex.parts
+    else:
+        parts = (regex,)
+    if isinstance(regex, Epsilon):
+        return True
+    seen: set[str] = set()
+    for part in parts:
+        base = part
+        if isinstance(part, (Optional, Plus, Star)):
+            base = part.inner
+        if isinstance(base, PCData):
+            name = S_SYMBOL
+        elif isinstance(base, Sym):
+            name = base.name
+        else:
+            return False
+        if name in seen:
+            return False
+        seen.add(name)
+    return True
+
+
+def is_simple(regex: Regex) -> bool:
+    """Simple in the sense of Section 7: permutation-equivalent to a
+    trivial regex (decided via Parikh factorization)."""
+    return parikh_factorization(regex) is not None
+
+
+def simple_multiplicities(regex: Regex) -> dict[str, Multiplicity]:
+    """Per-symbol multiplicities of a *simple* regex: the classes of its
+    trivial permutation-equivalent.  Symbols that cannot occur are
+    omitted.  Raises :class:`ReproError` if the regex is not simple."""
+    factors = parikh_factorization(regex)
+    if factors is None:
+        raise ReproError(f"regex {regex.to_dtd()!r} is not simple")
+    return dict(factors)
+
+
+def trivial_equivalent(regex: Regex) -> Regex:
+    """The trivial regex permutation-equivalent to a simple regex."""
+    from repro.regex.ast import concat, optional, plus, star, sym
+
+    wrappers = {
+        Multiplicity.ONE: lambda r: r,
+        Multiplicity.OPT: optional,
+        Multiplicity.PLUS: plus,
+        Multiplicity.STAR: star,
+    }
+    parts = []
+    for symbol, cls in sorted(simple_multiplicities(regex).items()):
+        base: Regex = PCData() if symbol == S_SYMBOL else sym(symbol)
+        parts.append(wrappers[cls](base))
+    return concat(parts)
+
+
+def is_simple_disjunction(regex: Regex) -> bool:
+    """``eps``, a single symbol, ``s1 | s2`` over disjoint alphabets of
+    simple disjunctions, or the ``?`` sugar for ``| eps``."""
+    if isinstance(regex, (Epsilon, Sym, PCData)):
+        return True
+    if isinstance(regex, Optional):
+        return is_simple_disjunction(regex.inner)
+    if isinstance(regex, Union):
+        seen: set[str] = set()
+        for part in regex.parts:
+            if not is_simple_disjunction(part):
+                return False
+            alphabet = part.alphabet()
+            if alphabet & seen:
+                return False
+            seen |= alphabet
+        return True
+    return False
+
+
+def production_factors(regex: Regex) -> list[Regex]:
+    """Top-level concatenation factors of a production."""
+    if isinstance(regex, Concat):
+        return list(regex.parts)
+    return [regex]
+
+
+def is_disjunctive_production(regex: Regex) -> bool:
+    """Disjunctive production (Section 7): ``s1, ..., sm`` where each
+    factor is a simple regex or a simple disjunction and the factors'
+    alphabets are pairwise disjoint."""
+    seen: set[str] = set()
+    for factor in production_factors(regex):
+        if not (is_simple(factor) or is_simple_disjunction(factor)):
+            return False
+        alphabet = factor.alphabet()
+        if alphabet & seen:
+            return False
+        seen |= alphabet
+    return True
+
+
+def _count_pipes(regex: Regex) -> int:
+    if isinstance(regex, (Epsilon, EmptySet, PCData, Sym)):
+        return 0
+    if isinstance(regex, Union):
+        return (len(regex.parts) - 1) + sum(
+            _count_pipes(p) for p in regex.parts)
+    if isinstance(regex, Concat):
+        return sum(_count_pipes(p) for p in regex.parts)
+    if isinstance(regex, Optional):
+        return 1 + _count_pipes(regex.inner)
+    if isinstance(regex, (Star, Plus)):
+        return _count_pipes(regex.inner)
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def disjunction_measure(regex: Regex) -> int:
+    """The production-level factor of the measure ``N`` of Section 7.
+
+    ``N_s = 1`` for a simple regex; for a simple disjunction it is the
+    number of ``|`` symbols plus one; for a disjunctive production the
+    product over its factors.  The DTD-level measure ``N_D``
+    (:func:`repro.dtd.classify.disjunction_measure`) multiplies in the
+    path counts.
+    """
+    if is_simple(regex):
+        return 1
+    factors = production_factors(regex)
+    measure = 1
+    for factor in factors:
+        if is_simple(factor):
+            continue
+        if is_simple_disjunction(factor):
+            measure *= _count_pipes(factor) + 1
+        else:
+            raise ReproError(
+                f"regex {regex.to_dtd()!r} is not a disjunctive production")
+    return measure

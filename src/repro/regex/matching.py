@@ -1,0 +1,127 @@
+"""Word and multiset membership for content-model regexes.
+
+Implemented with Brzozowski derivatives over the smart constructors of
+:mod:`repro.regex.ast`, which keep the derivative terms normalized and
+small.  Two entry points:
+
+``matches(regex, word)``
+    Ordered membership — used for conformance checking ``T |= D``
+    (Definition 3), where children of a node form an ordered word.
+
+``matches_multiset(regex, counts)``
+    Membership *up to permutation* — used when checking conformance of
+    the unordered equivalence class ``[T]`` (Section 3): some ordering
+    of the multiset of children must be in the language.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+from typing import Iterable, Mapping
+
+from repro.regex.ast import (
+    EMPTY_SET,
+    EPSILON,
+    Concat,
+    Epsilon,
+    EmptySet,
+    Optional,
+    PCData,
+    Plus,
+    Regex,
+    S_SYMBOL,
+    Star,
+    Sym,
+    Union,
+    concat,
+    star,
+    union,
+)
+
+
+@lru_cache(maxsize=65536)
+def derivative(regex: Regex, symbol: str) -> Regex:
+    """Brzozowski derivative: words w with symbol.w in L(regex)."""
+    if isinstance(regex, (Epsilon, EmptySet)):
+        return EMPTY_SET
+    if isinstance(regex, PCData):
+        return EPSILON if symbol == S_SYMBOL else EMPTY_SET
+    if isinstance(regex, Sym):
+        return EPSILON if regex.name == symbol else EMPTY_SET
+    if isinstance(regex, Union):
+        return union(derivative(p, symbol) for p in regex.parts)
+    if isinstance(regex, Concat):
+        head, *tail = regex.parts
+        rest = concat(tail)
+        first = concat([derivative(head, symbol), rest])
+        if head.nullable():
+            return union([first, derivative(rest, symbol)])
+        return first
+    if isinstance(regex, Star):
+        return concat([derivative(regex.inner, symbol), regex])
+    if isinstance(regex, Plus):
+        return concat([derivative(regex.inner, symbol),
+                       star(regex.inner)])
+    if isinstance(regex, Optional):
+        return derivative(regex.inner, symbol)
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def matches(regex: Regex, word: Iterable[str]) -> bool:
+    """Whether the (ordered) word of symbols belongs to ``L(regex)``."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+        if current.is_empty_language():
+            return False
+    return current.nullable()
+
+
+def matches_multiset(regex: Regex,
+                     counts: Mapping[str, int] | Iterable[str]) -> bool:
+    """Whether *some permutation* of the multiset is in ``L(regex)``.
+
+    ``counts`` is either a ``symbol -> count`` mapping or an iterable of
+    symbols (counted here).  The search explores derivative states and
+    memoizes (state, remaining multiset) pairs; content models are tiny
+    in practice so this is fast despite the worst-case blow-up.
+    """
+    if not isinstance(counts, Mapping):
+        counts = Counter(counts)
+    remaining = {s: c for s, c in counts.items() if c > 0}
+    alphabet = regex.alphabet()
+    if any(symbol not in alphabet for symbol in remaining):
+        return False
+    items = tuple(sorted(remaining.items()))
+    return _search(regex, items, set())
+
+
+def _search(state: Regex, items: tuple[tuple[str, int], ...],
+            failed: set[tuple[Regex, tuple[tuple[str, int], ...]]]) -> bool:
+    if not items:
+        return state.nullable()
+    key = (state, items)
+    if key in failed:
+        return False
+    for index, (symbol, count) in enumerate(items):
+        nxt = derivative(state, symbol)
+        if nxt.is_empty_language():
+            continue
+        if count == 1:
+            rest = items[:index] + items[index + 1:]
+        else:
+            rest = items[:index] + ((symbol, count - 1),) + items[index + 1:]
+        if _search(nxt, rest, failed):
+            return True
+    failed.add(key)
+    return False
+
+
+def accepts_single_symbol(regex: Regex, symbol: str) -> bool:
+    """Whether the one-letter word ``symbol`` is in ``L(regex)``.
+
+    Used by the simplicity test: ``r*`` has a product Parikh image iff
+    every occurring symbol is achievable as a one-letter word of ``r``.
+    """
+    return derivative(regex, symbol).nullable()

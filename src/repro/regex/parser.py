@@ -1,0 +1,181 @@
+"""Parser for DTD content-model regular expressions.
+
+Accepts the syntax used in ``<!ELEMENT>`` declarations::
+
+    EMPTY
+    (#PCDATA)
+    (title, taken_by)
+    (course*, info*)
+    (a | b)+
+    (Documentation | Start | Transition)*
+
+Grammar (standard DTD content particles)::
+
+    content  := 'EMPTY' | pcdata | particle
+    pcdata   := '(' '#PCDATA' ')'
+    particle := unit [('|' unit)* | (',' unit)*]   -- no mixing at one level
+    unit     := (name | '(' particle ')') ['*' | '+' | '?']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    EPSILON,
+    PCDATA,
+    Regex,
+    concat,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<pcdata>\#PCDATA)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.:-]*)
+  | (?P<punct>[(),|*+?])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise RegexSyntaxError(
+                f"unexpected character {text[index]!r} in content model",
+                column=index + 1,
+            )
+        index = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    def peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise RegexSyntaxError(
+                f"unexpected end of content model in {self._text!r}")
+        self._pos += 1
+        return token
+
+    def expect(self, value: str) -> _Token:
+        token = self.next()
+        if token.value != value:
+            raise RegexSyntaxError(
+                f"expected {value!r} but found {token.value!r}",
+                column=token.position + 1,
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_particle(self) -> Regex:
+        first = self.parse_unit()
+        token = self.peek()
+        if token is None or token.value not in {"|", ","}:
+            return first
+        separator = token.value
+        parts = [first]
+        while (token := self.peek()) is not None and token.value in {"|", ","}:
+            if token.value != separator:
+                raise RegexSyntaxError(
+                    "cannot mix '|' and ',' at the same nesting level",
+                    column=token.position + 1,
+                )
+            self.next()
+            parts.append(self.parse_unit())
+        if separator == "|":
+            return union(parts)
+        return concat(parts)
+
+    def parse_unit(self) -> Regex:
+        token = self.next()
+        if token.value == "(":
+            inner = self.parse_particle()
+            self.expect(")")
+            base = inner
+        elif token.kind == "name":
+            base = sym(token.value)
+        elif token.kind == "pcdata":
+            base = PCDATA
+        else:
+            raise RegexSyntaxError(
+                f"unexpected token {token.value!r} in content model",
+                column=token.position + 1,
+            )
+        nxt = self.peek()
+        if nxt is not None and nxt.value in {"*", "+", "?"}:
+            self.next()
+            if nxt.value == "*":
+                return star(base)
+            if nxt.value == "+":
+                return plus(base)
+            return optional(base)
+        return base
+
+
+def parse_content_model(text: str) -> Regex:
+    """Parse the content model of an ``<!ELEMENT>`` declaration.
+
+    ``EMPTY`` yields :data:`~repro.regex.ast.EPSILON`, ``(#PCDATA)``
+    yields :data:`~repro.regex.ast.PCDATA`, anything else a regex over
+    element names.
+    """
+    stripped = text.strip()
+    if stripped == "EMPTY":
+        return EPSILON
+    if stripped in {"(#PCDATA)", "#PCDATA"}:
+        return PCDATA
+    if stripped == "ANY":
+        raise RegexSyntaxError(
+            "ANY content is outside the paper's DTD fragment (Definition 1)")
+    tokens = _tokenize(stripped)
+    parser = _Parser(tokens, stripped)
+    result = parser.parse_particle()
+    if not parser.at_end():
+        extra = parser.peek()
+        assert extra is not None
+        raise RegexSyntaxError(
+            f"trailing input {extra.value!r} after content model",
+            column=extra.position + 1,
+        )
+    return result
+
+
+def parse_regex(text: str) -> Regex:
+    """Alias of :func:`parse_content_model` for expression-level use."""
+    return parse_content_model(text)

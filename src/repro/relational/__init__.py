@@ -1,0 +1,37 @@
+"""Classical relational normalization and incomplete relations.
+
+Substrate for two parts of the paper:
+
+* **Proposition 4** — BCNF coincides with XNF under the canonical
+  coding of relational schemas as flat XML (:mod:`xml_coding`); this
+  package supplies the relational side: Armstrong implication, keys,
+  BCNF, and the classical BCNF decomposition.
+* **Section 6's losslessness** — defined over relations with nulls
+  evaluated under Codd-table semantics (:mod:`codd`).
+"""
+
+from repro.relational.schema import (
+    RelationalFD,
+    RelationSchema,
+    armstrong_closure,
+    bcnf_decompose,
+    candidate_keys,
+    implies_relational,
+    is_in_bcnf,
+    is_superkey,
+)
+from repro.relational.codd import CoddTable
+from repro.relational.xml_coding import (
+    decode_relation,
+    encode_relation,
+    relational_dtd,
+    relational_sigma,
+)
+
+__all__ = [
+    "RelationSchema", "RelationalFD", "armstrong_closure",
+    "implies_relational", "is_superkey", "candidate_keys", "is_in_bcnf",
+    "bcnf_decompose", "CoddTable",
+    "relational_dtd", "relational_sigma", "encode_relation",
+    "decode_relation",
+]

@@ -1,0 +1,182 @@
+"""Codd tables: relations with nulls and a small relational algebra.
+
+The paper evaluates the relational-algebra queries of its losslessness
+definition (Section 6) "using the semantics of Codd tables": a null
+(⊥, here ``None``) is an unknown value; comparisons involving a null do
+not hold, so selections and joins drop rows whose compared fields are
+null, while projections and unions carry nulls through.
+
+FD satisfaction on a Codd table follows Atzeni–Morfuni (and Section 4
+of the paper): rows that agree, non-null, on the LHS must agree —
+null-tolerantly — on the RHS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+Row = dict[str, "str | None"]
+
+
+class CoddTable:
+    """An unordered relation with nulls (a set of rows)."""
+
+    def __init__(self, attributes: Sequence[str],
+                 rows: Iterable[Mapping[str, str | None]] = ()) -> None:
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ReproError("duplicate attribute names in Codd table")
+        self._rows: set[tuple[str | None, ...]] = set()
+        for row in rows:
+            self.add(row)
+
+    # -- basic access --------------------------------------------------------
+
+    def add(self, row: Mapping[str, str | None]) -> None:
+        unknown = set(row) - set(self.attributes)
+        if unknown:
+            raise ReproError(f"row mentions unknown attributes {unknown}")
+        self._rows.add(tuple(row.get(a) for a in self.attributes))
+
+    @property
+    def rows(self) -> list[Row]:
+        return [dict(zip(self.attributes, values))
+                for values in sorted(self._rows,
+                                     key=lambda v: tuple(map(_sort_key, v)))]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoddTable):
+            return NotImplemented
+        if set(self.attributes) != set(other.attributes):
+            return False
+        reordered = {
+            tuple(dict(zip(other.attributes, values)).get(a)
+                  for a in self.attributes)
+            for values in other._rows
+        }
+        return self._rows == reordered
+
+    def __hash__(self) -> int:  # tables are mutable: identity hashing
+        return id(self)
+
+    # -- FDs ------------------------------------------------------------------
+
+    def satisfies_fd(self, lhs: Iterable[str], rhs: Iterable[str]) -> bool:
+        """Atzeni–Morfuni FD satisfaction (nulls on the LHS disable the
+        constraint; RHS equality is null-tolerant)."""
+        lhs = list(lhs)
+        rhs = list(rhs)
+        groups: dict[tuple, tuple] = {}
+        for row in self.rows:
+            key = tuple(row.get(a) for a in lhs)
+            if any(value is None for value in key):
+                continue
+            value = tuple(row.get(a) for a in rhs)
+            if key in groups and groups[key] != value:
+                return False
+            groups.setdefault(key, value)
+        return True
+
+    # -- algebra ----------------------------------------------------------------
+
+    def project(self, attrs: Sequence[str]) -> "CoddTable":
+        """π: keep the listed attributes (nulls carried through)."""
+        missing = set(attrs) - set(self.attributes)
+        if missing:
+            raise ReproError(f"cannot project onto unknown {missing}")
+        result = CoddTable(attrs)
+        for row in self.rows:
+            result.add({a: row[a] for a in attrs})
+        return result
+
+    def select(self, predicate: Callable[[Row], bool]) -> "CoddTable":
+        """σ with an arbitrary row predicate (the caller is responsible
+        for null-safety; use :meth:`select_eq` for Codd semantics)."""
+        result = CoddTable(self.attributes)
+        for row in self.rows:
+            if predicate(row):
+                result.add(row)
+        return result
+
+    def select_eq(self, left: str, right_attr_or_value: str, *,
+                  value: bool = False) -> "CoddTable":
+        """σ(left = right): Codd semantics — rows where either side is
+        null are dropped."""
+        def predicate(row: Row) -> bool:
+            a = row.get(left)
+            b = right_attr_or_value if value else row.get(
+                right_attr_or_value)
+            return a is not None and b is not None and a == b
+
+        return self.select(predicate)
+
+    def rename(self, mapping: Mapping[str, str]) -> "CoddTable":
+        """ρ: rename attributes."""
+        new_attrs = [mapping.get(a, a) for a in self.attributes]
+        result = CoddTable(new_attrs)
+        for row in self.rows:
+            result.add({mapping.get(a, a): v for a, v in row.items()})
+        return result
+
+    def natural_join(self, other: "CoddTable") -> "CoddTable":
+        """⋈: rows join only when the shared attributes are non-null and
+        equal (Codd semantics)."""
+        shared = [a for a in self.attributes if a in other.attributes]
+        merged_attrs = list(self.attributes) + [
+            a for a in other.attributes if a not in self.attributes]
+        result = CoddTable(merged_attrs)
+        for row in self.rows:
+            for other_row in other.rows:
+                if all(row[a] is not None and row[a] == other_row[a]
+                       for a in shared):
+                    merged = dict(row)
+                    merged.update(
+                        {a: other_row[a] for a in other.attributes
+                         if a not in self.attributes})
+                    result.add(merged)
+        return result
+
+    def union(self, other: "CoddTable") -> "CoddTable":
+        if set(self.attributes) != set(other.attributes):
+            raise ReproError("union requires identical attribute sets")
+        result = CoddTable(self.attributes)
+        for row in self.rows:
+            result.add(row)
+        for row in other.rows:
+            result.add(row)
+        return result
+
+    def difference(self, other: "CoddTable") -> "CoddTable":
+        if set(self.attributes) != set(other.attributes):
+            raise ReproError("difference requires identical attribute sets")
+        result = CoddTable(self.attributes)
+        other_rows = {tuple(row.get(a) for a in self.attributes)
+                      for row in other.rows}
+        for row in self.rows:
+            if tuple(row.get(a) for a in self.attributes) not in other_rows:
+                result.add(row)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoddTable({self.attributes}, {len(self)} rows)"
+
+
+def _sort_key(value: str | None) -> tuple[int, str]:
+    return (0, "") if value is None else (1, value)
+
+
+def tuples_table(dtd, tree) -> CoddTable:
+    """``tuples_D(T)`` as a Codd table over ``paths(D)`` — the relational
+    representation used by the losslessness definition."""
+    from repro.tuples.extract import tuples_of
+
+    attributes = [str(p) for p in sorted(dtd.paths, key=str)]
+    table = CoddTable(attributes)
+    for tuple_ in tuples_of(tree, dtd):
+        table.add({str(p): tuple_.get(p) for p in dtd.paths})
+    return table

@@ -1,0 +1,180 @@
+"""Flat relational schemas, Armstrong implication, BCNF.
+
+The textbook toolkit (attribute closure, superkeys, BCNF test, BCNF
+decomposition) that the paper's Proposition 4 compares XNF against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema ``G(A1, ..., An)``."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ReproError(
+                f"duplicate attributes in schema {self.name!r}")
+
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        return frozenset(self.attributes)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class RelationalFD:
+    """A classical FD ``X -> Y`` over attribute names."""
+
+    lhs: frozenset[str]
+    rhs: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise ReproError("both sides of an FD must be non-empty")
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    @classmethod
+    def parse(cls, text: str) -> "RelationalFD":
+        """Parse ``A, B -> C`` syntax."""
+        left, _, right = text.partition("->")
+        if not right:
+            raise ReproError(f"missing '->' in relational FD {text!r}")
+        return cls(
+            lhs=frozenset(a.strip() for a in left.split(",") if a.strip()),
+            rhs=frozenset(a.strip() for a in right.split(",") if a.strip()),
+        )
+
+    def is_trivial(self) -> bool:
+        return self.rhs <= self.lhs
+
+    def __str__(self) -> str:
+        return (f"{', '.join(sorted(self.lhs))} -> "
+                f"{', '.join(sorted(self.rhs))}")
+
+
+def armstrong_closure(attrs: Iterable[str],
+                      fds: Iterable[RelationalFD]) -> frozenset[str]:
+    """The attribute closure ``X+`` under a set of FDs."""
+    closure = set(attrs)
+    fds = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= closure and not fd.rhs <= closure:
+                closure |= fd.rhs
+                changed = True
+    return frozenset(closure)
+
+
+def implies_relational(fds: Iterable[RelationalFD],
+                       fd: RelationalFD) -> bool:
+    """Armstrong implication: ``F |= X -> Y``."""
+    return fd.rhs <= armstrong_closure(fd.lhs, fds)
+
+
+def is_superkey(schema: RelationSchema, fds: Iterable[RelationalFD],
+                attrs: Iterable[str]) -> bool:
+    """Whether ``attrs`` functionally determines every attribute."""
+    return schema.attribute_set <= armstrong_closure(attrs, fds)
+
+
+def candidate_keys(schema: RelationSchema,
+                   fds: Iterable[RelationalFD]) -> list[frozenset[str]]:
+    """All minimal superkeys, smallest first."""
+    fds = list(fds)
+    keys: list[frozenset[str]] = []
+    universe = sorted(schema.attribute_set)
+    for size in range(1, len(universe) + 1):
+        for combo in itertools.combinations(universe, size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_superkey(schema, fds, candidate):
+                keys.append(candidate)
+    return keys
+
+
+def bcnf_violations(schema: RelationSchema,
+                    fds: Iterable[RelationalFD]) -> Iterator[RelationalFD]:
+    """Non-trivial implied FDs ``X -> A`` whose LHS is not a superkey.
+
+    Candidates range over subsets of the schema's attributes, so the
+    enumeration is exponential in the schema width — fine for the
+    normalization workloads here.
+    """
+    fds = [fd for fd in fds]
+    universe = sorted(schema.attribute_set)
+    for size in range(1, len(universe)):
+        for combo in itertools.combinations(universe, size):
+            lhs = frozenset(combo)
+            closure = armstrong_closure(lhs, fds)
+            extra = (closure & schema.attribute_set) - lhs
+            if extra and not is_superkey(schema, fds, lhs):
+                for attr in sorted(extra):
+                    yield RelationalFD(lhs, frozenset({attr}))
+
+
+def is_in_bcnf(schema: RelationSchema,
+               fds: Iterable[RelationalFD]) -> bool:
+    """Boyce–Codd Normal Form: every non-trivial FD defines a key."""
+    return next(iter(bcnf_violations(schema, list(fds))), None) is None
+
+
+def project_fds(fds: Iterable[RelationalFD],
+                attrs: frozenset[str]) -> list[RelationalFD]:
+    """The projection of a set of FDs onto an attribute subset (via
+    closures of all LHS subsets — the standard, exponential recipe)."""
+    fds = list(fds)
+    projected: list[RelationalFD] = []
+    for size in range(1, len(attrs) + 1):
+        for combo in itertools.combinations(sorted(attrs), size):
+            lhs = frozenset(combo)
+            closure = armstrong_closure(lhs, fds)
+            rhs = (closure & attrs) - lhs
+            if rhs:
+                projected.append(RelationalFD(lhs, rhs))
+    return projected
+
+
+def bcnf_decompose(schema: RelationSchema, fds: Iterable[RelationalFD],
+                   ) -> list[tuple[RelationSchema, list[RelationalFD]]]:
+    """The classical BCNF decomposition (lossless, not necessarily
+    dependency-preserving)."""
+    fds = list(fds)
+    result: list[tuple[RelationSchema, list[RelationalFD]]] = []
+    worklist: list[tuple[RelationSchema, list[RelationalFD]]] = [
+        (schema, fds)]
+    counter = 0
+    while worklist:
+        current, current_fds = worklist.pop()
+        violation = next(iter(bcnf_violations(current, current_fds)), None)
+        if violation is None:
+            result.append((current, current_fds))
+            continue
+        closure = armstrong_closure(violation.lhs, current_fds)
+        left_attrs = frozenset(closure & current.attribute_set)
+        right_attrs = (current.attribute_set - left_attrs) | violation.lhs
+        counter += 1
+        left = RelationSchema(f"{current.name}_{counter}a",
+                              tuple(sorted(left_attrs)))
+        counter += 1
+        right = RelationSchema(f"{current.name}_{counter}b",
+                               tuple(sorted(right_attrs)))
+        worklist.append((left, project_fds(current_fds, left_attrs)))
+        worklist.append((right, project_fds(current_fds,
+                                            frozenset(right_attrs))))
+    return result

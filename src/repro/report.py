@@ -1,0 +1,180 @@
+"""Design analysis reports: quantifying the paper's motivation.
+
+The introduction motivates XNF with storage redundancy ("the name
+Deere for student st1 is stored twice") and update anomalies.  This
+module measures exactly that on concrete documents:
+
+* :func:`redundancy_of` — for an anomalous FD ``S -> v``, the number of
+  *redundant copies*: stored (owner node, value) pairs beyond one per
+  distinct ``S``-group.  On Figure 1(a) this reports 1 (the second
+  ``Deere``; the two ``Smith``\\ s belong to different students and are
+  not redundant).
+* :func:`analyze` — a full :class:`DesignReport`: DTD classification,
+  XNF status, anomalous FDs, per-document redundancy counts, the
+  normalization plan, and the measured effect of migrating the
+  documents (redundant copies drop to zero, Proposition 8 keeps the
+  information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.dtd.classify import is_disjunctive_dtd, is_simple_dtd
+from repro.dtd.paths import Path
+from repro.fd.model import FD
+from repro.spec import XMLSpec
+from repro.tuples.extract import tuples_of
+from repro.xmltree.model import XMLTree
+
+
+def redundancy_of(spec: XMLSpec, document: XMLTree, fd: FD) -> int:
+    """Redundant stored copies of the FD's value in a document.
+
+    For a single-RHS FD ``S -> v`` (``v`` an attribute or text path):
+    the count of distinct (owner node, value) occurrences minus the
+    count of distinct non-null ``S``-groups — i.e. how many stored
+    copies a perfectly normalized design would avoid.
+    """
+    value = fd.single_rhs
+    if value.is_element:
+        return 0
+    owner = value.parent
+    lhs = sorted(fd.lhs, key=str)
+    stored: set[tuple[tuple, str]] = set()
+    groups: set[tuple] = set()
+    for tuple_ in tuples_of(document, spec.dtd):
+        owner_node = tuple_.get(owner)
+        stored_value = tuple_.get(value)
+        if owner_node is None or stored_value is None:
+            continue
+        key = tuple(tuple_.get(p) for p in lhs)
+        if any(part is None for part in key):
+            continue
+        stored.add((key, owner_node))
+        groups.add(key)
+    return max(0, len(stored) - len(groups))
+
+
+@dataclass
+class DocumentFinding:
+    """Redundancy measurements for one document."""
+
+    conforms: bool
+    satisfies_sigma: bool
+    tuples: int
+    redundancy: dict[FD, int] = field(default_factory=dict)
+
+    @property
+    def total_redundancy(self) -> int:
+        return sum(self.redundancy.values())
+
+
+@dataclass
+class DesignReport:
+    """The outcome of :func:`analyze`."""
+
+    spec: XMLSpec
+    simple: bool
+    disjunctive: bool
+    recursive: bool
+    in_xnf: bool
+    anomalous: list[FD]
+    plan: list[str]
+    documents: list[DocumentFinding] = field(default_factory=list)
+    migrated_redundancy: list[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        """A human-readable summary."""
+        lines = ["XML design analysis", "==================="]
+        lines.append(
+            f"DTD: {len(self.spec.dtd.element_types)} element types, "
+            f"{len(self.spec.dtd.paths) if not self.recursive else '∞'} "
+            "paths")
+        classification = ("simple" if self.simple else
+                          "disjunctive" if self.disjunctive else
+                          "general")
+        lines.append(f"classification: {classification}"
+                     + (", recursive" if self.recursive else ""))
+        lines.append(f"functional dependencies: {len(self.spec.sigma)}")
+        lines.append(f"in XNF: {'yes' if self.in_xnf else 'NO'}")
+        for fd in self.anomalous:
+            lines.append(f"  anomalous: {fd}")
+        if self.plan:
+            lines.append("normalization plan:")
+            for index, step in enumerate(self.plan, start=1):
+                lines.append(f"  {index}. {step}")
+        for index, finding in enumerate(self.documents):
+            lines.append(
+                f"document #{index + 1}: {finding.tuples} tuples, "
+                f"conforms={finding.conforms}, "
+                f"satisfies Sigma={finding.satisfies_sigma}, "
+                f"redundant copies={finding.total_redundancy}")
+            for fd, count in finding.redundancy.items():
+                if count:
+                    lines.append(f"    {count} via {fd}")
+        for index, after in enumerate(self.migrated_redundancy):
+            lines.append(
+                f"document #{index + 1} after normalization: "
+                f"{after} redundant copies")
+        return "\n".join(lines) + "\n"
+
+
+def analyze(spec: XMLSpec,
+            documents: Sequence[XMLTree] = ()) -> DesignReport:
+    """Analyze a specification (and optionally its documents)."""
+    recursive = spec.dtd.is_recursive
+    anomalous = spec.xnf_violations()
+    plan: list[str] = []
+    result = None
+    if anomalous and not recursive:
+        result = spec.normalize()
+        plan = result.step_descriptions
+    report = DesignReport(
+        spec=spec,
+        simple=is_simple_dtd(spec.dtd),
+        disjunctive=is_disjunctive_dtd(spec.dtd),
+        recursive=recursive,
+        in_xnf=not anomalous,
+        anomalous=anomalous,
+        plan=plan,
+    )
+    for document in documents:
+        finding = DocumentFinding(
+            conforms=spec.document_conforms(document),
+            satisfies_sigma=spec.document_satisfies(document),
+            tuples=len(tuples_of(document, spec.dtd)),
+        )
+        for fd in anomalous:
+            finding.redundancy[fd] = redundancy_of(spec, document, fd)
+        report.documents.append(finding)
+        if result is not None:
+            migrated = result.migrate(document)
+            new_spec = spec.normalized_spec(result)
+            after = 0
+            for fd in anomalous:
+                moved = _moved_fd(result, fd)
+                if moved is not None:
+                    after += redundancy_of(new_spec, migrated, moved)
+            report.migrated_redundancy.append(after)
+    return report
+
+
+def _moved_fd(result, fd: FD) -> FD | None:
+    """Where the anomalous value lives after normalization."""
+    value = fd.single_rhs
+    renamed = value
+    lhs: frozenset[Path] = fd.lhs
+    for step in result.steps:
+        if renamed in step.renaming:
+            lhs = frozenset(step.renaming.get(p, p) for p in lhs)
+            renamed = step.renaming[renamed]
+    if renamed == value:
+        return None
+    try:
+        candidate = FD(lhs, frozenset({renamed}))
+        candidate.validate(result.dtd)
+    except Exception:
+        return None
+    return candidate

@@ -1,0 +1,28 @@
+"""Tree tuples — Section 3 of the paper (Definitions 4-7).
+
+A *tree tuple* over a DTD ``D`` assigns to every path of ``D`` a node
+id (element paths), a string (attribute / text paths), or the null
+``⊥`` — with the root non-null, node ids used injectively, and nulls
+closed under path extension.  Tree tuples are the bridge between XML
+documents and relations with nulls, on which the paper defines XML
+functional dependencies.
+
+Public surface:
+
+* :class:`TreeTuple` — the tuple itself (null = absence),
+* :func:`tree_of` — ``tree_D(t)`` (Definition 5),
+* :func:`tuples_of` — ``tuples_D(T)`` (Definition 6),
+* :func:`trees_of` — a canonical representative of ``trees_D(X)``
+  (Definition 7),
+* :func:`is_d_compatible` — the D-compatibility test of Proposition 3.
+"""
+
+from repro.tuples.model import TreeTuple, validate_tuple
+from repro.tuples.build import tree_of, trees_of
+from repro.tuples.extract import count_tuples, tuples_of
+from repro.tuples.compat import is_d_compatible, set_subsumed
+
+__all__ = [
+    "TreeTuple", "validate_tuple", "tree_of", "trees_of",
+    "tuples_of", "count_tuples", "is_d_compatible", "set_subsumed",
+]

@@ -1,0 +1,124 @@
+"""From tuples back to trees: ``tree_D(t)`` and ``trees_D(X)``.
+
+``tree_of`` implements Definition 5 (children ordered
+lexicographically, as the paper specifies).  ``trees_of`` builds the
+canonical representative of ``trees_D(X)`` (Definition 7) — the
+node-wise union of the member trees, which is the unique-up-to-≡
+minimal tree containing every ``tree_D(t)`` when ``X`` is consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidTreeError
+from repro.dtd.model import DTD
+from repro.dtd.paths import TEXT_STEP, Path
+from repro.tuples.model import TreeTuple
+from repro.xmltree.model import XMLTree
+
+
+def tree_of(tuple_: TreeTuple, dtd: DTD) -> XMLTree:
+    """``tree_D(t)``: the XML tree induced by the non-null values."""
+    return trees_of([tuple_], dtd)
+
+
+def trees_of(tuples: Iterable[TreeTuple], dtd: DTD) -> XMLTree:
+    """Canonical member of ``trees_D(X)``: the minimal tree containing
+    ``tree_D(t)`` for every ``t`` in ``X``.
+
+    Raises :class:`InvalidTreeError` when the tuples are inconsistent
+    (no tree contains them all): conflicting labels for a node id, a
+    node id reached via two different parents, or conflicting
+    attribute / text values.
+    """
+    tuples = list(tuples)
+    if not tuples:
+        raise InvalidTreeError("trees_D of an empty tuple set is undefined")
+
+    tree = XMLTree()
+    node_paths: dict[str, Path] = {}
+    # First pass: create element nodes (parents before children, which
+    # path-length ordering guarantees).
+    element_entries: list[tuple[Path, str]] = []
+    for tuple_ in tuples:
+        for path, value in tuple_.items():
+            if path.is_element:
+                element_entries.append((path, value))
+    element_entries.sort(key=lambda entry: entry[0].length)
+    for path, node in element_entries:
+        known = node_paths.get(node)
+        if known is not None:
+            if known != path:
+                raise InvalidTreeError(
+                    f"node id {node!r} occurs at both {known} and {path}")
+            continue
+        if node in tree.labels:
+            raise InvalidTreeError(
+                f"node id {node!r} reused at {path}")
+        if path.length == 1:
+            if tree.root is not None and tree.root != node:
+                raise InvalidTreeError(
+                    f"two distinct roots: {tree.root!r} and {node!r}")
+            tree.add_node(path.last, node_id=node)
+        else:
+            # The parent node id is whatever some tuple assigns to the
+            # parent path along this tuple's branch.
+            parent = _parent_node_of(tuples, path, node)
+            tree.add_node(path.last, node_id=node, parent=parent)
+        node_paths[node] = path
+
+    # Second pass: attributes and text.
+    for tuple_ in tuples:
+        for path, value in tuple_.items():
+            if path.is_element:
+                continue
+            owner = tuple_.get(path.parent)
+            if owner is None:
+                raise InvalidTreeError(
+                    f"{path} is non-null but its parent path is null")
+            if path.is_attribute:
+                existing = tree.attr(owner, path.last)
+                if existing is not None and existing != value:
+                    raise InvalidTreeError(
+                        f"conflicting values {existing!r} / {value!r} for "
+                        f"{path} on node {owner!r}")
+                tree.attributes[(owner, path.last)] = value
+            else:  # text
+                existing_text = tree.text(owner)
+                if existing_text is not None and existing_text != value:
+                    raise InvalidTreeError(
+                        f"conflicting text for node {owner!r}: "
+                        f"{existing_text!r} / {value!r}")
+                if tree.children(owner):
+                    raise InvalidTreeError(
+                        f"node {owner!r} has both text and children")
+                tree.set_text(owner, value)
+
+    # Definition 5: children ordered lexicographically (by label, then
+    # node id, matching the paper's canonical order on values).
+    for node, body in list(tree.content.items()):
+        if isinstance(body, list):
+            tree.content[node] = sorted(
+                body, key=lambda child: (tree.label(child), child))
+    return tree.freeze()
+
+
+def _parent_node_of(tuples: Sequence[TreeTuple], path: Path,
+                    node: str) -> str:
+    parent_path = path.parent
+    parents: set[str] = set()
+    for tuple_ in tuples:
+        if tuple_.get(path) == node:
+            parent = tuple_.get(parent_path)
+            if parent is None:
+                raise InvalidTreeError(
+                    f"{path} is non-null but {parent_path} is null")
+            parents.add(parent)
+    if len(parents) > 1:
+        raise InvalidTreeError(
+            f"node id {node!r} at {path} has conflicting parents "
+            f"{sorted(parents)}")
+    if not parents:
+        raise AssertionError("unreachable: node came from some tuple")
+    return parents.pop()

@@ -1,0 +1,48 @@
+"""D-compatibility of tuple sets and the set ordering ``⊑``.
+
+``X ⊆ T(D)`` is *D-compatible* when some tree ``T < D`` has
+``X ⊆ tuples_D(T)`` — the hypothesis of Proposition 3.  The witness, if
+one exists, can always be taken to be the canonical merge
+``trees_of(X)``, which is what this module checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import InvalidTreeError
+from repro.dtd.model import DTD
+from repro.tuples.build import trees_of
+from repro.tuples.extract import tuples_of
+from repro.tuples.model import TreeTuple
+from repro.xmltree.conformance import is_compatible
+
+
+def set_subsumed(first: Iterable[TreeTuple],
+                 second: Iterable[TreeTuple]) -> bool:
+    """``X ⊑' Y``: every tuple of ``X`` is subsumed by some tuple of
+    ``Y`` (the ordering used in Theorem 1 / Proposition 3)."""
+    second = list(second)
+    return all(any(t1.subsumed_by(t2) for t2 in second) for t1 in first)
+
+
+def is_d_compatible(tuples: Iterable[TreeTuple], dtd: DTD) -> bool:
+    """Whether ``X`` is D-compatible: ``∃T < D`` with
+    ``X ⊆ tuples_D(T)``.
+
+    If any witness exists, the canonical merge works: any tree
+    containing all of ``X`` subsumes the merge, and shrinking a tree
+    only shrinks (w.r.t. ⊑') its maximal-tuple set, so membership in
+    the merge's tuple set is the exact test.
+    """
+    tuples = list(tuples)
+    if not tuples:
+        return True
+    try:
+        merged = trees_of(tuples, dtd)
+    except InvalidTreeError:
+        return False
+    if not is_compatible(merged, dtd):
+        return False
+    maximal = set(tuples_of(merged, dtd, check_compatible=False))
+    return all(t in maximal for t in tuples)

@@ -1,0 +1,92 @@
+"""``tuples_D(T)`` — Definition 6: the maximal tree tuples of a tree.
+
+A maximal tuple picks, along every branch it follows, exactly one child
+per (node, child element type) pair; maximality (w.r.t. the ⊑ ordering
+on tuples with nulls) forces a choice whenever at least one child with
+that label exists.  The set of maximal tuples is therefore the product,
+over the visited nodes, of their per-label child choices.
+
+The number of tuples can be exponential in document depth in the worst
+case; :func:`count_tuples` computes the count without materializing
+them, and :func:`iter_tuples` yields them lazily.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.errors import ConformanceError
+from repro.dtd.model import DTD
+from repro.dtd.paths import TEXT_STEP, Path
+from repro.tuples.model import TreeTuple
+from repro.xmltree.conformance import is_compatible
+from repro.xmltree.model import XMLTree
+
+
+def tuples_of(tree: XMLTree, dtd: DTD, *,
+              check_compatible: bool = True) -> list[TreeTuple]:
+    """``tuples_D(T)`` for a tree compatible with ``D``."""
+    return list(iter_tuples(tree, dtd, check_compatible=check_compatible))
+
+
+def iter_tuples(tree: XMLTree, dtd: DTD, *,
+                check_compatible: bool = True) -> Iterator[TreeTuple]:
+    """Lazily enumerate ``tuples_D(T)``."""
+    if check_compatible and not is_compatible(tree, dtd):
+        raise ConformanceError(
+            "tuples_D(T) requires T < D (paths(T) ⊆ paths(D))")
+    assert tree.root is not None
+    root_path = Path.root(tree.label(tree.root))
+    for assignment in _subtree_tuples(tree, dtd, tree.root, root_path):
+        yield TreeTuple(assignment)
+
+
+def _subtree_tuples(tree: XMLTree, dtd: DTD, node: str,
+                    path: Path) -> Iterator[dict[Path, str]]:
+    """All maximal partial assignments for the subtree rooted at
+    ``node`` (situated at ``path``)."""
+    base: dict[Path, str] = {path: node}
+    for name, value in tree.attrs_of(node).items():
+        base[path.child(name)] = value
+    text = tree.text(node)
+    if text is not None:
+        base[path.child(TEXT_STEP)] = text
+
+    labels = sorted({tree.label(child) for child in tree.children(node)})
+    if not labels:
+        yield base
+        return
+
+    per_label: list[list[dict[Path, str]]] = []
+    for label in labels:
+        child_path = path.child(label)
+        alternatives: list[dict[Path, str]] = []
+        for child in tree.children_with_label(node, label):
+            alternatives.extend(
+                _subtree_tuples(tree, dtd, child, child_path))
+        per_label.append(alternatives)
+
+    for combination in itertools.product(*per_label):
+        assignment = dict(base)
+        for piece in combination:
+            assignment.update(piece)
+        yield assignment
+
+
+def count_tuples(tree: XMLTree, dtd: DTD | None = None) -> int:
+    """``|tuples_D(T)|`` computed without materializing the tuples."""
+    assert tree.root is not None
+
+    def count(node: str) -> int:
+        labels: dict[str, int] = {}
+        for child in tree.children(node):
+            label = tree.label(child)
+            labels[label] = labels.get(label, 0) + 0  # ensure key
+        total = 1
+        for label in {tree.label(c) for c in tree.children(node)}:
+            total *= sum(count(child)
+                         for child in tree.children_with_label(node, label))
+        return total
+
+    return count(tree.root)

@@ -1,0 +1,114 @@
+"""The tree-tuple model (Definition 4).
+
+A :class:`TreeTuple` is stored sparsely: only non-null paths appear in
+the mapping (``t.p = ⊥`` is represented by absence), which keeps tuples
+finite even over recursive DTDs, exactly as the definition requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import InvalidTreeError
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+
+
+class TreeTuple:
+    """An immutable tree tuple: ``Path -> node id | string`` (sparse)."""
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[Path, str]) -> None:
+        self._values: dict[Path, str] = dict(values)
+        self._hash: int | None = None
+
+    # -- accessors ---------------------------------------------------------
+
+    def get(self, path: Path) -> str | None:
+        """``t.p`` — ``None`` encodes the null ``⊥``."""
+        return self._values.get(path)
+
+    def __getitem__(self, path: Path) -> str | None:
+        return self._values.get(path)
+
+    @property
+    def paths(self) -> frozenset[Path]:
+        """The non-null domain (finite by Definition 4)."""
+        return frozenset(self._values)
+
+    def items(self) -> Iterator[tuple[Path, str]]:
+        return iter(self._values.items())
+
+    def non_null(self, paths: Iterable[Path]) -> bool:
+        """``t.S ≠ ⊥``: every listed path is non-null."""
+        return all(path in self._values for path in paths)
+
+    def agrees_with(self, other: "TreeTuple",
+                    paths: Iterable[Path]) -> bool:
+        """``t.S = t'.S`` (null-tolerant: ⊥ = ⊥ counts as agreement)."""
+        return all(self.get(path) == other.get(path) for path in paths)
+
+    def project(self, paths: Iterable[Path]) -> tuple[str | None, ...]:
+        """The value vector on ``paths`` (in the given order)."""
+        return tuple(self.get(path) for path in paths)
+
+    # -- ordering (Section 3, ⊑) --------------------------------------------
+
+    def subsumed_by(self, other: "TreeTuple") -> bool:
+        """``t1 ⊑ t2``: wherever ``t1`` is non-null, ``t2`` agrees."""
+        return all(other.get(path) == value
+                   for path, value in self._values.items())
+
+    def strictly_subsumed_by(self, other: "TreeTuple") -> bool:
+        """``t1 ⊏ t2``."""
+        return self.subsumed_by(other) and self != other
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeTuple):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._values.items()))
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(
+            f"{path}={value!r}"
+            for path, value in sorted(self._values.items(),
+                                      key=lambda item: str(item[0])))
+        return f"TreeTuple({entries})"
+
+
+def validate_tuple(tuple_: TreeTuple, dtd: DTD) -> None:
+    """Check the Definition 4 conditions of a tuple against a DTD.
+
+    Raises :class:`InvalidTreeError` on the first violation.
+    """
+    values = dict(tuple_.items())
+    root_path = Path.root(dtd.root)
+    if root_path not in values:
+        raise InvalidTreeError("t(r) must be non-null (Definition 4)")
+    seen_nodes: dict[str, Path] = {}
+    for path, value in values.items():
+        if not dtd.is_path(path):
+            raise InvalidTreeError(f"{path} is not a path of the DTD")
+        if path.is_element:
+            previous = seen_nodes.get(value)
+            if previous is not None and previous != path:
+                raise InvalidTreeError(
+                    f"node id {value!r} used for both {previous} and "
+                    f"{path} (Definition 4 requires injectivity)")
+            seen_nodes[value] = path
+        # Null closure: every prefix of a non-null path must be non-null.
+        for prefix in path.prefixes(proper=True):
+            if prefix not in values:
+                raise InvalidTreeError(
+                    f"{path} is non-null but its prefix {prefix} is null")

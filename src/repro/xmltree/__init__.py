@@ -1,0 +1,36 @@
+"""XML trees — Definition 2 of the paper.
+
+An XML tree is ``T = (V, lab, ele, att, root)``: a finite rooted tree
+of element nodes where each node carries a label, a list of children
+(either element nodes or one string — no mixed content), and a partial
+attribute assignment.
+
+This package provides the model, a from-scratch XML parser and
+serializer, conformance ``T |= D`` and compatibility ``T < D``
+(Definition 3), ``paths(T)``, and the unordered subsumption /
+equivalence relations of Section 3.
+"""
+
+from repro.xmltree.model import XMLTree, elem
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize_xml
+from repro.xmltree.conformance import (
+    conforms,
+    conforms_unordered,
+    is_compatible,
+    tree_paths,
+    validate_conformance,
+)
+from repro.xmltree.subsumption import (
+    canonical_key,
+    equivalent,
+    isomorphic_unordered,
+    subsumed_by,
+)
+
+__all__ = [
+    "XMLTree", "elem", "parse_xml", "serialize_xml",
+    "conforms", "conforms_unordered", "is_compatible", "tree_paths",
+    "validate_conformance",
+    "subsumed_by", "equivalent", "canonical_key", "isomorphic_unordered",
+]

@@ -1,0 +1,128 @@
+"""Conformance and compatibility of trees with DTDs (Definition 3).
+
+* ``conforms(T, D)`` — ``T |= D``: labels are element types of ``D``,
+  each node's child word is in the language of its production (ordered),
+  text appears exactly where ``P(tau) = S``, attributes are exactly
+  ``R(lab(v))``, and the root is labelled ``r``.
+* ``conforms_unordered(T, D)`` — ``[T] |= D``: some member of the
+  unordered equivalence class conforms, i.e. each node's child
+  *multiset* matches its production up to permutation (Section 3).
+* ``is_compatible(T, D)`` — ``T < D``: ``paths(T) ⊆ paths(D)``.
+* ``tree_paths(T)`` — ``paths(T)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConformanceError
+from repro.dtd.model import DTD
+from repro.dtd.paths import TEXT_STEP, Path
+from repro.regex.ast import PCData
+from repro.regex.matching import matches, matches_multiset
+from repro.xmltree.model import XMLTree
+
+
+def conformance_violations(tree: XMLTree, dtd: DTD, *,
+                           ordered: bool = True,
+                           limit: int | None = None) -> list[str]:
+    """Human-readable list of Definition 3 violations (empty if none)."""
+    violations: list[str] = []
+
+    def report(message: str) -> bool:
+        violations.append(message)
+        return limit is not None and len(violations) >= limit
+
+    assert tree.root is not None
+    if tree.label(tree.root) != dtd.root:
+        if report(f"root is <{tree.label(tree.root)}>, expected "
+                  f"<{dtd.root}>"):
+            return violations
+    for node in tree.iter_nodes():
+        label = tree.label(node)
+        if label not in dtd.element_types:
+            if report(f"node {node}: undeclared element type <{label}>"):
+                return violations
+            continue
+        production = dtd.content(label)
+        text = tree.text(node)
+        children = tree.children(node)
+        if isinstance(production, PCData):
+            if text is None:
+                if report(f"node {node} <{label}>: expected text content "
+                          "(#PCDATA)"):
+                    return violations
+        else:
+            if text is not None:
+                if report(f"node {node} <{label}>: unexpected text content"):
+                    return violations
+            else:
+                word = [tree.label(child) for child in children]
+                ok = (matches(production, word) if ordered
+                      else matches_multiset(production, word))
+                if not ok:
+                    if report(
+                        f"node {node} <{label}>: children "
+                        f"({', '.join(word) or 'none'}) do not match "
+                            f"{production.to_dtd()}"):
+                        return violations
+        expected_attrs = dtd.attrs(label)
+        actual_attrs = frozenset(tree.attrs_of(node))
+        missing = expected_attrs - actual_attrs
+        extra = actual_attrs - expected_attrs
+        if missing:
+            if report(f"node {node} <{label}>: missing attributes "
+                      f"{sorted(missing)}"):
+                return violations
+        if extra:
+            if report(f"node {node} <{label}>: undeclared attributes "
+                      f"{sorted(extra)}"):
+                return violations
+    return violations
+
+
+def conforms(tree: XMLTree, dtd: DTD) -> bool:
+    """``T |= D`` with ordered child words (Definition 3)."""
+    return not conformance_violations(tree, dtd, ordered=True, limit=1)
+
+
+def conforms_unordered(tree: XMLTree, dtd: DTD) -> bool:
+    """``[T] |= D``: some reordering of each node's children conforms."""
+    return not conformance_violations(tree, dtd, ordered=False, limit=1)
+
+
+def validate_conformance(tree: XMLTree, dtd: DTD, *,
+                         ordered: bool = True) -> None:
+    """Raise :class:`ConformanceError` with all violations if ``T`` does
+    not conform."""
+    violations = conformance_violations(tree, dtd, ordered=ordered)
+    if violations:
+        raise ConformanceError(
+            "tree does not conform to the DTD:\n  " +
+            "\n  ".join(violations))
+
+
+def tree_paths(tree: XMLTree) -> frozenset[Path]:
+    """``paths(T)``: all root-to-somewhere label paths, including
+    attribute and text (``S``) extensions."""
+    assert tree.root is not None
+    paths: set[Path] = set()
+
+    def visit(node: str, path: Path) -> None:
+        paths.add(path)
+        for name in tree.attrs_of(node):
+            paths.add(path.child(name))
+        if tree.text(node) is not None:
+            paths.add(path.child(TEXT_STEP))
+        for child in tree.children(node):
+            visit(child, path.child(tree.label(child)))
+
+    visit(tree.root, Path.root(tree.label(tree.root)))
+    return frozenset(paths)
+
+
+def is_compatible(tree: XMLTree, dtd: DTD) -> bool:
+    """``T < D``: every path of the tree is a path of the DTD.
+
+    Works for recursive DTDs too (path membership is checked
+    step-by-step rather than via enumeration of ``paths(D)``).
+    """
+    return all(dtd.is_path(path) for path in tree_paths(tree))

@@ -1,0 +1,249 @@
+"""The XML tree model ``T = (V, lab, ele, att, root)`` (Definition 2).
+
+* ``V`` — node identifiers (opaque strings here),
+* ``lab`` — node labels (element names),
+* ``ele`` — per node, either a list of child node ids or one string
+  (text content); mixed content is excluded, as in the paper,
+* ``att`` — partial function ``(node, @attr) -> string``,
+* ``root`` — the root node.
+
+Trees are built either through the :func:`elem` nested-literal helper,
+the parser, or node-at-a-time via :meth:`XMLTree.add_node`.  After
+construction call :meth:`XMLTree.freeze` (done automatically by the
+public constructors) to validate tree-ness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import InvalidTreeError
+
+
+@dataclass
+class _Nested:
+    """Intermediate value of the :func:`elem` literal syntax."""
+
+    label: str
+    attrs: dict[str, str]
+    children: list["_Nested"]
+    text: str | None
+
+
+def elem(label: str, attrs: Mapping[str, str] | None = None,
+         children: Iterable[_Nested] | None = None,
+         text: str | None = None) -> _Nested:
+    """Nested literal for building documents in code::
+
+        doc = XMLTree.from_nested(
+            elem("courses", children=[
+                elem("course", {"cno": "csc200"}, [
+                    elem("title", text="Automata Theory"),
+                ]),
+            ]))
+
+    Attribute names may be given with or without the leading ``@``.
+    """
+    children = list(children or [])
+    if text is not None and children:
+        raise InvalidTreeError(
+            f"element {label!r} cannot have both text and child elements "
+            "(no mixed content, Definition 2)")
+    normalized_attrs = {
+        (name if name.startswith("@") else "@" + name): value
+        for name, value in (attrs or {}).items()
+    }
+    return _Nested(label, normalized_attrs, children, text)
+
+
+class XMLTree:
+    """An XML tree per Definition 2."""
+
+    def __init__(self) -> None:
+        self.labels: dict[str, str] = {}
+        #: node -> list of child ids, or a single string (text content)
+        self.content: dict[str, list[str] | str] = {}
+        self.attributes: dict[tuple[str, str], str] = {}
+        self.root: str | None = None
+        self._parents: dict[str, str] | None = None
+        self._counter = 0
+
+    # -- construction ------------------------------------------------------
+
+    def new_node_id(self, hint: str = "v") -> str:
+        """A node id unused in this tree."""
+        while True:
+            candidate = f"{hint}{self._counter}"
+            self._counter += 1
+            if candidate not in self.labels:
+                return candidate
+
+    def add_node(self, label: str, *, node_id: str | None = None,
+                 parent: str | None = None,
+                 attrs: Mapping[str, str] | None = None,
+                 text: str | None = None) -> str:
+        """Add a node; the first node added becomes the root."""
+        node = node_id if node_id is not None else self.new_node_id()
+        if node in self.labels:
+            raise InvalidTreeError(f"duplicate node id {node!r}")
+        self.labels[node] = label
+        self.content[node] = text if text is not None else []
+        for name, value in (attrs or {}).items():
+            if not name.startswith("@"):
+                name = "@" + name
+            self.attributes[(node, name)] = value
+        if parent is None:
+            if self.root is not None:
+                raise InvalidTreeError(
+                    "tree already has a root; pass parent= for other nodes")
+            self.root = node
+        else:
+            siblings = self.content.get(parent)
+            if not isinstance(siblings, list):
+                raise InvalidTreeError(
+                    f"cannot attach children to text node {parent!r}")
+            siblings.append(node)
+        self._parents = None
+        return node
+
+    def set_text(self, node: str, text: str) -> None:
+        """Make ``node`` a text-content node."""
+        current = self.content.get(node)
+        if isinstance(current, list) and current:
+            raise InvalidTreeError(
+                f"node {node!r} already has element children")
+        self.content[node] = text
+        self._parents = None
+
+    @classmethod
+    def from_nested(cls, nested: _Nested, *,
+                    id_prefix: str = "v") -> "XMLTree":
+        """Build a tree from :func:`elem` literals."""
+        tree = cls()
+
+        def build(item: _Nested, parent: str | None) -> None:
+            node = tree.add_node(
+                item.label,
+                node_id=tree.new_node_id(id_prefix),
+                parent=parent,
+                attrs=item.attrs,
+                text=item.text,
+            )
+            for child in item.children:
+                build(child, node)
+
+        build(nested, None)
+        return tree.freeze()
+
+    def freeze(self) -> "XMLTree":
+        """Validate Definition 2 invariants; returns self."""
+        if self.root is None:
+            raise InvalidTreeError("tree has no root")
+        seen: set[str] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                raise InvalidTreeError(
+                    f"node {node!r} has two parents (not a tree)")
+            seen.add(node)
+            body = self.content.get(node)
+            if body is None:
+                raise InvalidTreeError(f"node {node!r} has no content entry")
+            if isinstance(body, list):
+                stack.extend(body)
+        unreachable = set(self.labels) - seen
+        if unreachable:
+            raise InvalidTreeError(
+                f"nodes unreachable from the root: {sorted(unreachable)}")
+        for (node, attr), _value in self.attributes.items():
+            if node not in self.labels:
+                raise InvalidTreeError(
+                    f"attribute {attr!r} on unknown node {node!r}")
+        return self
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """``V``: the node identifiers."""
+        return frozenset(self.labels)
+
+    def label(self, node: str) -> str:
+        """``lab(node)``."""
+        return self.labels[node]
+
+    def children(self, node: str) -> list[str]:
+        """Element children of a node (empty for text nodes)."""
+        body = self.content[node]
+        return list(body) if isinstance(body, list) else []
+
+    def text(self, node: str) -> str | None:
+        """Text content if ``ele(node)`` is a string, else ``None``."""
+        body = self.content[node]
+        return body if isinstance(body, str) else None
+
+    def attr(self, node: str, name: str) -> str | None:
+        """``att(node, @name)``; ``name`` may omit the ``@``."""
+        if not name.startswith("@"):
+            name = "@" + name
+        return self.attributes.get((node, name))
+
+    def attrs_of(self, node: str) -> dict[str, str]:
+        """All attributes defined on a node."""
+        return {name: value for (owner, name), value
+                in self.attributes.items() if owner == node}
+
+    def parent(self, node: str) -> str | None:
+        """The unique parent, or ``None`` for the root."""
+        if self._parents is None:
+            parents: dict[str, str] = {}
+            for owner, body in self.content.items():
+                if isinstance(body, list):
+                    for child in body:
+                        parents[child] = owner
+            self._parents = parents
+        return self._parents.get(node)
+
+    def iter_nodes(self) -> Iterator[str]:
+        """Document-order (pre-order) traversal of node ids."""
+        assert self.root is not None
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            body = self.content[node]
+            if isinstance(body, list):
+                stack.extend(reversed(body))
+
+    def children_with_label(self, node: str, label: str) -> list[str]:
+        """Element children carrying the given label."""
+        return [child for child in self.children(node)
+                if self.labels[child] == label]
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self.labels)
+
+    # -- transformation helpers ---------------------------------------------
+
+    def copy(self) -> "XMLTree":
+        """Deep copy (fresh dicts, same node ids)."""
+        duplicate = XMLTree()
+        duplicate.labels = dict(self.labels)
+        duplicate.content = {
+            node: (list(body) if isinstance(body, list) else body)
+            for node, body in self.content.items()
+        }
+        duplicate.attributes = dict(self.attributes)
+        duplicate.root = self.root
+        duplicate._counter = self._counter
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"XMLTree(root={self.root!r}, nodes={len(self.labels)})")
+
+    def __str__(self) -> str:
+        from repro.xmltree.serializer import serialize_xml
+        return serialize_xml(self)

@@ -1,0 +1,172 @@
+"""A from-scratch XML parser for the fragment of Definition 2.
+
+Supports start/end/empty tags with double- or single-quoted attributes,
+character data, comments, processing instructions / XML declarations,
+an optional internal ``<!DOCTYPE ...>`` (skipped), and the five
+predefined entities.  Mixed content is rejected (whitespace-only runs
+between elements are ignored), matching the paper's tree model.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.model import XMLTree
+
+_NAME = r"[A-Za-z_:][A-Za-z0-9_.:-]*"
+_ATTR_RE = re.compile(
+    rf"({_NAME})\s*=\s*(\"([^\"]*)\"|'([^']*)')")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+_ENTITY_RE = re.compile(r"&(#x?[0-9A-Fa-f]+|[A-Za-z]+);")
+
+
+def _unescape(text: str) -> str:
+    def replace(match: re.Match[str]) -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        if body in _ENTITIES:
+            return _ENTITIES[body]
+        raise XMLSyntaxError(f"unknown entity &{body};")
+
+    return _ENTITY_RE.sub(replace, text)
+
+
+def parse_xml(text: str, *, id_prefix: str = "v") -> XMLTree:
+    """Parse an XML document into an :class:`XMLTree`.
+
+    Node ids are assigned in document order (``v0``, ``v1``, ...).
+    """
+    tree = XMLTree()
+    stack: list[str] = []           # open element node ids
+    pending_text: list[tuple[str, str]] = []  # (owner node, text)
+    index = 0
+    length = len(text)
+
+    def fail(message: str) -> XMLSyntaxError:
+        line = text.count("\n", 0, index) + 1
+        return XMLSyntaxError(message, line=line)
+
+    def flush_text(run: str) -> None:
+        if not stack:
+            if run.strip():
+                raise fail("character data outside the root element")
+            return
+        if not run.strip():
+            return
+        owner = stack[-1]
+        if tree.children(owner):
+            raise fail(
+                f"mixed content under <{tree.label(owner)}> is not "
+                "supported (Definition 2)")
+        pending_text.append((owner, _unescape(run)))
+
+    while index < length:
+        open_pos = text.find("<", index)
+        if open_pos == -1:
+            flush_text(text[index:])
+            break
+        if open_pos > index:
+            flush_text(text[index:open_pos])
+        index = open_pos
+        if text.startswith("<!--", index):
+            end = text.find("-->", index)
+            if end == -1:
+                raise fail("unterminated comment")
+            index = end + 3
+            continue
+        if text.startswith("<?", index):
+            end = text.find("?>", index)
+            if end == -1:
+                raise fail("unterminated processing instruction")
+            index = end + 2
+            continue
+        if text.startswith("<!DOCTYPE", index):
+            index = _skip_doctype(text, index, fail)
+            continue
+        if text.startswith("</", index):
+            end = text.find(">", index)
+            if end == -1:
+                raise fail("unterminated end tag")
+            name = text[index + 2:end].strip()
+            if not stack:
+                raise fail(f"unmatched end tag </{name}>")
+            node = stack.pop()
+            if tree.label(node) != name:
+                raise fail(
+                    f"end tag </{name}> does not match <{tree.label(node)}>")
+            index = end + 1
+            continue
+        end = text.find(">", index)
+        if end == -1:
+            raise fail("unterminated start tag")
+        body = text[index + 1:end]
+        self_closing = body.endswith("/")
+        if self_closing:
+            body = body[:-1]
+        name_match = re.match(_NAME, body)
+        if name_match is None:
+            raise fail(f"invalid tag {body[:30]!r}")
+        name = name_match.group()
+        attrs: dict[str, str] = {}
+        rest = body[name_match.end():]
+        position = 0
+        for attr_match in _ATTR_RE.finditer(rest):
+            between = rest[position:attr_match.start()]
+            if between.strip():
+                raise fail(f"malformed attributes in <{name}>")
+            value = attr_match.group(3)
+            if value is None:
+                value = attr_match.group(4)
+            attr_name = "@" + attr_match.group(1)
+            if attr_name in attrs:
+                raise fail(f"duplicate attribute {attr_match.group(1)!r} "
+                           f"in <{name}>")
+            attrs[attr_name] = _unescape(value)
+            position = attr_match.end()
+        if rest[position:].strip():
+            raise fail(f"malformed attributes in <{name}>")
+        parent = stack[-1] if stack else None
+        if parent is None and tree.root is not None:
+            raise fail("multiple root elements")
+        if parent is not None and tree.text(parent) is not None:
+            raise fail(
+                f"mixed content under <{tree.label(parent)}> is not "
+                "supported (Definition 2)")
+        node = tree.add_node(name, node_id=tree.new_node_id(id_prefix),
+                             parent=parent, attrs=attrs)
+        if not self_closing:
+            stack.append(node)
+        index = end + 1
+
+    if stack:
+        raise XMLSyntaxError(
+            f"unclosed element <{tree.label(stack[-1])}>")
+    if tree.root is None:
+        raise XMLSyntaxError("document has no root element")
+    for owner, run in pending_text:
+        tree.set_text(owner, run)
+    return tree.freeze()
+
+
+def _skip_doctype(text: str, index: int, fail) -> int:
+    depth = 0
+    position = index
+    while position < len(text):
+        char = text[position]
+        if char == "<":
+            depth += 1
+        elif char == ">":
+            depth -= 1
+            if depth == 0:
+                return position + 1
+        elif char == "[":
+            end = text.find("]", position)
+            if end == -1:
+                raise fail("unterminated DOCTYPE internal subset")
+            position = end
+        position += 1
+    raise fail("unterminated DOCTYPE")

@@ -1,0 +1,54 @@
+"""Serialization of XML trees back to document text."""
+
+from __future__ import annotations
+
+from repro.xmltree.model import XMLTree
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _ESCAPES + [('"', "&quot;")]
+
+
+def _escape(text: str, table: list[tuple[str, str]]) -> str:
+    for char, replacement in table:
+        text = text.replace(char, replacement)
+    return text
+
+
+def serialize_xml(tree: XMLTree, *, indent: int = 2,
+                  sort_children: bool = False) -> str:
+    """Render a tree as an XML document.
+
+    ``sort_children`` emits children ordered by their canonical key,
+    producing identical text for unordered-equivalent trees (useful in
+    golden tests).
+    """
+    assert tree.root is not None
+    lines: list[str] = []
+
+    def render(node: str, depth: int) -> None:
+        pad = " " * (indent * depth)
+        label = tree.label(node)
+        attrs = "".join(
+            f' {name[1:]}="{_escape(value, _ATTR_ESCAPES)}"'
+            for name, value in sorted(tree.attrs_of(node).items()))
+        text = tree.text(node)
+        children = tree.children(node)
+        if text is not None:
+            lines.append(
+                f"{pad}<{label}{attrs}>{_escape(text, _ESCAPES)}</{label}>")
+            return
+        if not children:
+            lines.append(f"{pad}<{label}{attrs}/>")
+            return
+        if sort_children:
+            from repro.xmltree.subsumption import canonical_key
+            children = sorted(
+                children,
+                key=lambda child: repr(canonical_key(tree, child)))
+        lines.append(f"{pad}<{label}{attrs}>")
+        for child in children:
+            render(child, depth + 1)
+        lines.append(f"{pad}</{label}>")
+
+    render(tree.root, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,108 @@
+"""Unordered subsumption and equivalence of XML trees (Section 3).
+
+``T1 <= T2`` (*subsumption*) holds when ``V1 ⊆ V2``, the roots agree,
+labels and attributes agree on ``V1``, and each node's child list in
+``T1`` is a sublist of a permutation of its child list in ``T2``.
+
+``T1 ≡ T2`` iff each subsumes the other: the trees are equal as
+*unordered* trees (same node ids).  :func:`canonical_key` produces a
+node-id-independent canonical form, giving the coarser relation
+:func:`isomorphic_unordered` used to compare freshly built trees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import cmp_to_key
+
+from repro.xmltree.model import XMLTree
+
+#: Canonical, hashable, order-insensitive form of a subtree:
+#: (label, sorted attrs, text, sorted child keys).
+CanonicalKey = tuple
+
+
+def canonical_key(tree: XMLTree, node: str | None = None) -> CanonicalKey:
+    """Canonical form of the subtree rooted at ``node`` (default root).
+
+    Two trees have equal canonical keys iff they are equal up to child
+    reordering **and** renaming of node identifiers.
+    """
+    if node is None:
+        assert tree.root is not None
+        node = tree.root
+    attrs = tuple(sorted(tree.attrs_of(node).items()))
+    text = tree.text(node)
+    # Child keys may mix None (no text) and strings in the same slot,
+    # which Python cannot order — sort on repr, a total order.
+    children = tuple(sorted(
+        (canonical_key(tree, child) for child in tree.children(node)),
+        key=repr))
+    return (tree.label(node), attrs, text, children)
+
+
+def isomorphic_unordered(tree1: XMLTree, tree2: XMLTree) -> bool:
+    """Equality up to child order and node renaming."""
+    return canonical_key(tree1) == canonical_key(tree2)
+
+
+def subsumed_by(tree1: XMLTree, tree2: XMLTree) -> bool:
+    """``T1 <= T2`` per Section 3 (same node-id space)."""
+    if tree1.root != tree2.root:
+        return False
+    nodes1 = tree1.nodes
+    if not nodes1 <= tree2.nodes:
+        return False
+    for node in nodes1:
+        if tree1.label(node) != tree2.label(node):
+            return False
+        if tree1.attrs_of(node) != tree2.attrs_of(node):
+            return False
+        text1 = tree1.text(node)
+        text2 = tree2.text(node)
+        children1 = Counter(tree1.children(node))
+        children2 = Counter(tree2.children(node))
+        if text1 is not None:
+            # A text child is a one-element "list"; sublist of a
+            # permutation requires the same text in tree2.
+            if text2 != text1:
+                return False
+        else:
+            if text2 is not None and children1:
+                return False
+            if children1 - children2:
+                return False
+    return True
+
+
+def equivalent(tree1: XMLTree, tree2: XMLTree) -> bool:
+    """``T1 ≡ T2``: equal as unordered trees (same node ids)."""
+    return subsumed_by(tree1, tree2) and subsumed_by(tree2, tree1)
+
+
+def strictly_subsumed_by(tree1: XMLTree, tree2: XMLTree) -> bool:
+    """``T1 < T2``: subsumed but not equivalent."""
+    return subsumed_by(tree1, tree2) and not subsumed_by(tree2, tree1)
+
+
+def sort_children_canonically(tree: XMLTree) -> XMLTree:
+    """A copy whose child lists are sorted by canonical key — a
+    canonical representative of the ≡-class ``[T]``."""
+    result = tree.copy()
+    keys: dict[str, CanonicalKey] = {}
+
+    def key_of(node: str) -> CanonicalKey:
+        if node not in keys:
+            attrs = tuple(sorted(result.attrs_of(node).items()))
+            text = result.text(node)
+            children = tuple(sorted(
+                (key_of(c) for c in result.children(node)), key=repr))
+            keys[node] = (result.label(node), attrs, text, children)
+        return keys[node]
+
+    for node in list(result.content):
+        body = result.content[node]
+        if isinstance(body, list):
+            result.content[node] = sorted(
+                body, key=lambda c: repr(key_of(c)))
+    return result

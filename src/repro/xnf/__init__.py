@@ -1,0 +1,23 @@
+"""XNF — the XML normal form (Section 5, Definition 8).
+
+``(D, Σ)`` is in XNF iff every non-trivial implied FD of the form
+``S -> p.@l`` or ``S -> p.S`` comes with ``S -> p`` implied as well:
+whenever a set of values determines an attribute or text value, it must
+determine the *node* carrying it, so the value is stored once.
+
+The executable test uses Proposition 10: for relational DTDs — a class
+containing all disjunctive (hence all simple) DTDs — it suffices to
+inspect the FDs of Σ itself rather than the full closure ``(D, Σ)+``.
+"""
+
+from repro.xnf.check import is_in_xnf, xnf_violations
+from repro.xnf.anomalous import (
+    anomalous_paths,
+    anomalous_sigma_fds,
+    is_anomalous,
+)
+
+__all__ = [
+    "is_in_xnf", "xnf_violations",
+    "is_anomalous", "anomalous_sigma_fds", "anomalous_paths",
+]

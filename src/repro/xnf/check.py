@@ -1,0 +1,31 @@
+"""The XNF test (Definition 8, via Proposition 10 / Corollary 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dtd.model import DTD
+from repro.fd.implication import EngineName, ImplicationEngine
+from repro.fd.model import FD
+from repro.xnf.anomalous import anomalous_sigma_fds
+
+
+def xnf_violations(dtd: DTD, sigma: Iterable[FD], *,
+                   engine: EngineName = "auto") -> list[FD]:
+    """The Σ-FDs witnessing that ``(D, Σ)`` is not in XNF.
+
+    Each returned FD is a single-RHS ``S -> p.@l`` / ``S -> p.S`` that
+    is non-trivial and implied while ``S -> p`` is not — an *anomalous*
+    FD.  By Proposition 10 the list is empty iff ``(D, Σ)`` is in XNF
+    whenever the DTD is relational (in particular disjunctive or
+    simple).  For simple DTDs this runs in cubic time (Corollary 1):
+    |Σ| implication queries, each quadratic.
+    """
+    oracle = ImplicationEngine(dtd, sigma, engine=engine)
+    return anomalous_sigma_fds(oracle)
+
+
+def is_in_xnf(dtd: DTD, sigma: Iterable[FD], *,
+              engine: EngineName = "auto") -> bool:
+    """Whether ``(D, Σ)`` is in XML Normal Form."""
+    return not xnf_violations(dtd, sigma, engine=engine)

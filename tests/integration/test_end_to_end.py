@@ -1,0 +1,120 @@
+"""End-to-end integration: full pipelines over mixed workloads."""
+
+import random
+
+import pytest
+
+from repro.datasets.generators import (
+    random_document,
+    random_simple_dtd,
+    scaled_university_spec,
+)
+from repro.fd.satisfaction import satisfies_all
+from repro.lossless.check import check_normalization_lossless
+from repro.spec import XMLSpec
+from repro.xmltree.conformance import conforms
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize_xml
+from repro.xnf.check import is_in_xnf
+
+
+class TestScaledPipeline:
+    def test_k3_pipeline(self):
+        spec = scaled_university_spec(3)
+        assert not spec.is_in_xnf()
+        result = spec.normalize()
+        assert len(result.steps) == 3
+        assert is_in_xnf(result.dtd, result.sigma)
+        # every new info group hangs off the root
+        assert sum(
+            1 for t in result.dtd.child_element_types("uni")
+        ) >= 3 + 3  # original courses + new groups
+
+
+class TestSerializationStability:
+    def test_dtd_round_trip_through_cli_format(self):
+        from repro.dtd.parser import parse_dtd
+        from repro.dtd.serializer import serialize_dtd
+        spec = scaled_university_spec(2)
+        result = spec.normalize()
+        text = serialize_dtd(result.dtd)
+        reparsed = parse_dtd(text, root=result.dtd.root)
+        assert reparsed == result.dtd
+
+    def test_migrated_document_round_trips_as_xml(self):
+        from repro.datasets.university import (
+            university_document, university_spec)
+        spec = university_spec()
+        result = spec.normalize()
+        migrated = result.migrate(university_document())
+        text = serialize_xml(migrated)
+        reparsed = parse_xml(text)
+        assert conforms(reparsed, result.dtd)
+        assert satisfies_all(reparsed, result.dtd, result.sigma)
+
+
+class TestMixedAnomalySchema:
+    """A schema exhibiting both paper anomalies plus a clean part."""
+
+    DTD = """
+    <!ELEMENT store (dept*, customer*)>
+    <!ELEMENT dept (product*)>
+    <!ATTLIST dept dno CDATA #REQUIRED floor CDATA #REQUIRED>
+    <!ELEMENT product EMPTY>
+    <!ATTLIST product sku CDATA #REQUIRED
+                      vendor CDATA #REQUIRED
+                      vendor_city CDATA #REQUIRED>
+    <!ELEMENT customer EMPTY>
+    <!ATTLIST customer cid CDATA #REQUIRED>
+    """
+
+    FDS = """
+    store.dept.@dno -> store.dept
+    store.customer.@cid -> store.customer
+    # vendor determines its city (university-style anomaly)
+    store.dept.product.@vendor -> store.dept.product.@vendor_city
+    # all products of a dept share ... nothing; keep floor on dept (clean)
+    """
+
+    def test_full_pipeline(self):
+        spec = XMLSpec.parse(self.DTD, self.FDS)
+        assert not spec.is_in_xnf()
+        result = spec.normalize()
+        assert is_in_xnf(result.dtd, result.sigma)
+        doc = spec.parse_document("""
+        <store>
+          <dept dno="d1" floor="2">
+            <product sku="s1" vendor="acme" vendor_city="nyc"/>
+            <product sku="s2" vendor="acme" vendor_city="nyc"/>
+          </dept>
+          <dept dno="d2" floor="3">
+            <product sku="s3" vendor="bolt" vendor_city="sfo"/>
+          </dept>
+          <customer cid="c1"/>
+        </store>
+        """)
+        assert spec.document_satisfies(doc)
+        migrated = result.migrate(doc)
+        assert conforms(migrated, result.dtd)
+        assert satisfies_all(migrated, result.dtd, result.sigma)
+        assert check_normalization_lossless(result, spec.dtd, doc)
+        # vendor_city now stored once per vendor
+        cities = [v for (n, a), v in migrated.attributes.items()
+                  if a == "@vendor_city"]
+        assert sorted(cities) == ["nyc", "sfo"]
+
+
+class TestRandomSpecPipelines:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_roundtrip(self, seed):
+        rng = random.Random(seed * 977 + 13)
+        dtd = random_simple_dtd(rng, max_depth=3, max_children=2)
+        doc = random_document(rng, dtd)
+        text = serialize_xml(doc)
+        reparsed = parse_xml(text)
+        assert conforms(reparsed, dtd)
+        from repro.tuples.build import trees_of
+        from repro.tuples.extract import tuples_of
+        from repro.xmltree.subsumption import isomorphic_unordered
+        merged = trees_of(tuples_of(reparsed, dtd), dtd)
+        assert isomorphic_unordered(merged, reparsed)

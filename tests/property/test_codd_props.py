@@ -1,0 +1,84 @@
+"""Property tests for the Codd-table algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.codd import CoddTable
+
+_ATTRS = ("A", "B", "C")
+
+_value = st.one_of(st.none(), st.sampled_from(("0", "1", "2")))
+_row = st.fixed_dictionaries({a: _value for a in _ATTRS})
+_rows = st.lists(_row, max_size=6)
+
+
+def _table(rows) -> CoddTable:
+    return CoddTable(_ATTRS, rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_projection_never_grows(rows):
+    table = _table(rows)
+    assert len(table.project(["A", "B"])) <= len(table)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_projection_composes(rows):
+    table = _table(rows)
+    once = table.project(["A", "B"]).project(["A"])
+    direct = table.project(["A"])
+    assert once == direct
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows, _rows)
+def test_union_commutes(first, second):
+    assert _table(first).union(_table(second)) == \
+        _table(second).union(_table(first))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows, _rows)
+def test_difference_then_union_recovers_subset(first, second):
+    left = _table(first)
+    right = _table(second)
+    recovered = left.difference(right).union(right)
+    for row in left.rows:
+        assert row in recovered.union(left).rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_join_with_projection_is_contained(rows):
+    """π_AB(t) ⋈ π_BC(t) ⊇ the non-null-B rows of t (lossless-join
+    direction of the classical decomposition, under Codd semantics)."""
+    table = _table(rows)
+    joined = table.project(["A", "B"]).natural_join(
+        table.project(["B", "C"]))
+    for row in table.rows:
+        if row["B"] is not None:
+            assert row in joined.rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_fd_satisfaction_antitone_in_rows(rows):
+    """Removing rows never breaks an FD."""
+    table = _table(rows)
+    if table.satisfies_fd(["A"], ["B"]):
+        smaller = _table(rows[: len(rows) // 2])
+        subset = CoddTable(_ATTRS, [
+            row for row in smaller.rows if row in table.rows])
+        assert subset.satisfies_fd(["A"], ["B"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_rename_round_trip(rows):
+    table = _table(rows)
+    there = table.rename({"A": "X"})
+    back = there.rename({"X": "A"})
+    assert back == table

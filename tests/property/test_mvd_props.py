@@ -1,0 +1,36 @@
+"""Property tests for the MVD extension.
+
+The defining structural fact: tree-induced MVDs hold on *every*
+conforming document — the per-label child choices below a node are
+independent in ``tuples_D`` (Definition 6), so exchanging a full branch
+always lands on an existing maximal tuple.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.generators import random_document, random_simple_dtd
+from repro.mvd.induced import is_induced, tree_induced_mvds
+from repro.mvd.satisfaction import satisfies_mvd
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_induced_mvds_hold_on_every_document(seed):
+    rng = random.Random(seed)
+    dtd = random_simple_dtd(rng, max_depth=3, max_children=2)
+    doc = random_document(rng, dtd, max_repeat=2)
+    for mvd in tree_induced_mvds(dtd):
+        assert satisfies_mvd(doc, dtd, mvd), (str(dtd), str(mvd))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_induced_detector_accepts_its_own_mvds(seed):
+    rng = random.Random(seed)
+    dtd = random_simple_dtd(rng, max_depth=3, max_children=2)
+    for mvd in tree_induced_mvds(dtd):
+        assert is_induced(dtd, mvd), str(mvd)

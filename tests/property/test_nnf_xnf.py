@@ -1,0 +1,56 @@
+"""Property test for Proposition 5: NNF ⇔ XNF under the nested coding.
+
+Random two- or three-level nested schemas with random FDs over their
+atomic attributes; the NNF test (Armstrong closure + ancestor sets)
+must agree with the XNF test of the coded specification.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nested.nnf import is_in_nnf
+from repro.nested.schema import NestedSchema
+from repro.nested.xml_coding import nested_dtd, nested_sigma
+from repro.relational.schema import RelationalFD
+from repro.xnf.check import is_in_xnf
+
+
+def _random_schema(rng: random.Random) -> NestedSchema:
+    shape = rng.choice(["chain3", "chain2", "fork"])
+    if shape == "chain3":
+        h3 = NestedSchema("H3", ("C",))
+        h2 = NestedSchema("H2", ("B",), (h3,))
+        return NestedSchema("H1", ("A",), (h2,))
+    if shape == "chain2":
+        h2 = NestedSchema("H2", ("B", "C"))
+        return NestedSchema("H1", ("A",), (h2,))
+    left = NestedSchema("L", ("B",))
+    right = NestedSchema("R", ("C",))
+    return NestedSchema("H1", ("A",), (left, right))
+
+
+def _random_fds(rng: random.Random,
+                attributes: tuple[str, ...]) -> list[RelationalFD]:
+    fds = []
+    for _ in range(rng.randint(0, 2)):
+        lhs = frozenset(rng.sample(attributes,
+                                   rng.randint(1, len(attributes) - 1)))
+        remaining = [a for a in attributes if a not in lhs]
+        rhs = frozenset({rng.choice(remaining)})
+        fds.append(RelationalFD(lhs, rhs))
+    return fds
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_proposition5(seed):
+    rng = random.Random(seed)
+    schema = _random_schema(rng)
+    fds = _random_fds(rng, schema.all_attributes)
+    nnf = is_in_nnf(schema, fds)
+    xnf = is_in_xnf(nested_dtd(schema), nested_sigma(schema, fds))
+    assert nnf == xnf, (
+        str(schema), [str(fd) for fd in fds], nnf, xnf)

@@ -1,0 +1,104 @@
+"""Property tests for Section 3: Theorem 1 and Propositions 1-3 on
+random simple DTDs and random conforming documents."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.generators import random_document, random_simple_dtd
+from repro.tuples.build import tree_of, trees_of
+from repro.tuples.compat import is_d_compatible, set_subsumed
+from repro.tuples.extract import count_tuples, tuples_of
+from repro.tuples.model import validate_tuple
+from repro.xmltree.conformance import is_compatible
+from repro.xmltree.subsumption import equivalent, subsumed_by
+
+
+def _instance(seed: int):
+    rng = random.Random(seed)
+    dtd = random_simple_dtd(rng, max_depth=3, max_children=2)
+    doc = random_document(rng, dtd, max_repeat=2)
+    return dtd, doc
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_theorem1_roundtrip(seed):
+    """trees_D(tuples_D(T)) ≡ T for every conforming document."""
+    dtd, doc = _instance(seed)
+    tuples = tuples_of(doc, dtd)
+    assert tuples
+    merged = trees_of(tuples, dtd)
+    assert equivalent(merged, doc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_proposition1_tuple_trees_compatible(seed):
+    """tree_D(t) < D for every maximal tuple (Proposition 1)."""
+    dtd, doc = _instance(seed)
+    for tuple_ in tuples_of(doc, dtd):
+        validate_tuple(tuple_, dtd)
+        assert is_compatible(tree_of(tuple_, dtd), dtd)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_tuple_trees_subsumed_by_document(seed):
+    dtd, doc = _instance(seed)
+    for tuple_ in tuples_of(doc, dtd):
+        assert subsumed_by(tree_of(tuple_, dtd), doc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 3))
+def test_proposition3_subset_compatibility(seed, take):
+    """Subsets of tuples_D(T) are D-compatible, and
+    X ⊑' tuples_D(trees_D(X)) (Proposition 3)."""
+    dtd, doc = _instance(seed)
+    tuples = tuples_of(doc, dtd)
+    subset = tuples[:take]
+    assert is_d_compatible(subset, dtd)
+    merged = trees_of(subset, dtd)
+    assert set_subsumed(subset, tuples_of(merged, dtd))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_count_matches_enumeration(seed):
+    dtd, doc = _instance(seed)
+    assert count_tuples(doc) == len(tuples_of(doc, dtd))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_monotonicity_of_tuples(seed):
+    """Proposition 2: T1 <= T2 implies tuples(T1) ⊑' tuples(T2) —
+    exercised by deleting one starred leaf child."""
+    dtd, doc = _instance(seed)
+    target = None
+    for node in doc.iter_nodes():
+        parent = doc.parent(node)
+        if parent is None:
+            continue
+        label = doc.label(node)
+        if not doc.children(node) and \
+                len(doc.children_with_label(parent, label)) > 1:
+            target = (parent, node)
+            break
+    if target is None:
+        return
+    parent, node = target
+    smaller = doc.copy()
+    siblings = smaller.content[parent]
+    assert isinstance(siblings, list)
+    smaller.content[parent] = [c for c in siblings if c != node]
+    del smaller.labels[node]
+    smaller.content.pop(node, None)
+    for key in [k for k in smaller.attributes if k[0] == node]:
+        del smaller.attributes[key]
+    smaller.freeze()
+    assert subsumed_by(smaller, doc)
+    assert set_subsumed(tuples_of(smaller, dtd), tuples_of(doc, dtd))

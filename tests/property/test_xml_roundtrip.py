@@ -1,0 +1,57 @@
+"""Property tests: the XML parser/serializer round-trips arbitrary
+trees, including hostile text/attribute content."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmltree.model import XMLTree, elem
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize_xml
+from repro.xmltree.subsumption import canonical_key, isomorphic_unordered
+
+_names = st.sampled_from(["a", "b", "c", "item", "x-y", "ns:tag"])
+_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FF,
+                           blacklist_characters="\x7f"),
+    min_size=0, max_size=12)
+_attrs = st.dictionaries(
+    st.sampled_from(["k", "v", "id"]), _text, max_size=2)
+
+
+def _nested(depth: int):
+    if depth == 0:
+        return st.builds(
+            lambda label, attrs, text: elem(
+                label, attrs, text=text if text.strip() else None),
+            _names, _attrs, _text)
+    return st.builds(
+        lambda label, attrs, children: elem(label, attrs, children),
+        _names, _attrs,
+        st.lists(_nested(depth - 1), max_size=3))
+
+
+trees = st.builds(XMLTree.from_nested, _nested(2))
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees)
+def test_serialize_parse_round_trip(tree):
+    text = serialize_xml(tree)
+    reparsed = parse_xml(text)
+    assert isomorphic_unordered(tree, reparsed), text
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees)
+def test_canonical_key_stable_across_round_trip(tree):
+    reparsed = parse_xml(serialize_xml(tree))
+    assert canonical_key(tree) == canonical_key(reparsed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trees)
+def test_sorted_serialization_idempotent(tree):
+    once = serialize_xml(tree, sort_children=True)
+    again = serialize_xml(parse_xml(once), sort_children=True)
+    assert once == again

@@ -1,0 +1,147 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.dblp import DBLP_DOCUMENT, DBLP_DTD, DBLP_FDS
+from repro.datasets.university import UNIVERSITY_DTD, UNIVERSITY_FDS
+
+
+@pytest.fixture
+def university_files(tmp_path):
+    dtd = tmp_path / "university.dtd"
+    dtd.write_text(UNIVERSITY_DTD)
+    fds = tmp_path / "university.fds"
+    fds.write_text(UNIVERSITY_FDS)
+    return str(dtd), str(fds)
+
+
+@pytest.fixture
+def dblp_files(tmp_path):
+    dtd = tmp_path / "dblp.dtd"
+    dtd.write_text(DBLP_DTD)
+    fds = tmp_path / "dblp.fds"
+    fds.write_text(DBLP_FDS)
+    xml = tmp_path / "dblp.xml"
+    xml.write_text(DBLP_DOCUMENT)
+    return str(dtd), str(fds), str(xml)
+
+
+class TestCheck:
+    def test_not_in_xnf_exit_code(self, university_files, capsys):
+        code = main(["check", *university_files])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT in XNF" in out
+        assert "anomalous" in out
+
+    def test_in_xnf(self, tmp_path, capsys):
+        dtd = tmp_path / "d.dtd"
+        dtd.write_text("<!ELEMENT db (G*)>\n<!ELEMENT G EMPTY>\n"
+                       "<!ATTLIST G A CDATA #REQUIRED>")
+        fds = tmp_path / "d.fds"
+        fds.write_text("db.G.@A -> db.G\n")
+        assert main(["check", str(dtd), str(fds)]) == 0
+        assert "is in XNF" in capsys.readouterr().out
+
+
+class TestNormalize:
+    def test_university(self, university_files, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        code = main(["normalize", *university_files, "-o", str(out_dir)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "<!ELEMENT" in captured.out
+        assert (out_dir / "normalized.dtd").exists()
+        assert (out_dir / "normalized.fds").exists()
+
+    def test_dblp_moves_attribute(self, dblp_files, capsys):
+        dtd, fds, _xml = dblp_files
+        assert main(["normalize", dtd, fds]) == 0
+        captured = capsys.readouterr()
+        assert "year" in captured.out
+
+
+class TestImplies:
+    def test_implied(self, university_files, capsys):
+        code = main(["implies", *university_files,
+                     "courses.course -> courses.course.title"])
+        assert code == 0
+        assert "implied" in capsys.readouterr().out
+
+    def test_not_implied(self, university_files, capsys):
+        code = main([
+            "implies", *university_files,
+            "courses.course.taken_by.student.@sno -> "
+            "courses.course.taken_by.student"])
+        assert code == 1
+        assert "not implied" in capsys.readouterr().out
+
+
+class TestTuples:
+    def test_table_output(self, dblp_files, capsys):
+        dtd, _fds, xml = dblp_files
+        assert main(["tuples", dtd, xml]) == 0
+        out = capsys.readouterr().out
+        assert "db.conf.issue.inproceedings.@year" in out
+        assert "2002" in out
+
+
+class TestClassify:
+    def test_simple_dtd(self, university_files, capsys):
+        dtd, _fds = university_files
+        assert main(["classify", dtd]) == 0
+        out = capsys.readouterr().out
+        assert "simple:      True" in out
+        assert "recursive:   False" in out
+
+
+class TestExplain:
+    def test_explain_positive(self, university_files, capsys):
+        code = main(["explain", *university_files,
+                     "courses.course.@cno -> courses.course.title.S"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goal reached" in out
+
+    def test_explain_negative(self, university_files, capsys):
+        code = main([
+            "explain", *university_files,
+            "courses.course.taken_by.student.@sno -> "
+            "courses.course.taken_by.student.name"])
+        assert code == 0
+        assert "not implied" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_with_document(self, university_files, tmp_path,
+                                   capsys):
+        from repro.datasets.university import UNIVERSITY_DOCUMENT
+        xml = tmp_path / "doc.xml"
+        xml.write_text(UNIVERSITY_DOCUMENT)
+        code = main(["analyze", *university_files, str(xml)])
+        assert code == 1  # not in XNF
+        out = capsys.readouterr().out
+        assert "redundant copies=1" in out
+        assert "normalization plan" in out
+
+
+class TestErrors:
+    def test_bad_dtd_reports_error(self, tmp_path, capsys):
+        dtd = tmp_path / "bad.dtd"
+        dtd.write_text("<!ELEMENT broken>")
+        fds = tmp_path / "bad.fds"
+        fds.write_text("")
+        assert main(["check", str(dtd), str(fds)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self, university_files):
+        import subprocess, sys
+        dtd, fds = university_files
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", dtd, fds],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "NOT in XNF" in proc.stdout

@@ -1,0 +1,125 @@
+"""Unit tests for Codd tables (relations with nulls)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.relational.codd import CoddTable
+
+
+@pytest.fixture
+def table():
+    return CoddTable(("A", "B", "C"), [
+        {"A": "1", "B": "x", "C": "p"},
+        {"A": "2", "B": "x", "C": None},
+        {"A": "3", "B": None, "C": "p"},
+    ])
+
+
+class TestBasics:
+    def test_rows_sorted_and_null_padded(self, table):
+        rows = table.rows
+        assert len(rows) == 3
+        assert rows[0]["C"] == "p" or rows[0]["C"] is None
+
+    def test_duplicate_rows_collapse(self):
+        table = CoddTable(("A",), [{"A": "1"}, {"A": "1"}])
+        assert len(table) == 1
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ReproError):
+            CoddTable(("A",), [{"Z": "1"}])
+
+    def test_equality_is_order_insensitive(self):
+        first = CoddTable(("A", "B"), [{"A": "1", "B": "2"}])
+        second = CoddTable(("B", "A"), [{"B": "2", "A": "1"}])
+        assert first == second
+
+
+class TestFDSatisfaction:
+    def test_satisfied(self, table):
+        assert table.satisfies_fd(["A"], ["B"])
+
+    def test_violated(self):
+        table = CoddTable(("A", "B"), [
+            {"A": "1", "B": "x"}, {"A": "1", "B": "y"}])
+        assert not table.satisfies_fd(["A"], ["B"])
+
+    def test_null_lhs_disables(self):
+        """Atzeni-Morfuni: rows with null LHS impose nothing."""
+        table = CoddTable(("A", "B"), [
+            {"A": None, "B": "x"}, {"A": None, "B": "y"}])
+        assert table.satisfies_fd(["A"], ["B"])
+
+    def test_null_rhs_must_agree(self):
+        table = CoddTable(("A", "B"), [
+            {"A": "1", "B": None}, {"A": "1", "B": "y"}])
+        assert not table.satisfies_fd(["A"], ["B"])
+
+    def test_both_null_rhs_agree(self):
+        table = CoddTable(("A", "B"), [
+            {"A": "1", "B": None}, {"A": "1", "B": None}])
+        assert table.satisfies_fd(["A"], ["B"])
+
+
+class TestAlgebra:
+    def test_project(self, table):
+        projected = table.project(["A"])
+        assert projected.attributes == ("A",)
+        assert len(projected) == 3
+
+    def test_project_unknown_rejected(self, table):
+        with pytest.raises(ReproError):
+            table.project(["Z"])
+
+    def test_select_eq_value_drops_nulls(self, table):
+        selected = table.select_eq("B", "x", value=True)
+        assert len(selected) == 2
+
+    def test_select_eq_attr(self):
+        table = CoddTable(("A", "B"), [
+            {"A": "1", "B": "1"}, {"A": "1", "B": "2"},
+            {"A": None, "B": None}])
+        selected = table.select_eq("A", "B")
+        assert len(selected) == 1  # null = null does NOT hold
+
+    def test_rename(self, table):
+        renamed = table.rename({"A": "X"})
+        assert renamed.attributes == ("X", "B", "C")
+
+    def test_natural_join_skips_nulls(self):
+        left = CoddTable(("A", "B"), [
+            {"A": "1", "B": "x"}, {"A": "2", "B": None}])
+        right = CoddTable(("B", "C"), [
+            {"B": "x", "C": "c1"}, {"B": None, "C": "c2"}])
+        joined = left.natural_join(right)
+        assert len(joined) == 1
+        assert joined.rows[0] == {"A": "1", "B": "x", "C": "c1"}
+
+    def test_union(self):
+        first = CoddTable(("A",), [{"A": "1"}])
+        second = CoddTable(("A",), [{"A": "2"}, {"A": "1"}])
+        assert len(first.union(second)) == 2
+
+    def test_union_requires_same_attributes(self):
+        with pytest.raises(ReproError):
+            CoddTable(("A",)).union(CoddTable(("B",)))
+
+    def test_difference(self):
+        first = CoddTable(("A",), [{"A": "1"}, {"A": "2"}])
+        second = CoddTable(("A",), [{"A": "2"}])
+        assert len(first.difference(second)) == 1
+
+
+class TestTuplesTable:
+    def test_tuples_table_of_document(self, uni_spec, uni_doc):
+        from repro.relational.codd import tuples_table
+        table = tuples_table(uni_spec.dtd, uni_doc)
+        assert len(table) == 4
+        assert len(table.attributes) == 12
+        # the FD3 of the paper holds on the relational representation
+        assert table.satisfies_fd(
+            ["courses.course.taken_by.student.@sno"],
+            ["courses.course.taken_by.student.name.S"])
+        assert not table.satisfies_fd(
+            ["courses.course.taken_by.student.@sno"],
+            ["courses.course.taken_by.student.name"])

@@ -1,0 +1,132 @@
+"""Unit tests for the bundled datasets and generators."""
+
+import random
+
+import pytest
+
+from repro.datasets.dblp import (
+    dblp_document,
+    dblp_spec,
+    synthetic_dblp_document,
+)
+from repro.datasets.ebxml import ebxml_dtd
+from repro.datasets.faq import faq_dtd
+from repro.datasets.generators import (
+    random_document,
+    random_fds,
+    random_simple_dtd,
+    scaled_university_spec,
+)
+from repro.datasets.nested_geo import geo_instance, geo_schema
+from repro.datasets.university import (
+    synthetic_university_document,
+    university_document,
+    university_spec,
+)
+from repro.dtd.classify import is_disjunctive_dtd, is_simple_dtd
+from repro.xmltree.conformance import conforms
+
+
+class TestUniversity:
+    def test_document_conforms_and_satisfies(self):
+        spec = university_spec()
+        doc = university_document()
+        assert conforms(doc, spec.dtd)
+        assert spec.document_satisfies(doc)
+
+    def test_synthetic_deterministic(self):
+        first = synthetic_university_document(3, 2, seed=7)
+        second = synthetic_university_document(3, 2, seed=7)
+        from repro.xmltree.subsumption import isomorphic_unordered
+        assert isomorphic_unordered(first, second)
+
+    def test_synthetic_conforms(self):
+        spec = university_spec()
+        doc = synthetic_university_document(4, 3, seed=1)
+        assert conforms(doc, spec.dtd)
+        assert spec.document_satisfies(doc)
+
+
+class TestDBLP:
+    def test_document(self):
+        spec = dblp_spec()
+        doc = dblp_document()
+        assert conforms(doc, spec.dtd)
+        assert spec.document_satisfies(doc)
+
+    def test_title_shared_across_levels(self):
+        """The paper's DTD reuses `title` under conf and inproceedings."""
+        spec = dblp_spec()
+        paths = {str(p) for p in spec.dtd.paths}
+        assert "db.conf.title" in paths
+        assert "db.conf.issue.inproceedings.title" in paths
+
+    def test_synthetic(self):
+        spec = dblp_spec()
+        doc = synthetic_dblp_document(2, 2, 3, seed=0)
+        assert conforms(doc, spec.dtd)
+        assert spec.document_satisfies(doc)
+
+
+class TestEbxml:
+    def test_figure5_is_simple(self):
+        """Figure 5 / Section 7: the BPSS fragment is a simple DTD."""
+        dtd = ebxml_dtd()
+        assert is_simple_dtd(dtd)
+
+    def test_non_trivial_size(self):
+        dtd = ebxml_dtd()
+        assert len(dtd.element_types) >= 15
+        assert len(dtd.paths) >= 30
+
+
+class TestFaq:
+    def test_recursive_and_not_simple(self):
+        dtd = faq_dtd()
+        assert dtd.is_recursive
+        assert not is_simple_dtd(dtd)
+        assert not is_disjunctive_dtd(dtd)
+
+
+class TestNestedGeo:
+    def test_instance_matches_figure3(self):
+        instance = geo_instance()
+        assert len(instance) == 1
+        assert geo_schema().all_attributes == ("Country", "State", "City")
+
+
+class TestGenerators:
+    def test_random_simple_dtds_are_simple(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            dtd = random_simple_dtd(rng)
+            assert is_simple_dtd(dtd)
+            assert not dtd.is_recursive
+
+    def test_random_documents_conform(self):
+        rng = random.Random(12)
+        for _ in range(10):
+            dtd = random_simple_dtd(rng)
+            doc = random_document(rng, dtd)
+            assert conforms(doc, dtd)
+
+    def test_random_fds_are_valid(self):
+        rng = random.Random(13)
+        dtd = random_simple_dtd(rng)
+        for fd in random_fds(rng, dtd, 5):
+            fd.validate(dtd)
+            assert len(fd.lhs_element_paths()) <= 1
+
+    def test_scaled_university(self):
+        spec = scaled_university_spec(2)
+        assert not spec.dtd.is_recursive
+        assert is_simple_dtd(spec.dtd)
+        assert len(spec.sigma) == 6
+        assert not spec.is_in_xnf()
+
+    def test_scaled_university_normalizes(self):
+        spec = scaled_university_spec(2)
+        result = spec.normalize()
+        assert len(result.steps) == 2
+        from repro.xnf.check import is_in_xnf
+        assert is_in_xnf(result.dtd, result.sigma)

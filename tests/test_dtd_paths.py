@@ -1,0 +1,136 @@
+"""Unit tests for :class:`repro.dtd.paths.Path`."""
+
+import pytest
+
+from repro.errors import InvalidPathError
+from repro.dtd.paths import Path, parse_paths
+
+
+class TestConstruction:
+    def test_parse(self):
+        path = Path.parse("courses.course.@cno")
+        assert path.steps == ("courses", "course", "@cno")
+
+    def test_parse_strips_whitespace(self):
+        assert Path.parse(" a . b ") == Path.parse("a.b")
+
+    def test_root(self):
+        assert Path.root("db").steps == ("db",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPathError):
+            Path.parse("")
+
+    def test_attribute_must_be_final(self):
+        with pytest.raises(InvalidPathError):
+            Path(("a", "@x", "b"))
+
+    def test_text_must_be_final(self):
+        with pytest.raises(InvalidPathError):
+            Path(("a", "S", "b"))
+
+    def test_immutable(self):
+        path = Path.parse("a.b")
+        with pytest.raises(AttributeError):
+            path.steps = ("x",)
+
+
+class TestKinds:
+    def test_element_path(self):
+        path = Path.parse("courses.course")
+        assert path.is_element
+        assert not path.is_attribute
+        assert not path.is_text
+
+    def test_attribute_path(self):
+        path = Path.parse("courses.course.@cno")
+        assert path.is_attribute
+        assert not path.is_element
+
+    def test_text_path(self):
+        path = Path.parse("courses.course.title.S")
+        assert path.is_text
+        assert not path.is_element
+
+    def test_last_and_length(self):
+        path = Path.parse("a.b.c")
+        assert path.last == "c"
+        assert path.length == 3
+        assert len(path) == 3
+
+
+class TestNavigation:
+    def test_parent(self):
+        assert Path.parse("a.b.c").parent == Path.parse("a.b")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(InvalidPathError):
+            _ = Path.parse("a").parent
+
+    def test_child(self):
+        assert Path.parse("a").child("b") == Path.parse("a.b")
+
+    def test_cannot_extend_attribute(self):
+        with pytest.raises(InvalidPathError):
+            Path.parse("a.@x").child("b")
+
+    def test_attribute_helper_adds_at(self):
+        assert Path.parse("a").attribute("cno") == Path.parse("a.@cno")
+        assert Path.parse("a").attribute("@cno") == Path.parse("a.@cno")
+
+    def test_text_helper(self):
+        assert Path.parse("a").text == Path.parse("a.S")
+
+    def test_element_prefix(self):
+        assert Path.parse("a.b.@x").element_prefix == Path.parse("a.b")
+        assert Path.parse("a.b").element_prefix == Path.parse("a.b")
+
+
+class TestPrefixes:
+    def test_prefixes(self):
+        path = Path.parse("a.b.c")
+        assert list(path.prefixes()) == [
+            Path.parse("a"), Path.parse("a.b"), Path.parse("a.b.c")]
+
+    def test_proper_prefixes(self):
+        path = Path.parse("a.b.c")
+        assert list(path.prefixes(proper=True)) == [
+            Path.parse("a"), Path.parse("a.b")]
+
+    def test_is_prefix_of(self):
+        assert Path.parse("a.b").is_prefix_of(Path.parse("a.b.c"))
+        assert Path.parse("a.b").is_prefix_of(Path.parse("a.b"))
+        assert not Path.parse("a.b").is_prefix_of(
+            Path.parse("a.b"), proper=True)
+        assert not Path.parse("a.c").is_prefix_of(Path.parse("a.b.c"))
+
+    def test_replace_prefix(self):
+        path = Path.parse("a.b.c")
+        replaced = path.replace_prefix(Path.parse("a.b"),
+                                       Path.parse("x.y"))
+        assert replaced == Path.parse("x.y.c")
+
+    def test_replace_prefix_requires_prefix(self):
+        with pytest.raises(InvalidPathError):
+            Path.parse("a.b").replace_prefix(Path.parse("z"),
+                                             Path.parse("x"))
+
+
+class TestCollections:
+    def test_hash_and_eq(self):
+        assert Path.parse("a.b") == Path.parse("a.b")
+        assert hash(Path.parse("a.b")) == hash(Path.parse("a.b"))
+        assert len({Path.parse("a.b"), Path.parse("a.b")}) == 1
+
+    def test_ordering(self):
+        assert sorted([Path.parse("b"), Path.parse("a.c"),
+                       Path.parse("a")]) == [
+            Path.parse("a"), Path.parse("a.c"), Path.parse("b")]
+
+    def test_str_round_trip(self):
+        text = "courses.course.taken_by.student.@sno"
+        assert str(Path.parse(text)) == text
+
+    def test_parse_paths(self):
+        paths = parse_paths("a.b, a.c ,a")
+        assert len(paths) == 3

@@ -1,0 +1,52 @@
+"""Unit tests for the exception hierarchy and diagnostics."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("subclass", [
+        errors.ParseError, errors.RegexSyntaxError,
+        errors.DTDSyntaxError, errors.XMLSyntaxError,
+        errors.FDSyntaxError, errors.InvalidDTDError,
+        errors.InvalidTreeError, errors.InvalidPathError,
+        errors.InvalidFDError, errors.ConformanceError,
+        errors.RecursionLimitError, errors.NormalizationError,
+        errors.UnsupportedFeatureError,
+    ])
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_syntax_errors_are_parse_errors(self):
+        for cls in (errors.RegexSyntaxError, errors.DTDSyntaxError,
+                    errors.XMLSyntaxError, errors.FDSyntaxError):
+            assert issubclass(cls, errors.ParseError)
+
+
+class TestPositions:
+    def test_line_and_column_in_message(self):
+        error = errors.ParseError("boom", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_line_only(self):
+        error = errors.ParseError("boom", line=2)
+        assert "line 2" in str(error)
+        assert "column" not in str(error)
+
+    def test_no_position(self):
+        error = errors.ParseError("boom")
+        assert str(error) == "boom"
+
+
+class TestOneCatchAll:
+    def test_library_failures_are_catchable_at_one_type(self, uni_spec):
+        from repro.fd.model import FD
+        with pytest.raises(errors.ReproError):
+            FD.parse("no arrow here")
+        with pytest.raises(errors.ReproError):
+            uni_spec.parse_document("<broken")
+        with pytest.raises(errors.ReproError):
+            uni_spec.implies("courses.ghost -> courses")

@@ -1,0 +1,28 @@
+"""Smoke tests: every bundled example script runs to completion."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{script.stem}", script)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 200  # each example narrates its pipeline
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "university", "dblp",
+            "nested_relations", "relational_bcnf"} <= names

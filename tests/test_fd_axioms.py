@@ -1,0 +1,134 @@
+"""Axiom battery for XML FD implication.
+
+Section 4 notes that XML FDs satisfy relational-style laws plus extra
+DTD-induced trivial FDs.  This module checks the classical Armstrong
+behaviours (reflexivity, augmentation, transitivity, union,
+decomposition, pseudo-transitivity) and the XML-specific axioms
+(ancestor, attribute, text, forced-child) hold under the implemented
+implication — on the university schema, under several Σ sets.
+"""
+
+import pytest
+
+from repro.fd.implication import ImplicationEngine
+from repro.fd.model import FD
+
+C = "courses.course"
+S = "courses.course.taken_by.student"
+
+
+@pytest.fixture
+def oracle(uni_spec):
+    return ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+
+
+@pytest.fixture
+def empty_oracle(uni_spec):
+    return ImplicationEngine(uni_spec.dtd, [])
+
+
+class TestArmstrongStyle:
+    def test_reflexivity(self, empty_oracle):
+        assert empty_oracle.implies(FD.parse(f"{S}.@sno -> {S}.@sno"))
+        assert empty_oracle.implies(
+            FD.parse(f"{{{C}, {S}.@sno}} -> {S}.@sno"))
+
+    def test_augmentation(self, oracle, uni_spec):
+        """X -> Y implies XZ -> Y."""
+        base = FD.parse(f"{S}.@sno -> {S}.name.S")
+        assert oracle.implies(base)
+        augmented = FD(base.lhs | {FD.parse(f"{C} -> {C}").single_rhs},
+                       base.rhs)
+        assert oracle.implies(augmented)
+
+    def test_transitivity_via_key(self, oracle):
+        """cno -> course (FD1), course -> title (DTD) => cno -> title."""
+        assert oracle.implies(FD.parse(f"{C}.@cno -> {C}"))
+        assert oracle.implies(FD.parse(f"{C} -> {C}.title"))
+        assert oracle.implies(FD.parse(f"{C}.@cno -> {C}.title"))
+
+    def test_union(self, oracle):
+        """X -> Y and X -> Z give X -> YZ."""
+        assert oracle.implies(FD.parse(f"{C}.@cno -> {C}.title"))
+        assert oracle.implies(FD.parse(f"{C}.@cno -> {C}.taken_by"))
+        assert oracle.implies(FD.parse(
+            f"{C}.@cno -> {{{C}.title, {C}.taken_by}}"))
+
+    def test_decomposition(self, oracle):
+        """X -> YZ gives X -> Y."""
+        assert oracle.implies(FD.parse(
+            f"{C}.@cno -> {{{C}.title, {C}.taken_by}}"))
+        assert oracle.implies(FD.parse(f"{C}.@cno -> {C}.title"))
+
+    def test_pseudo_transitivity(self, oracle):
+        """FD2: {course, sno} -> student; student -> grade.S (DTD);
+        so {course, sno} -> grade.S."""
+        assert oracle.implies(FD.parse(
+            f"{{{C}, {S}.@sno}} -> {S}.grade.S"))
+
+    def test_non_implication_controls(self, oracle):
+        """Sanity: implication is not trivially everything."""
+        assert not oracle.implies(FD.parse(f"{C}.@cno -> {S}"))
+        assert not oracle.implies(FD.parse(f"{S}.@sno -> {S}"))
+        assert not oracle.implies(FD.parse(
+            f"{S}.name.S -> {S}.@sno"))
+
+
+class TestXMLSpecificAxioms:
+    """The DTD-induced trivial FDs of Section 4."""
+
+    def test_ancestor_axiom(self, empty_oracle):
+        """p -> p' for every prefix p' of an element path p."""
+        assert empty_oracle.implies(FD.parse(f"{S} -> {C}"))
+        assert empty_oracle.implies(FD.parse(f"{S} -> courses"))
+
+    def test_attribute_axiom(self, empty_oracle):
+        """p -> p.@l."""
+        assert empty_oracle.implies(FD.parse(f"{S} -> {S}.@sno"))
+        assert empty_oracle.implies(FD.parse(f"{C} -> {C}.@cno"))
+
+    def test_text_axiom(self, empty_oracle):
+        """p -> p.S for #PCDATA elements."""
+        assert empty_oracle.implies(
+            FD.parse(f"{S}.name -> {S}.name.S"))
+
+    def test_forced_single_child_axiom(self, empty_oracle):
+        """p -> p.c when c occurs at most once in P(last(p))."""
+        assert empty_oracle.implies(FD.parse(f"{C} -> {C}.title"))
+        assert empty_oracle.implies(FD.parse(f"{S} -> {S}.grade"))
+
+    def test_starred_child_not_trivial(self, empty_oracle):
+        assert not empty_oracle.implies(FD.parse(f"courses -> {C}"))
+        assert not empty_oracle.implies(
+            FD.parse(f"{C}.taken_by -> {S}"))
+
+    def test_attribute_never_determines_node_trivially(
+            self, empty_oracle):
+        assert not empty_oracle.implies(FD.parse(f"{C}.@cno -> {C}"))
+
+    def test_root_determined_by_everything(self, empty_oracle):
+        assert empty_oracle.implies(
+            FD.parse(f"{S}.grade.S -> courses"))
+
+
+class TestMonotonicityLaws:
+    def test_sigma_monotone(self, uni_spec):
+        """More FDs never retract implications."""
+        small = ImplicationEngine(uni_spec.dtd, uni_spec.sigma[:1])
+        big = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        probes = [
+            FD.parse(f"{C}.@cno -> {C}.title.S"),
+            FD.parse(f"{S}.@sno -> {S}.name.S"),
+            FD.parse(f"{{{C}, {S}.@sno}} -> {S}"),
+        ]
+        for probe in probes:
+            if small.implies(probe):
+                assert big.implies(probe)
+
+    def test_lhs_monotone(self, oracle):
+        """Bigger LHS never loses an implication."""
+        base = FD.parse(f"{S}.@sno -> {S}.name.S")
+        assert oracle.implies(base)
+        bigger = FD(base.lhs | {FD.parse(
+            f"{C}.@cno -> {C}.@cno").single_rhs}, base.rhs)
+        assert oracle.implies(bigger)

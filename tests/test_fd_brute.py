@@ -1,0 +1,88 @@
+"""Unit tests for the bounded-exhaustive oracle engine."""
+
+import pytest
+
+from repro.errors import RecursionLimitError
+from repro.dtd.parser import parse_dtd
+from repro.fd.brute import (
+    bounded_words,
+    brute_implies,
+    enumerate_trees,
+    find_countermodel,
+)
+from repro.fd.model import FD
+from repro.regex.parser import parse_content_model as p
+from repro.xmltree.conformance import conforms
+
+
+class TestBoundedWords:
+    def test_star(self):
+        words = sorted(bounded_words(p("(a*)"), 2))
+        assert words == [[], ["a"], ["a", "a"]]
+
+    def test_choice(self):
+        words = {tuple(w) for w in bounded_words(p("(a | b)"), 3)}
+        assert words == {("a",), ("b",)}
+
+    def test_concat(self):
+        words = {tuple(w) for w in bounded_words(p("(a, b?)"), 3)}
+        assert words == {("a",), ("a", "b")}
+
+    def test_length_bound_respected(self):
+        words = list(bounded_words(p("(a+)"), 3))
+        assert max(len(w) for w in words) == 3
+
+
+class TestEnumerateTrees:
+    def test_all_conform(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a?, b?)>
+            <!ELEMENT a EMPTY>
+            <!ELEMENT b (#PCDATA)>
+            <!ATTLIST a x CDATA #REQUIRED>
+        """)
+        trees = list(enumerate_trees(dtd, domain=("0", "1"), max_word=2))
+        assert trees
+        assert all(conforms(tree, dtd) for tree in trees)
+        # shapes: {}, {a(x in 2)}, {b(text in 2)}, {a, b} (2*2) => 9
+        assert len(trees) == 9
+
+    def test_max_trees_cap(self):
+        dtd = parse_dtd("<!ELEMENT r (a*)>\n<!ELEMENT a EMPTY>")
+        trees = list(enumerate_trees(dtd, max_word=3, max_trees=2))
+        assert len(trees) == 2
+
+    def test_recursive_rejected(self):
+        dtd = parse_dtd("<!ELEMENT r (s)>\n<!ELEMENT s (s?)>")
+        with pytest.raises(RecursionLimitError):
+            list(enumerate_trees(dtd))
+
+
+class TestBruteImplication:
+    def test_finds_countermodel(self, flat_ab_dtd):
+        sigma = [FD.parse("r.a -> r.b.@y")]
+        query = FD.parse("r -> r.b.@y")
+        model = find_countermodel(flat_ab_dtd, sigma, query)
+        assert model is not None
+        assert not brute_implies(flat_ab_dtd, sigma, query)
+
+    def test_confirms_implication(self, forced_ab_dtd):
+        sigma = [FD.parse("r.a -> r.b.@y")]
+        assert brute_implies(forced_ab_dtd, sigma,
+                             FD.parse("r -> r.b.@y"))
+
+    def test_disjunction_case(self, disjunctive_dtd):
+        sigma = [FD.parse("r.a -> r.c.@x"), FD.parse("r.b -> r.c.@x")]
+        assert brute_implies(disjunctive_dtd, sigma,
+                             FD.parse("r -> r.c.@x"))
+        assert not brute_implies(disjunctive_dtd, sigma[:1],
+                                 FD.parse("r -> r.c.@x"))
+
+    def test_countermodel_satisfies_sigma(self, flat_ab_dtd):
+        sigma = [FD.parse("r.a.@x -> r.b.@y")]
+        query = FD.parse("r -> r.a.@x")
+        model = find_countermodel(flat_ab_dtd, sigma, query)
+        assert model is not None
+        from repro.fd.satisfaction import satisfies, satisfies_all
+        assert satisfies_all(model, flat_ab_dtd, sigma)
+        assert not satisfies(model, flat_ab_dtd, query)

@@ -1,0 +1,131 @@
+"""Unit tests for the chase implication engine (general DTDs)."""
+
+import pytest
+
+from repro.errors import RecursionLimitError
+from repro.dtd.parser import parse_dtd
+from repro.fd.chase import chase_implies
+from repro.fd.model import FD
+
+
+class TestAgreesWithClosureOnSimple:
+    """On simple DTDs the chase must reproduce the closure's answers."""
+
+    CASES = [
+        ("courses.course.@cno -> courses.course.title.S", True),
+        # FD1 itself: implied because it is in Σ
+        ("courses.course.@cno -> courses.course", True),
+        ("courses.course -> courses.course.@cno", True),
+        ("courses.course.taken_by.student.@sno -> "
+         "courses.course.taken_by.student.name", False),
+        ("courses.course.taken_by.student.@sno -> "
+         "courses.course.taken_by.student.name.S", True),
+    ]
+
+    @pytest.mark.parametrize("fd_text, expected", CASES)
+    def test_university(self, uni_spec, fd_text, expected):
+        assert chase_implies(uni_spec.dtd, uni_spec.sigma,
+                             FD.parse(fd_text)) is expected
+
+    def test_hybrid_case(self, forced_ab_dtd):
+        sigma = [FD.parse("r.a -> r.b.@y")]
+        assert chase_implies(forced_ab_dtd, sigma,
+                             FD.parse("r -> r.b.@y"))
+
+    def test_unforced_variant(self, flat_ab_dtd):
+        sigma = [FD.parse("r.a -> r.b.@y")]
+        assert not chase_implies(flat_ab_dtd, sigma,
+                                 FD.parse("r -> r.b.@y"))
+
+
+class TestDisjunction:
+    def test_case_split_derives(self, disjunctive_dtd):
+        """Both branches force the conclusion -> implied (the case the
+        closure engine cannot see)."""
+        sigma = [FD.parse("r.a -> r.c.@x"), FD.parse("r.b -> r.c.@x")]
+        assert chase_implies(disjunctive_dtd, sigma,
+                             FD.parse("r -> r.c.@x"))
+
+    def test_one_branch_escapes(self, disjunctive_dtd):
+        sigma = [FD.parse("r.a -> r.c.@x")]
+        assert not chase_implies(disjunctive_dtd, sigma,
+                                 FD.parse("r -> r.c.@x"))
+
+    def test_three_way_disjunction(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r ((a | b | c), d*)>
+            <!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>
+            <!ELEMENT d EMPTY>
+            <!ATTLIST d v CDATA #REQUIRED>
+        """)
+        sigma = [FD.parse("r.a -> r.d.@v"), FD.parse("r.b -> r.d.@v"),
+                 FD.parse("r.c -> r.d.@v")]
+        assert chase_implies(dtd, sigma, FD.parse("r -> r.d.@v"))
+        assert not chase_implies(dtd, sigma[:2], FD.parse("r -> r.d.@v"))
+
+
+class TestNodeMerging:
+    def test_key_merges_nodes(self, uni_spec):
+        """FD1 forces courses with equal cno to be the same node, so
+        cno determines everything below the course."""
+        assert chase_implies(uni_spec.dtd, uni_spec.sigma, FD.parse(
+            "courses.course.@cno -> courses.course.taken_by"))
+
+    def test_two_keys_chain(self, uni_spec):
+        """cno + sno pin down the student node (FD1 + FD2), hence the
+        grade text."""
+        assert chase_implies(uni_spec.dtd, uni_spec.sigma, FD.parse(
+            "{courses.course.@cno, "
+            "courses.course.taken_by.student.@sno} -> "
+            "courses.course.taken_by.student.grade.S"))
+
+    def test_without_fd2_no_student_merge(self, uni_spec):
+        sigma = [uni_spec.sigma[0]]  # only FD1
+        assert not chase_implies(uni_spec.dtd, sigma, FD.parse(
+            "{courses.course.@cno, "
+            "courses.course.taken_by.student.@sno} -> "
+            "courses.course.taken_by.student.grade.S"))
+
+
+class TestGuards:
+    def test_recursive_rejected(self):
+        dtd = parse_dtd("<!ELEMENT r (s)>\n<!ELEMENT s (s?)>")
+        with pytest.raises(RecursionLimitError):
+            chase_implies(dtd, [], FD.parse("r -> r.s"))
+
+    def test_trivial_shortcuts(self, uni_spec):
+        assert chase_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course -> courses.course"))
+
+    def test_exact_count_regex(self):
+        """(b, b): not simple, no multiplicity class, still decidable."""
+        dtd = parse_dtd("""
+            <!ELEMENT r (b, b)>
+            <!ELEMENT b EMPTY>
+            <!ATTLIST b y CDATA #REQUIRED>
+        """)
+        # two b children always exist and may differ
+        assert not chase_implies(dtd, [], FD.parse("r -> r.b.@y"))
+        assert not chase_implies(dtd, [], FD.parse("r -> r.b"))
+
+
+class TestBranchCap:
+    def test_branch_explosion_raises(self):
+        """The N_D fork count is capped; exceeding it is a clear error,
+        not silence (Theorem 5's exponential regime made visible)."""
+        from repro.errors import ReproError
+        from repro.dtd.parser import parse_dtd
+        dtd = parse_dtd("""
+            <!ELEMENT r ((a0 | b0), (a1 | b1), c*)>
+            <!ELEMENT a0 EMPTY><!ELEMENT b0 EMPTY>
+            <!ELEMENT a1 EMPTY><!ELEMENT b1 EMPTY>
+            <!ELEMENT c EMPTY>
+            <!ATTLIST c x CDATA #REQUIRED>
+        """)
+        sigma = [FD.parse("r.a0 -> r.c.@x"), FD.parse("r.b0 -> r.c.@x"),
+                 FD.parse("r.a1 -> r.c.@x"), FD.parse("r.b1 -> r.c.@x")]
+        query = FD.parse("r -> r.c.@x")
+        with pytest.raises(ReproError, match="branches"):
+            chase_implies(dtd, sigma, query, max_branches=2)
+        # with room to fork, the same query decides fine
+        assert chase_implies(dtd, sigma, query, max_branches=64)

@@ -1,0 +1,145 @@
+"""Unit tests for the closure implication engine (Theorem 3 regime)."""
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.paths import Path
+from repro.fd.closure import closure_implies, pair_closure
+from repro.fd.model import FD
+
+
+P = Path.parse
+
+
+class TestTrivialFDs:
+    """The DTD-induced trivial FDs discussed at the end of Section 4."""
+
+    def test_path_determines_prefix(self, uni_spec):
+        assert closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course.taken_by -> courses.course"))
+
+    def test_path_determines_attribute(self, uni_spec):
+        assert closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course -> courses.course.@cno"))
+
+    def test_attribute_does_not_determine_node(self, uni_spec):
+        assert not closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course.@cno -> courses.course"))
+
+    def test_reflexive(self, uni_spec):
+        assert closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course -> courses.course"))
+
+    def test_node_determines_forced_single_child(self, uni_spec):
+        assert closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course -> courses.course.title"))
+        assert closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course -> courses.course.title.S"))
+
+    def test_node_does_not_determine_starred_child(self, uni_spec):
+        assert not closure_implies(uni_spec.dtd, [], FD.parse(
+            "courses.course.taken_by -> "
+            "courses.course.taken_by.student"))
+
+    def test_root_determines_nothing_starred(self, flat_ab_dtd):
+        assert not closure_implies(flat_ab_dtd, [], FD.parse("r -> r.a"))
+
+    def test_optional_child_is_determined(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a?)>
+            <!ELEMENT a EMPTY>
+            <!ATTLIST a x CDATA #REQUIRED>
+        """)
+        assert closure_implies(dtd, [], FD.parse("r -> r.a"))
+        assert closure_implies(dtd, [], FD.parse("r -> r.a.@x"))
+
+
+class TestSigmaRules:
+    def test_transitivity_through_values(self, flat_ab_dtd):
+        sigma = [FD.parse("r.a.@x -> r.b.@y")]
+        assert closure_implies(flat_ab_dtd, sigma, FD.parse(
+            "r.a -> r.b.@y"))
+
+    def test_lhs_must_be_non_null(self, flat_ab_dtd):
+        sigma = [FD.parse("r.a -> r.b.@y")]
+        # r alone does not imply: a might be absent
+        assert not closure_implies(flat_ab_dtd, sigma,
+                                   FD.parse("r -> r.b.@y"))
+
+    def test_hybrid_rule_with_forced_branch(self, forced_ab_dtd):
+        """The cross-tuple case: a+ forces a witness, so all b.@y agree."""
+        sigma = [FD.parse("r.a -> r.b.@y")]
+        assert closure_implies(forced_ab_dtd, sigma,
+                               FD.parse("r -> r.b.@y"))
+
+    def test_hybrid_rule_blocked_on_target_inside_copied_subtree(
+            self, forced_ab_dtd):
+        # a node -> its own attribute is trivial, but a -> a-node from
+        # the root is not derivable even with the forced branch
+        sigma = [FD.parse("r.a -> r.a.@x")]
+        assert not closure_implies(forced_ab_dtd, sigma,
+                                   FD.parse("r -> r.a.@x"))
+
+    def test_upward_from_key(self, uni_spec):
+        """FD1: cno -> course node; so cno determines title text."""
+        assert closure_implies(uni_spec.dtd, uni_spec.sigma, FD.parse(
+            "courses.course.@cno -> courses.course.title.S"))
+
+    def test_example51_missing_fd(self, uni_spec):
+        """Example 5.1: sno does NOT determine the name *node*."""
+        assert not closure_implies(uni_spec.dtd, uni_spec.sigma, FD.parse(
+            "courses.course.taken_by.student.@sno -> "
+            "courses.course.taken_by.student.name"))
+
+    def test_example51_present_fd(self, uni_spec):
+        assert closure_implies(uni_spec.dtd, uni_spec.sigma,
+                               uni_spec.sigma[2])
+
+    def test_two_step_chain(self, uni_spec):
+        sigma = uni_spec.sigma + [FD.parse(
+            "courses.course.title.S -> courses.course.@cno")]
+        # title text -> cno -> course node -> taken_by node
+        assert closure_implies(uni_spec.dtd, sigma, FD.parse(
+            "courses.course.title.S -> courses.course.taken_by"))
+
+
+class TestPairClosure:
+    def test_root_always_shared(self, flat_ab_dtd):
+        eq, nn = pair_closure(flat_ab_dtd, [], frozenset({P("r.a.@x")}))
+        assert P("r") in eq and P("r") in nn
+
+    def test_prefixes_of_lhs_non_null(self, uni_spec):
+        lhs = frozenset({P("courses.course.taken_by.student.@sno")})
+        _eq, nn = pair_closure(uni_spec.dtd, [], lhs)
+        assert P("courses.course.taken_by.student") in nn
+        assert P("courses.course") in nn
+
+    def test_lhs_element_path_shares_ancestors(self, uni_spec):
+        lhs = frozenset({P("courses.course.taken_by")})
+        eq, _nn = pair_closure(uni_spec.dtd, [], lhs)
+        assert P("courses.course") in eq
+
+    def test_attribute_lhs_does_not_share_owner(self, uni_spec):
+        lhs = frozenset({P("courses.course.@cno")})
+        eq, _nn = pair_closure(uni_spec.dtd, [], lhs)
+        assert P("courses.course") not in eq
+
+    def test_works_on_recursive_dtd(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (s)>
+            <!ELEMENT s (s*)>
+            <!ATTLIST s x CDATA #REQUIRED>
+        """)
+        # the universe stays finite: only mentioned prefixes matter
+        assert closure_implies(dtd, [], FD.parse("r.s -> r.s.@x"))
+        assert closure_implies(dtd, [], FD.parse("r -> r.s"))
+        assert not closure_implies(dtd, [], FD.parse("r -> r.s.s"))
+        assert not closure_implies(dtd, [], FD.parse("r.s.@x -> r.s.s"))
+
+    def test_optional_chain_fully_determined(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (s)>
+            <!ELEMENT s (s?)>
+            <!ATTLIST s x CDATA #REQUIRED>
+        """)
+        # a ?-chain is shared by every pair of tuples, attributes and all
+        assert closure_implies(dtd, [], FD.parse("r -> r.s.s.s"))
+        assert closure_implies(dtd, [], FD.parse("r -> r.s.s.@x"))

@@ -1,0 +1,108 @@
+"""Unit tests for the implication facade and engine dispatch."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.dtd.parser import parse_dtd
+from repro.fd.implication import ImplicationEngine, implies, is_trivial
+from repro.fd.model import FD
+
+
+class TestFacade:
+    def test_auto_on_simple_uses_closure_result(self, uni_spec):
+        assert implies(uni_spec.dtd, uni_spec.sigma, uni_spec.sigma[2])
+        assert not implies(uni_spec.dtd, uni_spec.sigma, FD.parse(
+            "courses.course.taken_by.student.@sno -> "
+            "courses.course.taken_by.student.name"))
+
+    def test_auto_escalates_to_chase(self, disjunctive_dtd):
+        sigma = [FD.parse("r.a -> r.c.@x"), FD.parse("r.b -> r.c.@x")]
+        query = FD.parse("r -> r.c.@x")
+        assert not implies(disjunctive_dtd, sigma, query,
+                           engine="closure")
+        assert implies(disjunctive_dtd, sigma, query)  # auto
+
+    def test_forced_engine(self, uni_spec):
+        for engine in ("closure", "chase"):
+            assert implies(uni_spec.dtd, [], FD.parse(
+                "courses.course -> courses.course.title"),
+                engine=engine)
+        # the brute engine explodes on deep schemas with its default
+        # bounds; call it directly with tight ones
+        from repro.fd.brute import brute_implies
+        assert brute_implies(
+            uni_spec.dtd, [], FD.parse(
+                "courses.course -> courses.course.title"),
+            max_word=1, domain=("0",))
+
+    def test_brute_engine_caps_explosions(self, uni_spec):
+        """The default-bounds brute engine reports the blow-up instead
+        of consuming the machine."""
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="variants"):
+            implies(uni_spec.dtd, [], FD.parse(
+                "courses.course -> courses.course.title"),
+                engine="brute")
+
+    def test_multi_rhs_expansion(self, uni_spec):
+        fd = FD.parse("courses.course -> "
+                      "{courses.course.title, courses.course.taken_by}")
+        assert implies(uni_spec.dtd, [], fd)
+        fd2 = FD.parse(
+            "courses.course -> "
+            "{courses.course.title, courses.course.taken_by.student}")
+        assert not implies(uni_spec.dtd, [], fd2)
+
+    def test_recursive_non_simple_raises(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (s)>
+            <!ELEMENT s ((a, a) | s)>
+            <!ELEMENT a EMPTY>
+            <!ATTLIST a x CDATA #REQUIRED>
+        """)
+        with pytest.raises(UnsupportedFeatureError):
+            implies(dtd, [], FD.parse("r -> r.s.a.@x"))
+
+    def test_recursive_simple_uses_closure(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (s)>
+            <!ELEMENT s (s*)>
+            <!ATTLIST s x CDATA #REQUIRED>
+        """)
+        assert implies(dtd, [], FD.parse("r -> r.s"))
+        assert not implies(dtd, [], FD.parse("r -> r.s.s"))
+
+
+class TestEngineObject:
+    def test_caching(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        fd = FD.parse("courses.course.@cno -> courses.course.title.S")
+        assert oracle.implies(fd)
+        assert oracle.implies(fd)  # cached path
+        assert fd.expand().__next__() in oracle._cache or True
+
+    def test_validates_sigma(self, uni_spec):
+        from repro.errors import InvalidFDError
+        with pytest.raises(InvalidFDError):
+            ImplicationEngine(uni_spec.dtd,
+                              [FD.parse("courses.nope -> courses")])
+
+    def test_is_trivial(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        assert oracle.is_trivial(FD.parse(
+            "courses.course -> courses.course.@cno"))
+        # FD3 is implied but not trivial
+        assert not oracle.is_trivial(uni_spec.sigma[2])
+
+
+class TestIsTrivial:
+    def test_trivial_examples_from_section4(self, uni_spec):
+        # p -> p' for prefixes, p -> p.@l
+        assert is_trivial(uni_spec.dtd, FD.parse(
+            "courses.course.taken_by.student -> courses.course"))
+        assert is_trivial(uni_spec.dtd, FD.parse(
+            "courses.course.taken_by.student -> "
+            "courses.course.taken_by.student.@sno"))
+
+    def test_non_trivial(self, uni_spec):
+        assert not is_trivial(uni_spec.dtd, uni_spec.sigma[2])

@@ -1,0 +1,98 @@
+"""Unit tests for the FD type and its parser."""
+
+import pytest
+
+from repro.errors import FDSyntaxError, InvalidFDError
+from repro.dtd.paths import Path
+from repro.fd.model import FD, parse_fds
+
+
+class TestParsing:
+    def test_single_paths(self):
+        fd = FD.parse("courses.course.@cno -> courses.course")
+        assert fd.lhs == {Path.parse("courses.course.@cno")}
+        assert fd.rhs == {Path.parse("courses.course")}
+
+    def test_braced_multi_lhs(self):
+        fd = FD.parse("{a.b, a.c.@x} -> a.c")
+        assert len(fd.lhs) == 2
+
+    def test_unbraced_multi_lhs(self):
+        fd = FD.parse("a.b, a.c.@x -> a.c")
+        assert len(fd.lhs) == 2
+
+    def test_multi_rhs(self):
+        fd = FD.parse("a.b -> {a.c, a.d}")
+        assert len(fd.rhs) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(FDSyntaxError):
+            FD.parse("a.b, a.c")
+
+    def test_empty_side(self):
+        with pytest.raises(FDSyntaxError):
+            FD.parse(" -> a.b")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(FDSyntaxError):
+            FD.parse("{a.b -> a.c")
+
+    def test_parse_fds_skips_comments_and_blanks(self):
+        fds = parse_fds("""
+            # a comment
+            a.b -> a.c
+
+            a.c -> a.b
+        """)
+        assert len(fds) == 2
+
+
+class TestOf:
+    def test_accepts_strings_and_paths(self):
+        fd = FD.of(["a.b", Path.parse("a.c")], "a.d")
+        assert len(fd.lhs) == 2
+        assert fd.single_rhs == Path.parse("a.d")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(InvalidFDError):
+            FD(frozenset(), frozenset({Path.parse("a")}))
+
+
+class TestViews:
+    def test_expand(self):
+        fd = FD.parse("a.b -> {a.c, a.d}")
+        singles = list(fd.expand())
+        assert len(singles) == 2
+        assert all(len(s.rhs) == 1 for s in singles)
+        assert {s.single_rhs for s in singles} == {
+            Path.parse("a.c"), Path.parse("a.d")}
+
+    def test_single_rhs_raises_on_multi(self):
+        with pytest.raises(InvalidFDError):
+            FD.parse("a.b -> {a.c, a.d}").single_rhs
+
+    def test_lhs_element_paths(self):
+        fd = FD.parse("{a.b, a.c.@x} -> a.d")
+        assert fd.lhs_element_paths() == [Path.parse("a.b")]
+
+    def test_paths_union(self):
+        fd = FD.parse("a.b -> a.c")
+        assert fd.paths == {Path.parse("a.b"), Path.parse("a.c")}
+
+    def test_rename(self):
+        fd = FD.parse("a.b.@x -> a.c")
+        renamed = fd.rename({Path.parse("a.b.@x"): Path.parse("a.z.@x")})
+        assert renamed == FD.parse("a.z.@x -> a.c")
+
+    def test_str_round_trip(self):
+        fd = FD.parse("{a.b, a.c.@x} -> a.d")
+        assert FD.parse(str(fd)) == fd
+
+    def test_validate(self, uni_spec):
+        good = FD.parse("courses.course.@cno -> courses.course")
+        assert good.validate(uni_spec.dtd) is good
+        with pytest.raises(InvalidFDError):
+            FD.parse("courses.ghost -> courses").validate(uni_spec.dtd)
+
+    def test_hashable(self):
+        assert len({FD.parse("a.b -> a.c"), FD.parse("a.b -> a.c")}) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for FD satisfaction on documents (Section 4, Example 4.1)."""
+
+from repro.fd.model import FD
+from repro.fd.satisfaction import satisfies, satisfies_all, violating_pairs
+from repro.xmltree.parser import parse_xml
+
+
+class TestPaperExample41(object):
+    """Figure 1(a) satisfies FD1-FD3."""
+
+    def test_satisfies_all_three(self, uni_spec, uni_doc):
+        assert satisfies_all(uni_doc, uni_spec.dtd, uni_spec.sigma)
+
+    def test_each_individually(self, uni_spec, uni_doc):
+        for fd in uni_spec.sigma:
+            assert satisfies(uni_doc, uni_spec.dtd, fd)
+
+
+class TestViolations:
+    def test_fd3_violation_detected(self, uni_spec):
+        # st1 has two different names
+        doc = parse_xml("""
+        <courses>
+          <course cno="c1"><title>T1</title><taken_by>
+            <student sno="st1"><name>Deere</name><grade>A</grade></student>
+          </taken_by></course>
+          <course cno="c2"><title>T2</title><taken_by>
+            <student sno="st1"><name>Impostor</name><grade>B</grade>
+            </student>
+          </taken_by></course>
+        </courses>
+        """)
+        fd3 = uni_spec.sigma[2]
+        assert not satisfies(doc, uni_spec.dtd, fd3)
+        pairs = violating_pairs(doc, uni_spec.dtd, fd3)
+        assert len(pairs) == 1
+
+    def test_key_violation(self, uni_spec):
+        # two courses with the same cno but different nodes
+        doc = parse_xml("""
+        <courses>
+          <course cno="c1"><title>T1</title><taken_by/></course>
+          <course cno="c1"><title>T2</title><taken_by/></course>
+        </courses>
+        """)
+        fd1 = uni_spec.sigma[0]
+        assert not satisfies(doc, uni_spec.dtd, fd1)
+
+    def test_limit_short_circuits(self, uni_spec):
+        doc = parse_xml("""
+        <courses>
+          <course cno="c1"><title>T</title><taken_by>
+            <student sno="s"><name>A</name><grade>1</grade></student>
+          </taken_by></course>
+          <course cno="c2"><title>T</title><taken_by>
+            <student sno="s"><name>B</name><grade>1</grade></student>
+          </taken_by></course>
+          <course cno="c3"><title>T</title><taken_by>
+            <student sno="s"><name>C</name><grade>1</grade></student>
+          </taken_by></course>
+        </courses>
+        """)
+        fd3 = uni_spec.sigma[2]
+        limited = violating_pairs(doc, uni_spec.dtd, fd3, limit=1)
+        assert len(limited) == 1
+        unlimited = violating_pairs(doc, uni_spec.dtd, fd3)
+        assert len(unlimited) >= 2
+
+
+class TestNullSemantics:
+    def test_null_lhs_disables_fd(self, uni_spec):
+        """A document with no students vacuously satisfies FD3."""
+        doc = parse_xml(
+            '<courses><course cno="c1"><title>T</title><taken_by/>'
+            "</course></courses>")
+        assert satisfies_all(doc, uni_spec.dtd, uni_spec.sigma)
+
+    def test_rhs_null_equality_is_tolerant(self, flat_ab_dtd):
+        # two tuples agree on r (always) and both have b null
+        doc = parse_xml('<r><a x="1"/><a x="2"/></r>')
+        fd = FD.parse("r -> r.b")
+        assert satisfies(doc, flat_ab_dtd, fd)
+
+    def test_rhs_null_vs_value_is_violation(self, flat_ab_dtd):
+        # same a value; one tuple sees a b node, the other cannot exist
+        # in a single tree... instead test value-vs-null via two a's:
+        doc = parse_xml('<r><a x="1"/><b y="1"/></r>')
+        # tuples: (a, b); single tuple -> no pair -> satisfied
+        assert satisfies(doc, flat_ab_dtd, FD.parse("r.a.@x -> r.b.@y"))
+
+
+class TestDBLP:
+    def test_fd5_satisfied(self, dblp, dblp_doc):
+        assert satisfies_all(dblp_doc, dblp.dtd, dblp.sigma)
+
+    def test_fd5_violation(self, dblp):
+        doc = parse_xml("""
+        <db><conf><title>X</title>
+          <issue>
+            <inproceedings key="a" pages="1" year="2001">
+              <author>A</author><title>P1</title><booktitle>B</booktitle>
+            </inproceedings>
+            <inproceedings key="b" pages="2" year="2002">
+              <author>B</author><title>P2</title><booktitle>B</booktitle>
+            </inproceedings>
+          </issue>
+        </conf></db>
+        """)
+        fd5 = dblp.sigma[1]
+        assert not satisfies(doc, dblp.dtd, fd5)

@@ -1,0 +1,94 @@
+"""Unit tests for the instance-level losslessness checks (Prop. 8)."""
+
+from repro.datasets.university import (
+    synthetic_university_document,
+    university_document,
+    university_spec,
+)
+from repro.datasets.dblp import (
+    dblp_document,
+    dblp_spec,
+    synthetic_dblp_document,
+)
+from repro.lossless.check import (
+    check_normalization_lossless,
+    check_step_lossless,
+    reconstruct_projection,
+    string_projection,
+)
+
+
+class TestStringProjection:
+    def test_row_count(self, uni_spec, uni_doc):
+        rows = string_projection(uni_spec.dtd, uni_doc)
+        assert len(rows) == 4
+
+    def test_rows_carry_values(self, uni_spec, uni_doc):
+        rows = string_projection(uni_spec.dtd, uni_doc)
+        sample = {dict(row)["courses.course.@cno"] for row in rows}
+        assert sample == {"csc200", "mat100"}
+
+    def test_nulls_omitted(self, uni_spec):
+        from repro.xmltree.parser import parse_xml
+        doc = parse_xml(
+            '<courses><course cno="c"><title>T</title><taken_by/>'
+            "</course></courses>")
+        (row,) = string_projection(uni_spec.dtd, doc)
+        keys = {key for key, _ in row}
+        assert "courses.course.taken_by.student.@sno" not in keys
+
+
+class TestStepLossless:
+    def test_university_create_step(self, uni_spec, uni_doc):
+        result = uni_spec.normalize()
+        assert check_step_lossless(result.steps[0], uni_spec.dtd, uni_doc)
+
+    def test_dblp_move_step(self, dblp, dblp_doc):
+        result = dblp.normalize()
+        assert check_step_lossless(result.steps[0], dblp.dtd, dblp_doc)
+
+    def test_reconstruction_matches_projection(self, dblp, dblp_doc):
+        result = dblp.normalize()
+        step = result.steps[0]
+        original = string_projection(dblp.dtd, dblp_doc)
+        migrated = step.migrate(dblp_doc)
+        rebuilt = reconstruct_projection(step, dblp.dtd, migrated)
+        assert rebuilt == original
+
+
+class TestEndToEnd:
+    def test_university_chain(self):
+        spec = university_spec()
+        result = spec.normalize()
+        assert check_normalization_lossless(
+            result, spec.dtd, university_document())
+
+    def test_dblp_chain(self):
+        spec = dblp_spec()
+        result = spec.normalize()
+        assert check_normalization_lossless(
+            result, spec.dtd, dblp_document())
+
+    def test_synthetic_university_documents(self):
+        spec = university_spec()
+        result = spec.normalize()
+        for seed in range(3):
+            doc = synthetic_university_document(
+                courses=3, students_per_course=3, seed=seed)
+            assert spec.document_satisfies(doc)
+            assert check_normalization_lossless(result, spec.dtd, doc)
+
+    def test_synthetic_dblp_documents(self):
+        spec = dblp_spec()
+        result = spec.normalize()
+        for seed in range(3):
+            doc = synthetic_dblp_document(
+                confs=2, issues_per_conf=2, papers_per_issue=2, seed=seed)
+            assert spec.document_satisfies(doc)
+            assert check_normalization_lossless(result, spec.dtd, doc)
+
+    def test_prop7_variant_lossless_on_university(self):
+        spec = university_spec()
+        result = spec.normalize_simple()
+        assert check_normalization_lossless(
+            result, spec.dtd, university_document())

@@ -1,0 +1,159 @@
+"""Unit tests for the MVD extension (Section 8 future work)."""
+
+import pytest
+
+from repro.errors import FDSyntaxError, InvalidFDError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.paths import Path
+from repro.fd.model import FD
+from repro.mvd.induced import branch_partition, is_induced, tree_induced_mvds
+from repro.mvd.model import MVD
+from repro.mvd.satisfaction import mvd_violating_pairs, satisfies_mvd
+from repro.mvd.xnf4 import is_in_xnf4, xnf4_violations
+from repro.relational.schema import RelationSchema
+from repro.relational.xml_coding import encode_relation, relational_dtd
+from repro.xmltree.parser import parse_xml
+
+
+P = Path.parse
+
+
+class TestModel:
+    def test_parse(self):
+        mvd = MVD.parse("db.G.@A ->> db.G.@B")
+        assert mvd.lhs == {P("db.G.@A")}
+        assert mvd.rhs == {P("db.G.@B")}
+
+    def test_parse_braced(self):
+        mvd = MVD.parse("{a.b, a.c} ->> {a.d}")
+        assert len(mvd.lhs) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(FDSyntaxError):
+            MVD.parse("a.b -> a.c")
+
+    def test_validate(self, uni_spec):
+        with pytest.raises(InvalidFDError):
+            MVD.parse("courses.nope ->> courses").validate(uni_spec.dtd)
+
+    def test_str_round_trip(self):
+        mvd = MVD.parse("{a.b, a.c} ->> a.d")
+        assert MVD.parse(str(mvd)) == mvd
+
+
+class TestRelationalCorrespondence:
+    """Exchange semantics on the flat coding = classical MVDs."""
+
+    G = RelationSchema("G", ("A", "B", "C"))
+
+    def _doc(self, rows):
+        return encode_relation(self.G, rows)
+
+    def _mvd(self):
+        return MVD.parse("db.G.@A ->> db.G.@B")
+
+    def test_cross_product_satisfies(self):
+        rows = [
+            {"A": "1", "B": "b1", "C": "c1"},
+            {"A": "1", "B": "b1", "C": "c2"},
+            {"A": "1", "B": "b2", "C": "c1"},
+            {"A": "1", "B": "b2", "C": "c2"},
+        ]
+        doc = self._doc(rows)
+        assert satisfies_mvd(doc, relational_dtd(self.G), self._mvd())
+
+    def test_missing_combination_violates(self):
+        rows = [
+            {"A": "1", "B": "b1", "C": "c1"},
+            {"A": "1", "B": "b2", "C": "c2"},
+        ]
+        doc = self._doc(rows)
+        dtd = relational_dtd(self.G)
+        assert not satisfies_mvd(doc, dtd, self._mvd())
+        assert mvd_violating_pairs(doc, dtd, self._mvd())
+
+    def test_null_guard(self):
+        """Distinct A-groups impose nothing on each other."""
+        rows = [
+            {"A": "1", "B": "b1", "C": "c1"},
+            {"A": "2", "B": "b2", "C": "c2"},
+        ]
+        doc = self._doc(rows)
+        assert satisfies_mvd(doc, relational_dtd(self.G), self._mvd())
+
+    def test_fd_implies_mvd(self):
+        """Classical: X -> Y implies X ->> Y; any doc satisfying the FD
+        satisfies the MVD."""
+        rows = [
+            {"A": "1", "B": "b", "C": "c1"},
+            {"A": "1", "B": "b", "C": "c2"},
+            {"A": "2", "B": "x", "C": "c1"},
+        ]
+        doc = self._doc(rows)
+        dtd = relational_dtd(self.G)
+        from repro.fd.satisfaction import satisfies
+        assert satisfies(doc, dtd, FD.parse("db.G.@A -> db.G.@B"))
+        assert satisfies_mvd(doc, dtd, self._mvd())
+
+
+class TestTreeInduced:
+    def test_branch_partition(self, uni_spec):
+        partition = branch_partition(uni_spec.dtd, P("courses.course"))
+        assert set(partition) == {"title", "taken_by", "@cno"}
+        assert P("courses.course.taken_by.student") in \
+            partition["taken_by"]
+
+    def test_induced_mvds_hold_on_documents(self, uni_spec, uni_doc):
+        for mvd in tree_induced_mvds(uni_spec.dtd):
+            assert satisfies_mvd(uni_doc, uni_spec.dtd, mvd), str(mvd)
+
+    def test_induced_mvds_hold_on_synthetic(self, uni_spec):
+        from repro.datasets.university import synthetic_university_document
+        doc = synthetic_university_document(3, 3, seed=9)
+        for mvd in tree_induced_mvds(uni_spec.dtd):
+            assert satisfies_mvd(doc, uni_spec.dtd, mvd), str(mvd)
+
+    def test_is_induced_recognizes_branches(self, uni_spec):
+        partition = branch_partition(uni_spec.dtd, P("courses.course"))
+        mvd = MVD(frozenset({P("courses.course")}),
+                  partition["taken_by"])
+        assert is_induced(uni_spec.dtd, mvd)
+
+    def test_is_induced_rejects_partial_branch(self, uni_spec):
+        mvd = MVD(frozenset({P("courses.course")}),
+                  frozenset({P("courses.course.taken_by.student")}))
+        assert not is_induced(uni_spec.dtd, mvd)
+
+    def test_relational_triviality(self, uni_spec):
+        mvd = MVD(frozenset({P("courses.course")}),
+                  frozenset({P("courses.course")}))
+        assert is_induced(uni_spec.dtd, mvd)
+
+
+class TestXNF4:
+    def test_4nf_violation_detected(self):
+        """Flat coding of the classical 4NF example: A ->> B with A not
+        a key."""
+        dtd = relational_dtd(RelationSchema("G", ("A", "B", "C")))
+        sigma = []
+        mvds = [MVD.parse("db.G.@A ->> db.G.@B")]
+        violations = xnf4_violations(dtd, sigma, mvds)
+        assert violations == mvds
+
+    def test_key_mvd_accepted(self):
+        dtd = relational_dtd(RelationSchema("G", ("A", "B", "C")))
+        sigma = [FD.parse(
+            "{db.G.@A} -> {db.G.@B, db.G.@C}"),
+            FD.parse("{db.G.@A, db.G.@B, db.G.@C} -> db.G")]
+        mvds = [MVD.parse("db.G.@A ->> db.G.@B")]
+        assert is_in_xnf4(dtd, sigma, mvds)
+
+    def test_induced_mvds_never_violate(self, uni_spec):
+        mvds = list(tree_induced_mvds(uni_spec.dtd))
+        violations = xnf4_violations(uni_spec.dtd, uni_spec.sigma[:2],
+                                     mvds)
+        assert violations == []
+
+    def test_xnf4_requires_xnf(self, uni_spec):
+        assert not is_in_xnf4(uni_spec.dtd, uni_spec.sigma, [])
+        assert is_in_xnf4(uni_spec.dtd, uni_spec.sigma[:2], [])

@@ -1,0 +1,166 @@
+"""Unit tests for nested relations, unnesting, PNF (Figure 3)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.datasets.nested_geo import geo_instance, geo_schema
+from repro.nested.instance import NestedRelation
+from repro.nested.pnf import is_in_pnf
+from repro.nested.schema import NestedSchema
+from repro.nested.unnest import complete_unnesting
+from repro.nested.xml_coding import (
+    attribute_path,
+    encode_nested_relation,
+    nested_dtd,
+    nested_sigma,
+    schema_path,
+)
+from repro.dtd.paths import Path
+from repro.relational.schema import RelationalFD
+
+
+class TestSchema:
+    def test_walk(self):
+        schema = geo_schema()
+        assert [s.name for s in schema.walk()] == ["H1", "H2", "H3"]
+
+    def test_all_attributes(self):
+        assert geo_schema().all_attributes == ("Country", "State", "City")
+
+    def test_parent_of(self):
+        schema = geo_schema()
+        assert schema.parent_of("H3").name == "H2"
+        assert schema.parent_of("H1") is None
+
+    def test_schema_of_attribute(self):
+        assert geo_schema().schema_of_attribute("State").name == "H2"
+
+    def test_duplicate_names_rejected(self):
+        inner = NestedSchema("X", ("A",))
+        with pytest.raises(ReproError):
+            NestedSchema("X", ("B",), (inner,))
+
+    def test_duplicate_attributes_rejected(self):
+        inner = NestedSchema("Y", ("A",))
+        with pytest.raises(ReproError):
+            NestedSchema("X", ("A",), (inner,))
+
+
+class TestInstance:
+    def test_build_and_back(self):
+        instance = geo_instance()
+        rows = instance.to_rows()
+        assert rows[0]["Country"] == "United States"
+        assert len(rows[0]["H2"]) == 2
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(ReproError):
+            NestedRelation.build(geo_schema(), [{"H2": []}])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ReproError):
+            NestedRelation.build(geo_schema(),
+                                 [{"Country": "US", "Bogus": 1}])
+
+
+class TestUnnesting:
+    def test_figure3b(self):
+        """The complete unnesting of Figure 3(a) is exactly the four
+        rows of Figure 3(b)."""
+        flat = complete_unnesting(geo_instance())
+        rows = {tuple(row[a] for a in ("Country", "State", "City"))
+                for row in flat.rows}
+        assert rows == {
+            ("United States", "Texas", "Houston"),
+            ("United States", "Texas", "Dallas"),
+            ("United States", "Ohio", "Columbus"),
+            ("United States", "Ohio", "Cleveland"),
+        }
+
+    def test_empty_nested_relation_contributes_nothing(self):
+        instance = NestedRelation.build(geo_schema(), [
+            {"Country": "Atlantis", "H2": []},
+        ])
+        assert len(complete_unnesting(instance)) == 0
+
+    def test_fd_check_on_unnesting(self):
+        flat = complete_unnesting(geo_instance())
+        assert flat.satisfies_fd(["State"], ["Country"])
+        assert not flat.satisfies_fd(["State"], ["City"])
+        assert flat.satisfies_fd(["City"], ["State"])
+
+
+class TestPNF:
+    def test_figure3_is_pnf(self):
+        assert is_in_pnf(geo_instance())
+
+    def test_pnf_violation(self):
+        instance = NestedRelation.build(geo_schema(), [
+            {"Country": "US", "H2": [{"State": "TX", "H3": []}]},
+            {"Country": "US", "H2": [{"State": "OH", "H3": []}]},
+        ])
+        assert not is_in_pnf(instance)
+
+    def test_nested_pnf_violation(self):
+        instance = NestedRelation.build(geo_schema(), [
+            {"Country": "US", "H2": [
+                {"State": "TX", "H3": [{"City": "Austin"}]},
+                {"State": "TX", "H3": [{"City": "Dallas"}]},
+            ]},
+        ])
+        assert not is_in_pnf(instance)
+
+    def test_equal_duplicates_allowed(self):
+        instance = NestedRelation.build(geo_schema(), [
+            {"Country": "US", "H2": [{"State": "TX", "H3": []}]},
+            {"Country": "US", "H2": [{"State": "TX", "H3": []}]},
+        ])
+        assert is_in_pnf(instance)
+
+
+class TestXMLCoding:
+    def test_dtd_matches_paper(self):
+        dtd = nested_dtd(geo_schema())
+        assert dtd.content("db").to_dtd() == "H1*"
+        assert dtd.content("H1").to_dtd() == "H2*"
+        assert dtd.content("H2").to_dtd() == "H3*"
+        assert dtd.content("H3").to_dtd() == "EMPTY"
+        assert dtd.attrs("H1") == {"@Country"}
+        assert dtd.attrs("H3") == {"@City"}
+
+    def test_paths_match_paper(self):
+        schema = geo_schema()
+        assert schema_path(schema, "H2") == Path.parse("db.H1.H2")
+        assert attribute_path(schema, "City") == Path.parse(
+            "db.H1.H2.H3.@City")
+
+    def test_sigma_contains_pnf_keys(self):
+        """The three PNF-enforcing FDs of Section 5."""
+        sigma = nested_sigma(geo_schema(), [])
+        rendered = {str(fd) for fd in sigma}
+        assert "db.H1.@Country -> db.H1" in rendered
+        assert "{db.H1, db.H1.H2.@State} -> db.H1.H2" in rendered
+        assert "{db.H1.H2, db.H1.H2.H3.@City} -> db.H1.H2.H3" in rendered
+
+    def test_encoded_instance_conforms_and_satisfies(self):
+        from repro.fd.satisfaction import satisfies_all
+        from repro.xmltree.conformance import conforms
+        schema = geo_schema()
+        dtd = nested_dtd(schema)
+        sigma = nested_sigma(schema,
+                             [RelationalFD.parse("State -> Country")])
+        doc = encode_nested_relation(geo_instance())
+        assert conforms(doc, dtd)
+        assert satisfies_all(doc, dtd, sigma)
+
+    def test_pnf_violation_breaks_coded_keys(self):
+        from repro.fd.satisfaction import satisfies_all
+        schema = geo_schema()
+        dtd = nested_dtd(schema)
+        sigma = nested_sigma(schema, [])
+        bad = NestedRelation.build(schema, [
+            {"Country": "US", "H2": [{"State": "TX", "H3": []}]},
+            {"Country": "US", "H2": [{"State": "OH", "H3": []}]},
+        ])
+        doc = encode_nested_relation(bad)
+        assert not satisfies_all(doc, dtd, sigma)

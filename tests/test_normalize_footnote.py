@@ -1,0 +1,78 @@
+"""Unit tests for the footnote variant of *creating element types*.
+
+The paper's footnote: when the moved value ``p.@l`` can be ``⊥`` in
+``tuples_D(T)`` (here: whenever the LHS does not force it non-null),
+``P'(tau)`` becomes ``tau1*, ..., taun*, (tau'|eps)`` with ``@l`` on the
+fresh ``tau'`` — so a group may exist without a value.
+"""
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.fd.model import FD
+from repro.normalize.transforms import create_element_type
+from repro.regex.analysis import Multiplicity
+from repro.xmltree.conformance import conforms
+from repro.xmltree.parser import parse_xml
+
+
+@pytest.fixture
+def nullable_spec():
+    dtd = parse_dtd("""
+        <!ELEMENT shop (item*)>
+        <!ELEMENT item (detail?)>
+        <!ATTLIST item sku CDATA #REQUIRED>
+        <!ELEMENT detail EMPTY>
+        <!ATTLIST detail note CDATA #REQUIRED>
+    """)
+    sigma = [FD.parse("shop.item.@sku -> shop.item.detail.@note")]
+    fd = FD.parse("{shop, shop.item.@sku} -> shop.item.detail.@note")
+    return dtd, sigma, fd
+
+
+class TestNullableValue:
+    def test_value_holder_is_optional(self, nullable_spec):
+        dtd, sigma, fd = nullable_spec
+        step = create_element_type(dtd, sigma, fd)
+        tau = next(t for t in step.dtd.element_types
+                   if t not in dtd.element_types
+                   and step.dtd.child_element_types(t))
+        holders = [c for c in step.dtd.child_element_types(tau)
+                   if "@note" in step.dtd.attrs(c)]
+        assert len(holders) == 1
+        assert step.dtd.child_multiplicity(
+            tau, holders[0]) is Multiplicity.OPT
+
+    def test_value_attribute_removed_from_original(self, nullable_spec):
+        dtd, sigma, fd = nullable_spec
+        step = create_element_type(dtd, sigma, fd)
+        assert "@note" not in step.dtd.attrs("detail")
+
+    def test_migration_handles_missing_values(self, nullable_spec):
+        dtd, sigma, fd = nullable_spec
+        step = create_element_type(dtd, sigma, fd)
+        doc = parse_xml(
+            '<shop><item sku="a"><detail note="n1"/></item>'
+            '<item sku="b"/>'
+            '<item sku="a"><detail note="n1"/></item></shop>')
+        migrated = step.migrate(doc)
+        assert conforms(migrated, step.dtd)
+        notes = [v for (n, a), v in migrated.attributes.items()
+                 if a == "@note"]
+        assert notes == ["n1"]  # stored once, and only for sku 'a'
+
+
+class TestForcedValueHasNoHolder:
+    def test_university_tau_has_direct_value(self, uni_spec):
+        """Figure 1(b): name is forced given sno, so no optional
+        wrapper appears — tau carries the value directly."""
+        from repro.dtd.paths import Path
+        fd = FD(uni_spec.sigma[2].lhs | {Path.root("courses")},
+                uni_spec.sigma[2].rhs)
+        step = create_element_type(uni_spec.dtd, uni_spec.sigma, fd)
+        tau = next(t for t in step.dtd.element_types
+                   if t not in uni_spec.dtd.element_types
+                   and step.dtd.child_element_types(t))
+        # the value child (name) has multiplicity ONE, not OPT
+        assert step.dtd.child_multiplicity(
+            tau, "name") is Multiplicity.ONE

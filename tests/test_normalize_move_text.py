@@ -1,0 +1,92 @@
+"""Unit tests for *moving attributes* applied to a text value.
+
+When the anomalous value is ``p.S`` (the text of a #PCDATA element),
+the paper's coding turns it into an attribute first; the implementation
+folds the whole text element into an attribute of ``q`` directly —
+the element type disappears from the schema.
+"""
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.fd.model import FD
+from repro.lossless.check import check_normalization_lossless
+from repro.spec import XMLSpec
+from repro.xmltree.conformance import conforms
+
+
+DTD = """
+<!ELEMENT catalog (product*)>
+<!ELEMENT product (maker*)>
+<!ATTLIST product pid CDATA #REQUIRED>
+<!ELEMENT maker (#PCDATA)>
+"""
+
+# every maker listed under one product carries the same name text:
+FDS = """
+catalog.product.@pid -> catalog.product
+catalog.product -> catalog.product.maker.S
+"""
+
+DOC = """
+<catalog>
+  <product pid="p1"><maker>acme</maker><maker>acme</maker></product>
+  <product pid="p2"><maker>bolt</maker></product>
+</catalog>
+"""
+
+
+@pytest.fixture
+def spec():
+    return XMLSpec.parse(DTD, FDS)
+
+
+class TestMoveTextValue:
+    def test_anomaly_detected(self, spec):
+        violations = spec.xnf_violations()
+        assert [str(v) for v in violations] == [
+            "catalog.product -> catalog.product.maker.S"]
+
+    def test_element_folds_into_attribute(self, spec):
+        result = spec.normalize()
+        assert [s.kind for s in result.steps] == ["move"]
+        # the maker element type is gone; product gained an attribute
+        assert "maker" not in result.dtd.element_types
+        new_attrs = result.dtd.attrs("product") - {"@pid"}
+        assert len(new_attrs) == 1
+
+    def test_migration(self, spec):
+        result = spec.normalize()
+        doc = spec.parse_document(DOC)
+        migrated = result.migrate(doc)
+        assert conforms(migrated, result.dtd)
+        attr = next(iter(result.dtd.attrs("product") - {"@pid"}))
+        values = sorted(
+            v for (n, a), v in migrated.attributes.items() if a == attr)
+        assert values == ["acme", "bolt"]
+
+    def test_lossless(self, spec):
+        result = spec.normalize()
+        doc = spec.parse_document(DOC)
+        assert check_normalization_lossless(result, spec.dtd, doc)
+
+    def test_result_in_xnf(self, spec):
+        result = spec.normalize()
+        from repro.xnf.check import is_in_xnf
+        assert is_in_xnf(result.dtd, result.sigma)
+
+
+class TestGuards:
+    def test_text_element_with_attributes_rejected(self):
+        from repro.errors import UnsupportedFeatureError
+        from repro.normalize.transforms import move_attribute
+        from repro.dtd.paths import Path
+        dtd = parse_dtd("""
+            <!ELEMENT r (x*)>
+            <!ELEMENT x (t)>
+            <!ELEMENT t (#PCDATA)>
+            <!ATTLIST t lang CDATA #REQUIRED>
+        """)
+        with pytest.raises(UnsupportedFeatureError):
+            move_attribute(dtd, [], Path.parse("r.x.t.S"),
+                           Path.parse("r.x"))

@@ -1,0 +1,48 @@
+"""Unit tests for the implication-free variant (Proposition 7)."""
+
+from repro.normalize.simple_algorithm import normalize_simple
+from repro.xnf.check import is_in_xnf
+
+
+class TestProposition7:
+    def test_university_reaches_xnf(self, uni_spec):
+        result = normalize_simple(uni_spec.dtd, uni_spec.sigma)
+        assert result.steps
+        assert is_in_xnf(result.dtd, result.sigma)
+
+    def test_dblp_reaches_xnf_suboptimally(self, dblp):
+        """Only step (3) is available, so DBLP gets a new element type
+        where the full algorithm would move an attribute."""
+        result = normalize_simple(dblp.dtd, dblp.sigma)
+        assert all(step.kind == "create" for step in result.steps)
+        assert is_in_xnf(result.dtd, result.sigma)
+        # year left inproceedings but issue gained no attribute
+        assert "@year" not in result.dtd.attrs("inproceedings")
+        assert "@year" not in result.dtd.attrs("issue")
+
+    def test_already_normalized_is_noop(self, uni_spec):
+        result = normalize_simple(uni_spec.dtd, uni_spec.sigma[:2])
+        assert result.steps == []
+
+    def test_migration_still_works(self, uni_spec, uni_doc):
+        from repro.xmltree.conformance import conforms
+        result = normalize_simple(uni_spec.dtd, uni_spec.sigma)
+        migrated = result.migrate(uni_doc)
+        assert conforms(migrated, result.dtd)
+
+    def test_terminates_on_combined_anomalies(self):
+        from repro.dtd.parser import parse_dtd
+        from repro.fd.model import FD
+        dtd = parse_dtd("""
+            <!ELEMENT db (item*)>
+            <!ELEMENT item EMPTY>
+            <!ATTLIST item sku CDATA #REQUIRED
+                           price CDATA #REQUIRED
+                           vendor CDATA #REQUIRED>
+        """)
+        sigma = [
+            FD.parse("db.item.@sku -> db.item.@price"),
+            FD.parse("db.item.@sku -> db.item.@vendor"),
+        ]
+        result = normalize_simple(dtd, sigma)
+        assert is_in_xnf(result.dtd, result.sigma)

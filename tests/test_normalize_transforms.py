@@ -1,0 +1,189 @@
+"""Unit tests for the two Section 6 transformations."""
+
+import pytest
+
+from repro.errors import ConformanceError, UnsupportedFeatureError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.paths import Path
+from repro.fd.model import FD
+from repro.normalize.transforms import (
+    NewElementNames,
+    create_element_type,
+    move_attribute,
+)
+from repro.xmltree.conformance import conforms
+from repro.xmltree.parser import parse_xml
+
+
+P = Path.parse
+
+
+class TestMoveAttribute:
+    def test_dblp_move(self, dblp):
+        step = move_attribute(
+            dblp.dtd, dblp.sigma,
+            P("db.conf.issue.inproceedings.@year"), P("db.conf.issue"))
+        assert step.kind == "move"
+        assert "@year" in step.dtd.attrs("issue")
+        assert "@year" not in step.dtd.attrs("inproceedings")
+        # FD5 became trivial and was dropped; FD4 survives
+        assert step.sigma == [dblp.sigma[0]]
+
+    def test_renaming_map(self, dblp):
+        step = move_attribute(
+            dblp.dtd, dblp.sigma,
+            P("db.conf.issue.inproceedings.@year"), P("db.conf.issue"))
+        assert step.renaming == {
+            P("db.conf.issue.inproceedings.@year"):
+            P("db.conf.issue.@year")}
+
+    def test_fresh_attribute_on_clash(self, dblp):
+        dtd = parse_dtd("""
+            <!ELEMENT db (conf*)>
+            <!ELEMENT conf (issue+)>
+            <!ELEMENT issue (paper+)>
+            <!ATTLIST issue year CDATA #REQUIRED>
+            <!ELEMENT paper EMPTY>
+            <!ATTLIST paper year CDATA #REQUIRED>
+        """)
+        step = move_attribute(dtd, [], P("db.conf.issue.paper.@year"),
+                              P("db.conf.issue"))
+        assert "@year1" in step.dtd.attrs("issue")
+
+    def test_migration(self, dblp, dblp_doc):
+        step = move_attribute(
+            dblp.dtd, dblp.sigma,
+            P("db.conf.issue.inproceedings.@year"), P("db.conf.issue"))
+        migrated = step.migrate(dblp_doc)
+        assert conforms(migrated, step.dtd)
+        years = sorted(
+            value for (node, attr), value in migrated.attributes.items()
+            if attr == "@year" and migrated.label(node) == "issue")
+        assert years == ["2001", "2002"]
+
+    def test_migration_rejects_violating_document(self, dblp):
+        doc = parse_xml("""
+        <db><conf><title>X</title><issue>
+          <inproceedings key="a" pages="1" year="2001">
+            <author>A</author><title>P</title><booktitle>B</booktitle>
+          </inproceedings>
+          <inproceedings key="b" pages="2" year="2002">
+            <author>B</author><title>Q</title><booktitle>B</booktitle>
+          </inproceedings>
+        </issue></conf></db>
+        """)
+        step = move_attribute(
+            dblp.dtd, dblp.sigma,
+            P("db.conf.issue.inproceedings.@year"), P("db.conf.issue"))
+        with pytest.raises(ConformanceError):
+            step.migrate(doc)
+
+    def test_element_value_path_rejected(self, dblp):
+        from repro.errors import InvalidFDError
+        with pytest.raises(InvalidFDError):
+            move_attribute(dblp.dtd, dblp.sigma,
+                           P("db.conf.issue"), P("db.conf"))
+
+    def test_shared_type_guard(self, dblp):
+        # 'title' occurs at two paths; moving its text is ambiguous
+        with pytest.raises(UnsupportedFeatureError):
+            move_attribute(dblp.dtd, dblp.sigma,
+                           P("db.conf.title.S"), P("db.conf"))
+
+
+class TestCreateElementType:
+    def test_university_create(self, uni_spec):
+        fd = uni_spec.sigma[2]
+        fd = FD(fd.lhs | {P("courses")}, fd.rhs)
+        step = create_element_type(
+            uni_spec.dtd, uni_spec.sigma, fd,
+            names=NewElementNames(tau="info", taus=["number"]))
+        dtd = step.dtd
+        assert dtd.content("courses").to_dtd() == "(course*, info*)"
+        assert dtd.content("info").to_dtd() == "(number*, name)"
+        assert dtd.content("student").to_dtd() == "grade"
+        assert dtd.attrs("number") == {"@sno"}
+        assert dtd.attrs("info") == frozenset()
+
+    def test_structural_fds_added(self, uni_spec):
+        fd = FD(uni_spec.sigma[2].lhs | {P("courses")},
+                uni_spec.sigma[2].rhs)
+        step = create_element_type(
+            uni_spec.dtd, uni_spec.sigma, fd,
+            names=NewElementNames(tau="info", taus=["number"]))
+        rendered = {str(f) for f in step.sigma}
+        assert ("{courses, courses.info.number.@sno} -> courses.info"
+                in rendered)
+        assert ("{courses.info, courses.info.number.@sno} -> "
+                "courses.info.number" in rendered)
+
+    def test_migration_reproduces_figure_1b(self, uni_spec, uni_doc):
+        fd = FD(uni_spec.sigma[2].lhs | {P("courses")},
+                uni_spec.sigma[2].rhs)
+        step = create_element_type(
+            uni_spec.dtd, uni_spec.sigma, fd,
+            names=NewElementNames(tau="info", taus=["number"]))
+        migrated = step.migrate(uni_doc)
+        assert conforms(migrated, step.dtd)
+        # group content: Deere -> {st1}, Smith -> {st2, st3}
+        groups = {}
+        for node in migrated.iter_nodes():
+            if migrated.label(node) == "info":
+                name = next(
+                    migrated.text(c) for c in migrated.children(node)
+                    if migrated.label(c) == "name")
+                numbers = sorted(
+                    migrated.attr(c, "sno")
+                    for c in migrated.children(node)
+                    if migrated.label(c) == "number")
+                groups[name] = numbers
+        assert groups == {"Deere": ["st1"], "Smith": ["st2", "st3"]}
+
+    def test_attribute_value_variant(self):
+        """The value is an attribute rather than text."""
+        dtd = parse_dtd("""
+            <!ELEMENT shop (item*)>
+            <!ELEMENT item EMPTY>
+            <!ATTLIST item sku CDATA #REQUIRED price CDATA #REQUIRED>
+        """)
+        sigma = [FD.parse("shop.item.@sku -> shop.item.@price")]
+        fd = FD.parse("{shop, shop.item.@sku} -> shop.item.@price")
+        step = create_element_type(dtd, sigma, fd)
+        assert "@price" not in step.dtd.attrs("item")
+        tau = next(t for t in step.dtd.element_types
+                   if t not in dtd.element_types
+                   and "@price" in step.dtd.attrs(t))
+        doc = parse_xml(
+            '<shop><item sku="a" price="10"/><item sku="b" price="10"/>'
+            '<item sku="a" price="10"/></shop>')
+        migrated = step.migrate(doc)
+        assert conforms(migrated, step.dtd)
+        # one tau group per distinct price... keyed by sku: price 10
+        # stored once per group
+        taus = [n for n in migrated.iter_nodes()
+                if migrated.label(n) == tau]
+        assert len(taus) == 1
+
+    def test_degenerate_no_keys(self):
+        """n = 0: a lone element path determines the value (the
+        Proposition 7 shape)."""
+        dtd = parse_dtd("""
+            <!ELEMENT db (issue*)>
+            <!ELEMENT issue (paper+)>
+            <!ELEMENT paper EMPTY>
+            <!ATTLIST paper year CDATA #REQUIRED>
+        """)
+        sigma = [FD.parse("db.issue -> db.issue.paper.@year")]
+        step = create_element_type(dtd, sigma, sigma[0])
+        assert conforms(
+            step.migrate(parse_xml(
+                '<db><issue><paper year="2002"/><paper year="2002"/>'
+                "</issue></db>")),
+            step.dtd)
+
+    def test_two_element_paths_rejected(self, uni_spec):
+        fd = FD(frozenset({P("courses"), P("courses.course"),
+                           P("courses.course.@cno")}),
+                frozenset({P("courses.course.title.S")}))
+        with pytest.raises(UnsupportedFeatureError):
+            create_element_type(uni_spec.dtd, uni_spec.sigma, fd)

@@ -1,0 +1,136 @@
+"""Unit tests for occurrence bounds and multiplicity classes."""
+
+import math
+
+import pytest
+
+from repro.regex.analysis import (
+    Multiplicity,
+    add_multiplicity,
+    multiplicity_from_bounds,
+    occurrence_bounds,
+    symbol_multiplicities,
+    union_multiplicity,
+)
+from repro.regex.parser import parse_content_model as p
+
+
+class TestOccurrenceBounds:
+    @pytest.mark.parametrize("regex, symbol, expected", [
+        ("(a)", "a", (1, 1)),
+        ("(a)", "b", (0, 0)),
+        ("(a*)", "a", (0, math.inf)),
+        ("(a+)", "a", (1, math.inf)),
+        ("(a?)", "a", (0, 1)),
+        ("(a, a)", "a", (2, 2)),
+        ("(a | b)", "a", (0, 1)),
+        ("((a, a) | a)", "a", (1, 2)),
+        ("((a | b)*)", "b", (0, math.inf)),
+        ("(a, b, a?)", "a", (1, 2)),
+        ("((a, a)+)", "a", (2, math.inf)),
+    ])
+    def test_bounds(self, regex, symbol, expected):
+        assert occurrence_bounds(p(regex), symbol) == expected
+
+
+class TestMultiplicityFromBounds:
+    @pytest.mark.parametrize("bounds, expected", [
+        ((0, 0), Multiplicity.ZERO),
+        ((1, 1), Multiplicity.ONE),
+        ((0, 1), Multiplicity.OPT),
+        ((1, math.inf), Multiplicity.PLUS),
+        ((0, math.inf), Multiplicity.STAR),
+        ((2, 2), None),
+        ((1, 2), None),
+        ((2, math.inf), None),
+    ])
+    def test_mapping(self, bounds, expected):
+        assert multiplicity_from_bounds(*bounds) is expected
+
+
+class TestMultiplicityProperties:
+    def test_forced(self):
+        assert Multiplicity.ONE.forced
+        assert Multiplicity.PLUS.forced
+        assert not Multiplicity.OPT.forced
+        assert not Multiplicity.STAR.forced
+        assert not Multiplicity.ZERO.forced
+
+    def test_at_most_one(self):
+        assert Multiplicity.ONE.at_most_one
+        assert Multiplicity.OPT.at_most_one
+        assert Multiplicity.ZERO.at_most_one
+        assert not Multiplicity.PLUS.at_most_one
+        assert not Multiplicity.STAR.at_most_one
+
+    def test_suffixes(self):
+        assert Multiplicity.ONE.to_suffix() == ""
+        assert Multiplicity.OPT.to_suffix() == "?"
+        assert Multiplicity.PLUS.to_suffix() == "+"
+        assert Multiplicity.STAR.to_suffix() == "*"
+
+
+class TestClassAlgebra:
+    def test_sum_with_zero_is_identity(self):
+        for cls in Multiplicity:
+            assert add_multiplicity(Multiplicity.ZERO, cls) is cls
+
+    def test_one_plus_star_is_plus(self):
+        assert add_multiplicity(
+            Multiplicity.ONE, Multiplicity.STAR) is Multiplicity.PLUS
+
+    def test_one_plus_one_has_no_class(self):
+        assert add_multiplicity(Multiplicity.ONE, Multiplicity.ONE) is None
+
+    def test_star_plus_star_is_star(self):
+        assert add_multiplicity(
+            Multiplicity.STAR, Multiplicity.STAR) is Multiplicity.STAR
+
+    def test_union_total_on_classes(self):
+        for a in Multiplicity:
+            for b in Multiplicity:
+                assert union_multiplicity(a, b) is not None
+
+    def test_union_examples(self):
+        assert union_multiplicity(
+            Multiplicity.ZERO, Multiplicity.ONE) is Multiplicity.OPT
+        assert union_multiplicity(
+            Multiplicity.ZERO, Multiplicity.PLUS) is Multiplicity.STAR
+        assert union_multiplicity(
+            Multiplicity.OPT, Multiplicity.PLUS) is Multiplicity.STAR
+        assert union_multiplicity(
+            Multiplicity.ONE, Multiplicity.PLUS) is Multiplicity.PLUS
+
+    def test_union_semantics_on_representatives(self):
+        """The class union really is the set union of occurrence sets."""
+        reps = {
+            Multiplicity.ZERO: {0},
+            Multiplicity.ONE: {1},
+            Multiplicity.OPT: {0, 1},
+            Multiplicity.PLUS: {1, 2, 3},
+            Multiplicity.STAR: {0, 1, 2, 3},
+        }
+        for a in Multiplicity:
+            for b in Multiplicity:
+                merged = union_multiplicity(a, b)
+                want = reps[a] | reps[b]
+                got = {n for n in range(4)
+                       if merged.min_count <= n <= merged.max_count}
+                assert want <= got
+
+
+class TestSymbolMultiplicities:
+    def test_university_production(self):
+        classes = symbol_multiplicities(p("(course*, info*)"))
+        assert classes == {"course": Multiplicity.STAR,
+                           "info": Multiplicity.STAR}
+
+    def test_mixed(self):
+        classes = symbol_multiplicities(p("(author+, title, booktitle?)"))
+        assert classes["author"] is Multiplicity.PLUS
+        assert classes["title"] is Multiplicity.ONE
+        assert classes["booktitle"] is Multiplicity.OPT
+
+    def test_unclassifiable_symbol(self):
+        classes = symbol_multiplicities(p("(b, b)"))
+        assert classes["b"] is None

@@ -1,0 +1,164 @@
+"""Unit tests for the regex AST and smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY_SET,
+    EPSILON,
+    PCDATA,
+    Concat,
+    Optional,
+    Plus,
+    Star,
+    Sym,
+    Union,
+    concat,
+    desugar,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+
+
+class TestAlphabet:
+    def test_symbol(self):
+        assert sym("a").alphabet() == {"a"}
+
+    def test_epsilon_and_empty(self):
+        assert EPSILON.alphabet() == frozenset()
+        assert EMPTY_SET.alphabet() == frozenset()
+
+    def test_pcdata_uses_reserved_s(self):
+        assert PCDATA.alphabet() == {"S"}
+
+    def test_composite(self):
+        regex = concat([sym("a"), star(union([sym("b"), sym("c")]))])
+        assert regex.alphabet() == {"a", "b", "c"}
+
+
+class TestNullable:
+    def test_epsilon_nullable(self):
+        assert EPSILON.nullable()
+
+    def test_symbol_not_nullable(self):
+        assert not sym("a").nullable()
+
+    def test_star_nullable(self):
+        assert star(sym("a")).nullable()
+
+    def test_plus_not_nullable(self):
+        assert not plus(sym("a")).nullable()
+
+    def test_optional_nullable(self):
+        assert optional(sym("a")).nullable()
+
+    def test_concat_nullable_iff_all(self):
+        assert concat([star(sym("a")), optional(sym("b"))]).nullable()
+        assert not concat([star(sym("a")), sym("b")]).nullable()
+
+    def test_union_nullable_iff_any(self):
+        assert union([sym("a"), EPSILON]).nullable()
+        assert not union([sym("a"), sym("b")]).nullable()
+
+
+class TestSmartConstructors:
+    def test_union_flattens(self):
+        regex = union([union([sym("a"), sym("b")]), sym("c")])
+        assert isinstance(regex, Union)
+        assert len(regex.parts) == 3
+
+    def test_union_deduplicates(self):
+        assert union([sym("a"), sym("a")]) == sym("a")
+
+    def test_union_drops_empty_language(self):
+        assert union([sym("a"), EMPTY_SET]) == sym("a")
+
+    def test_union_of_nothing_is_empty(self):
+        assert union([]) is EMPTY_SET
+
+    def test_concat_flattens(self):
+        regex = concat([concat([sym("a"), sym("b")]), sym("c")])
+        assert isinstance(regex, Concat)
+        assert len(regex.parts) == 3
+
+    def test_concat_absorbs_epsilon(self):
+        assert concat([EPSILON, sym("a"), EPSILON]) == sym("a")
+
+    def test_concat_with_empty_language_is_empty(self):
+        assert concat([sym("a"), EMPTY_SET]) is EMPTY_SET
+
+    def test_empty_concat_is_epsilon(self):
+        assert concat([]) is EPSILON
+
+    def test_star_idempotent(self):
+        assert star(star(sym("a"))) == star(sym("a"))
+
+    def test_star_of_epsilon(self):
+        assert star(EPSILON) is EPSILON
+
+    def test_star_of_plus_collapses(self):
+        assert star(plus(sym("a"))) == star(sym("a"))
+
+    def test_star_of_optional_collapses(self):
+        assert star(optional(sym("a"))) == star(sym("a"))
+
+    def test_plus_of_star_is_star(self):
+        assert plus(star(sym("a"))) == star(sym("a"))
+
+    def test_optional_of_star_is_star(self):
+        assert optional(star(sym("a"))) == star(sym("a"))
+
+    def test_optional_of_plus_is_star(self):
+        assert optional(plus(sym("a"))) == star(sym("a"))
+
+
+class TestRendering:
+    @pytest.mark.parametrize("regex, expected", [
+        (sym("a"), "a"),
+        (EPSILON, "EMPTY"),
+        (PCDATA, "(#PCDATA)"),
+        (star(sym("a")), "a*"),
+        (plus(sym("a")), "a+"),
+        (optional(sym("a")), "a?"),
+        (concat([sym("a"), sym("b")]), "(a, b)"),
+        (union([sym("a"), sym("b")]), "(a | b)"),
+        (star(union([sym("a"), sym("b")])), "(a | b)*"),
+    ])
+    def test_to_dtd(self, regex, expected):
+        assert regex.to_dtd() == expected
+
+
+class TestDesugar:
+    def test_plus_desugars_to_concat_star(self):
+        assert desugar(plus(sym("a"))) == concat([sym("a"),
+                                                  star(sym("a"))])
+
+    def test_optional_desugars_to_union_epsilon(self):
+        result = desugar(optional(sym("a")))
+        assert result.nullable()
+        assert result.alphabet() == {"a"}
+
+    def test_core_nodes_unchanged(self):
+        regex = concat([sym("a"), star(sym("b"))])
+        assert desugar(regex) == regex
+
+    def test_desugar_preserves_language(self):
+        from repro.regex.matching import matches
+        regex = concat([plus(sym("a")), optional(sym("b"))])
+        core = desugar(regex)
+        for word in ([], ["a"], ["a", "a"], ["a", "b"], ["b"],
+                     ["a", "a", "b"], ["b", "a"]):
+            assert matches(regex, word) == matches(core, word)
+
+
+class TestHashability:
+    def test_equal_structures_hash_equal(self):
+        first = concat([sym("a"), star(sym("b"))])
+        second = concat([sym("a"), star(sym("b"))])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_usable_in_sets(self):
+        assert len({sym("a"), sym("a"), sym("b")}) == 2

@@ -1,0 +1,131 @@
+"""Unit tests for the Section 7 regex taxonomy."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.regex.classify import (
+    disjunction_measure,
+    is_disjunctive_production,
+    is_simple,
+    is_simple_disjunction,
+    is_trivial,
+    simple_multiplicities,
+    trivial_equivalent,
+)
+from repro.regex.analysis import Multiplicity
+from repro.regex.parser import parse_content_model as p
+
+
+class TestTrivial:
+    @pytest.mark.parametrize("text", [
+        "(a)", "(a?)", "(a+)", "(a*)", "(a, b?, c*)", "EMPTY",
+        "(title, taken_by)", "(course*)", "(#PCDATA)",
+    ])
+    def test_trivial(self, text):
+        assert is_trivial(p(text))
+
+    @pytest.mark.parametrize("text", [
+        "(a, a)", "(a | b)", "((a, b)*)", "(a, (b | c))", "((a)+, a)",
+    ])
+    def test_not_trivial(self, text):
+        assert not is_trivial(p(text))
+
+
+class TestSimple:
+    @pytest.mark.parametrize("text", [
+        # the paper's own example: (a|b|c)* is simple (= a*, b*, c*)
+        "((a | b | c)*)",
+        "(a, b?, c*)",
+        "(a*)",
+        "EMPTY",
+        "((a | b)*, c)",
+        "((a?))",
+        # a symbol shared by two star factors still factorizes
+        "(doc*, x, (doc | y)*)",
+    ])
+    def test_simple(self, text):
+        assert is_simple(p(text))
+
+    @pytest.mark.parametrize("text", [
+        "(a | b)",          # union of two distinct symbols is not simple
+        "(b, b)",           # exactly two occurrences
+        "((a, b))?",
+        "((a, b)*)",        # counts are correlated
+        "((a, b)+)",
+        "(qna+ | q+ | (p | div | section)+)",
+    ])
+    def test_not_simple(self, text):
+        assert not is_simple(p(text))
+
+    def test_trivial_equivalent_of_union_star(self):
+        assert trivial_equivalent(p("((a | b | c)*)")).to_dtd() == \
+            "(a*, b*, c*)"
+
+    def test_simple_multiplicities(self):
+        classes = simple_multiplicities(p("((a | b)*, c)"))
+        assert classes == {"a": Multiplicity.STAR,
+                           "b": Multiplicity.STAR,
+                           "c": Multiplicity.ONE}
+
+    def test_simple_multiplicities_raises_on_non_simple(self):
+        with pytest.raises(ReproError):
+            simple_multiplicities(p("(a | b)"))
+
+
+class TestSimpleDisjunction:
+    @pytest.mark.parametrize("text", [
+        "(a | b)", "(a)", "EMPTY", "(a | b | c)", "(a?)",
+    ])
+    def test_yes(self, text):
+        assert is_simple_disjunction(p(text))
+
+    @pytest.mark.parametrize("text", [
+        "(a | a)",          # same alphabet on both sides -> collapses,
+    ])
+    def test_degenerate_union_collapses(self, text):
+        # smart constructors deduplicate (a | a) to a, which is fine
+        assert is_simple_disjunction(p(text))
+
+    @pytest.mark.parametrize("text", [
+        "(a, b)", "((a, b) | c)", "(a+ | b)", "(a* | b)",
+    ])
+    def test_no(self, text):
+        assert not is_simple_disjunction(p(text))
+
+
+class TestDisjunctiveProduction:
+    @pytest.mark.parametrize("text", [
+        "((a | b), c)",          # simple disjunction then simple regex
+        "(x*, (a | b))",
+        "((a | b))",
+        "(x, y?, z*)",           # purely simple is also disjunctive
+        "((a | b), (c | d))",
+    ])
+    def test_yes(self, text):
+        assert is_disjunctive_production(p(text))
+
+    @pytest.mark.parametrize("text", [
+        "(qna+ | q+ | (p | div | section)+)",  # the FAQ production
+        "((a | b), (b | c))",                   # overlapping alphabets
+        "(logo*, title, (qna+ | q+ | p+))",
+    ])
+    def test_no(self, text):
+        assert not is_disjunctive_production(p(text))
+
+
+class TestDisjunctionMeasure:
+    def test_simple_has_measure_one(self):
+        assert disjunction_measure(p("(a*, b?)")) == 1
+
+    def test_single_disjunction(self):
+        assert disjunction_measure(p("((a | b), c)")) == 2
+
+    def test_three_way(self):
+        assert disjunction_measure(p("((a | b | c), x)")) == 3
+
+    def test_product_over_factors(self):
+        assert disjunction_measure(p("((a | b), (c | d | e))")) == 6
+
+    def test_raises_on_non_disjunctive(self):
+        with pytest.raises(ReproError):
+            disjunction_measure(p("(qna+ | q+ | (p | div | section)+)"))

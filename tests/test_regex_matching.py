@@ -1,0 +1,85 @@
+"""Unit tests for derivative-based word and multiset matching."""
+
+import pytest
+
+from repro.regex.matching import (
+    accepts_single_symbol,
+    derivative,
+    matches,
+    matches_multiset,
+)
+from repro.regex.parser import parse_content_model as p
+
+
+class TestMatches:
+    @pytest.mark.parametrize("regex, word, expected", [
+        ("(a, b)", ["a", "b"], True),
+        ("(a, b)", ["b", "a"], False),
+        ("(a, b)", ["a"], False),
+        ("(a*)", [], True),
+        ("(a*)", ["a", "a", "a"], True),
+        ("(a+)", [], False),
+        ("(a+)", ["a"], True),
+        ("(a?)", ["a", "a"], False),
+        ("(a | b)", ["a"], True),
+        ("(a | b)", ["a", "b"], False),
+        ("((a | b)*)", ["b", "a", "b"], True),
+        ("(title, taken_by)", ["title", "taken_by"], True),
+        ("(author+, title, booktitle)",
+         ["author", "author", "title", "booktitle"], True),
+        ("(author+, title, booktitle)", ["title", "booktitle"], False),
+        ("EMPTY", [], True),
+        ("EMPTY", ["a"], False),
+    ])
+    def test_words(self, regex, word, expected):
+        assert matches(p(regex), word) is expected
+
+    def test_pcdata_matches_text_symbol(self):
+        assert matches(p("(#PCDATA)"), ["S"])
+        assert not matches(p("(#PCDATA)"), [])
+        assert not matches(p("(#PCDATA)"), ["S", "S"])
+
+    def test_unknown_symbol_fails_fast(self):
+        assert not matches(p("(a, b)"), ["z"])
+
+
+class TestMatchesMultiset:
+    @pytest.mark.parametrize("regex, counts, expected", [
+        ("(a, b)", {"a": 1, "b": 1}, True),
+        ("(a, b)", {"a": 1}, False),
+        ("(a, b)", {"b": 1, "a": 1}, True),
+        ("(a, b, a)", {"a": 2, "b": 1}, True),
+        ("(a, b, a)", {"a": 1, "b": 2}, False),
+        ("((a | b)*)", {"a": 3, "b": 2}, True),
+        ("(a+, b?)", {"a": 2}, True),
+        ("(a+, b?)", {"b": 1}, False),
+        ("EMPTY", {}, True),
+    ])
+    def test_multisets(self, regex, counts, expected):
+        assert matches_multiset(p(regex), counts) is expected
+
+    def test_accepts_iterables(self):
+        assert matches_multiset(p("(a, b)"), ["b", "a"])
+
+    def test_symbol_outside_alphabet(self):
+        assert not matches_multiset(p("(a, b)"), {"a": 1, "z": 1})
+
+    def test_permutation_of_long_sequence(self):
+        regex = p("(a, b, c, d, e)")
+        assert matches_multiset(regex, ["e", "c", "a", "d", "b"])
+        assert not matches_multiset(regex, ["e", "c", "a", "d"])
+
+
+class TestDerivative:
+    def test_derivative_of_symbol(self):
+        assert derivative(p("(a)"), "a").nullable()
+        assert derivative(p("(a)"), "b").is_empty_language()
+
+    def test_derivative_chains(self):
+        regex = p("(a, b)")
+        assert derivative(derivative(regex, "a"), "b").nullable()
+
+    def test_accepts_single_symbol(self):
+        assert accepts_single_symbol(p("(a | b)"), "a")
+        assert not accepts_single_symbol(p("(a, b)"), "a")
+        assert accepts_single_symbol(p("((a | b)*)"), "b")

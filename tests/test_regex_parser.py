@@ -1,0 +1,97 @@
+"""Unit tests for the content-model parser."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    EPSILON,
+    PCDATA,
+    concat,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+)
+from repro.regex.parser import parse_content_model
+
+
+class TestBasics:
+    def test_empty(self):
+        assert parse_content_model("EMPTY") is EPSILON
+
+    def test_pcdata(self):
+        assert parse_content_model("(#PCDATA)") == PCDATA
+
+    def test_single_name(self):
+        assert parse_content_model("(title)") == sym("title")
+
+    def test_any_is_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_content_model("ANY")
+
+
+class TestCompound:
+    def test_sequence(self):
+        assert parse_content_model("(title, taken_by)") == concat(
+            [sym("title"), sym("taken_by")])
+
+    def test_choice(self):
+        assert parse_content_model("(a | b)") == union(
+            [sym("a"), sym("b")])
+
+    def test_occurrence_suffixes(self):
+        assert parse_content_model("(course*)") == star(sym("course"))
+        assert parse_content_model("(issue+)") == plus(sym("issue"))
+        assert parse_content_model("(logo?)") == optional(sym("logo"))
+
+    def test_suffix_on_group(self):
+        regex = parse_content_model("((a | b)*)")
+        assert regex == star(union([sym("a"), sym("b")]))
+
+    def test_nested_groups(self):
+        regex = parse_content_model(
+            "(logo*, title, (qna+ | q+ | (p | div | section)+))")
+        assert regex.alphabet() == {
+            "logo", "title", "qna", "q", "p", "div", "section"}
+
+    def test_whitespace_insensitive(self):
+        compact = parse_content_model("(a,b,c)")
+        spaced = parse_content_model("( a ,\n  b , c )")
+        assert compact == spaced
+
+    def test_names_with_dots_and_dashes(self):
+        regex = parse_content_model("(xs:element, my-name, a.b)")
+        assert regex.alphabet() == {"xs:element", "my-name", "a.b"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "(a,", "(a))", "(a | )", "(,a)", "(a b)", "(a,,b)", "()", "",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse_content_model(text)
+
+    def test_mixed_separators_rejected(self):
+        # Standard DTD syntax forbids (a, b | c) at one nesting level.
+        with pytest.raises(RegexSyntaxError):
+            parse_content_model("(a, b | c)")
+
+    def test_unknown_character(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_content_model("(a & b)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "(title, taken_by)",
+        "(course*, info*)",
+        "(a | b)*",
+        "(author+, title, booktitle)",
+        "(ConditionExpression?, Documentation*)",
+    ])
+    def test_parse_render_parse(self, text):
+        once = parse_content_model(text)
+        again = parse_content_model(once.to_dtd())
+        assert once == again

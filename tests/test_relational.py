@@ -1,0 +1,108 @@
+"""Unit tests for the flat relational substrate (schemas, BCNF)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.relational.schema import (
+    RelationalFD,
+    RelationSchema,
+    armstrong_closure,
+    bcnf_decompose,
+    bcnf_violations,
+    candidate_keys,
+    implies_relational,
+    is_in_bcnf,
+    is_superkey,
+    project_fds,
+)
+
+
+G = RelationSchema("G", ("A", "B", "C"))
+
+
+def fds(*texts):
+    return [RelationalFD.parse(t) for t in texts]
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert armstrong_closure({"A"}, []) == {"A"}
+
+    def test_transitive(self):
+        closure = armstrong_closure({"A"}, fds("A -> B", "B -> C"))
+        assert closure == {"A", "B", "C"}
+
+    def test_combined_lhs(self):
+        closure = armstrong_closure({"A"}, fds("A, B -> C"))
+        assert closure == {"A"}
+
+    def test_implies(self):
+        assert implies_relational(fds("A -> B", "B -> C"),
+                                  RelationalFD.parse("A -> C"))
+        assert not implies_relational(fds("A -> B"),
+                                      RelationalFD.parse("B -> A"))
+
+
+class TestKeys:
+    def test_superkey(self):
+        assert is_superkey(G, fds("A -> B", "A -> C"), {"A"})
+        assert not is_superkey(G, fds("A -> B"), {"A"})
+
+    def test_candidate_keys(self):
+        keys = candidate_keys(G, fds("A -> B", "B -> C"))
+        assert keys == [frozenset({"A"})]
+
+    def test_multiple_keys(self):
+        keys = candidate_keys(G, fds("A -> B, C", "B -> A, C"))
+        assert frozenset({"A"}) in keys and frozenset({"B"}) in keys
+
+
+class TestBCNF:
+    def test_violating_schema(self):
+        assert not is_in_bcnf(G, fds("A -> B"))
+        violations = list(bcnf_violations(G, fds("A -> B")))
+        assert RelationalFD(frozenset({"A"}),
+                            frozenset({"B"})) in violations
+
+    def test_key_schema_in_bcnf(self):
+        assert is_in_bcnf(G, fds("A -> B, C"))
+
+    def test_two_keys_in_bcnf(self):
+        assert is_in_bcnf(G, fds("A -> B, C", "B -> A"))
+
+    def test_no_fds_is_bcnf(self):
+        assert is_in_bcnf(G, [])
+
+    def test_classic_decomposition(self):
+        pieces = bcnf_decompose(G, fds("A -> B"))
+        attr_sets = sorted(
+            tuple(sorted(piece.attribute_set)) for piece, _ in pieces)
+        assert attr_sets == [("A", "B"), ("A", "C")]
+        for piece, piece_fds in pieces:
+            assert is_in_bcnf(piece, piece_fds)
+
+    def test_decomposition_of_bcnf_schema_is_identity(self):
+        pieces = bcnf_decompose(G, fds("A -> B, C"))
+        assert len(pieces) == 1
+
+    def test_projection_keeps_implied_fds(self):
+        projected = project_fds(fds("A -> B", "B -> C"),
+                                frozenset({"A", "C"}))
+        assert any(
+            fd.lhs == {"A"} and "C" in fd.rhs for fd in projected)
+
+
+class TestValidation:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ReproError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_empty_fd_sides_rejected(self):
+        with pytest.raises(ReproError):
+            RelationalFD.parse("-> A")
+        with pytest.raises(ReproError):
+            RelationalFD.parse("A B")
+
+    def test_trivial_detection(self):
+        assert RelationalFD.parse("A, B -> A").is_trivial()
+        assert not RelationalFD.parse("A -> B").is_trivial()

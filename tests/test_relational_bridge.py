@@ -1,0 +1,92 @@
+"""Unit tests for the relational → XML coding (Example 5.3, Prop. 4)."""
+
+from repro.dtd.paths import Path
+from repro.relational.schema import RelationalFD, RelationSchema, is_in_bcnf
+from repro.relational.xml_coding import (
+    attr_path,
+    decode_relation,
+    encode_relation,
+    relational_dtd,
+    relational_sigma,
+    row_path,
+)
+from repro.xmltree.conformance import conforms
+from repro.xnf.check import is_in_xnf
+
+
+G = RelationSchema("G", ("A", "B", "C"))
+
+
+def fds(*texts):
+    return [RelationalFD.parse(t) for t in texts]
+
+
+class TestCoding:
+    def test_example_53_dtd_shape(self):
+        dtd = relational_dtd(G)
+        assert dtd.root == "db"
+        assert dtd.content("db").to_dtd() == "G*"
+        assert dtd.attrs("G") == {"@A", "@B", "@C"}
+        assert not dtd.is_recursive
+
+    def test_paths(self):
+        assert row_path(G) == Path.parse("db.G")
+        assert attr_path(G, "A") == Path.parse("db.G.@A")
+
+    def test_sigma_includes_no_duplicates_key(self):
+        sigma = relational_sigma(G, fds("A -> B"))
+        rendered = {str(fd) for fd in sigma}
+        assert "db.G.@A -> db.G.@B" in rendered
+        assert "{db.G.@A, db.G.@B, db.G.@C} -> db.G" in rendered
+
+
+class TestProposition4:
+    """BCNF iff XNF, on hand-picked FD families."""
+
+    FAMILIES = [
+        ["A -> B"],                      # not BCNF
+        ["A -> B, C"],                   # key: BCNF
+        ["A -> B", "B -> A"],            # not BCNF (A->B not a key FD)
+        ["A -> B, C", "B -> A, C"],      # two keys: BCNF
+        [],                              # no FDs: BCNF
+        ["A, B -> C"],                   # AB not a key: not BCNF
+        ["A, B -> C", "C -> A, B"],      # both sides keys: BCNF
+    ]
+
+    def test_agreement(self):
+        for family in self.FAMILIES:
+            relational = fds(*family)
+            bcnf = is_in_bcnf(G, relational)
+            xnf = is_in_xnf(relational_dtd(G),
+                            relational_sigma(G, relational))
+            assert bcnf == xnf, f"Proposition 4 fails on {family}"
+
+
+class TestInstances:
+    ROWS = [
+        {"A": "1", "B": "x", "C": "p"},
+        {"A": "2", "B": "x", "C": "q"},
+    ]
+
+    def test_encode_conforms(self):
+        doc = encode_relation(G, self.ROWS)
+        assert conforms(doc, relational_dtd(G))
+
+    def test_round_trip(self):
+        doc = encode_relation(G, self.ROWS)
+        decoded = decode_relation(G, doc)
+        assert sorted(decoded, key=lambda r: r["A"]) == self.ROWS
+
+    def test_fd_semantics_transfer(self):
+        """The coded document satisfies the coded FD iff the relation
+        satisfies the relational FD."""
+        from repro.fd.satisfaction import satisfies
+        dtd = relational_dtd(G)
+        sigma = relational_sigma(G, fds("A -> B"))
+        good = encode_relation(G, self.ROWS)
+        assert satisfies(good, dtd, sigma[0])
+        bad = encode_relation(G, [
+            {"A": "1", "B": "x", "C": "p"},
+            {"A": "1", "B": "y", "C": "p"},
+        ])
+        assert not satisfies(bad, dtd, sigma[0])

@@ -1,0 +1,107 @@
+"""Unit tests for the design-analysis report (redundancy counting)."""
+
+from repro.datasets.dblp import dblp_document, dblp_spec
+from repro.datasets.university import (
+    synthetic_university_document,
+    university_document,
+    university_spec,
+)
+from repro.report import analyze, redundancy_of
+
+
+class TestRedundancyOf:
+    def test_paper_motivation_exactly(self, uni_spec, uni_doc):
+        """'the name Deere for student st1 is stored twice': one
+        redundant copy — the two Smiths belong to different students
+        and do not count."""
+        assert redundancy_of(uni_spec, uni_doc, uni_spec.sigma[2]) == 1
+
+    def test_dblp_year(self, dblp, dblp_doc):
+        """2002 stored twice in the two-paper issue: one redundant
+        copy."""
+        assert redundancy_of(dblp, dblp_doc, dblp.sigma[1]) == 1
+
+    def test_no_redundancy_without_repeats(self, uni_spec):
+        doc = uni_spec.parse_document("""
+        <courses><course cno="c"><title>T</title><taken_by>
+          <student sno="s"><name>N</name><grade>A</grade></student>
+        </taken_by></course></courses>
+        """)
+        assert redundancy_of(uni_spec, doc, uni_spec.sigma[2]) == 0
+
+    def test_element_rhs_counts_zero(self, uni_spec, uni_doc):
+        assert redundancy_of(uni_spec, uni_doc, uni_spec.sigma[0]) == 0
+
+    def test_scales_with_repeats(self, uni_spec):
+        doc = synthetic_university_document(6, 4, seed=3,
+                                            student_pool=5)
+        fd3 = uni_spec.sigma[2]
+        redundancy = redundancy_of(uni_spec, doc, fd3)
+        # 6 courses x 4 students drawn from a pool of 5: many repeats
+        assert redundancy >= 10
+
+
+class TestAnalyze:
+    def test_university_report(self, uni_spec, uni_doc):
+        report = analyze(uni_spec, [uni_doc])
+        assert not report.in_xnf
+        assert report.simple
+        assert report.plan
+        assert report.documents[0].total_redundancy == 1
+        assert report.migrated_redundancy == [0]
+
+    def test_render_mentions_key_facts(self, uni_spec, uni_doc):
+        text = analyze(uni_spec, [uni_doc]).render()
+        assert "in XNF: NO" in text
+        assert "anomalous" in text
+        assert "redundant copies=1" in text
+        assert "after normalization: 0" in text
+
+    def test_clean_design_report(self, uni_spec):
+        from repro.spec import XMLSpec
+        clean = XMLSpec(uni_spec.dtd, uni_spec.sigma[:2])
+        report = analyze(clean)
+        assert report.in_xnf
+        assert report.plan == []
+        assert "in XNF: yes" in report.render()
+
+    def test_dblp_report_round_trip(self, dblp, dblp_doc):
+        report = analyze(dblp, [dblp_doc])
+        assert report.documents[0].total_redundancy == 1
+        assert report.migrated_redundancy == [0]
+
+
+class TestExplain:
+    def test_positive_derivation(self, uni_spec):
+        text = uni_spec.explain(
+            "courses.course.@cno -> courses.course.title.S")
+        assert "goal reached" in text
+        assert "FD courses.course.@cno -> courses.course" in text
+
+    def test_negative_derivation(self, uni_spec):
+        text = uni_spec.explain(
+            "courses.course.taken_by.student.@sno -> "
+            "courses.course.taken_by.student.name")
+        assert "not implied" in text
+        assert "complete for this simple DTD" in text
+
+    def test_case_split_mentioned(self):
+        from repro.nested import nested_dtd, nested_sigma
+        from repro.datasets.nested_geo import geo_schema
+        from repro.nested.schema import NestedSchema
+        from repro.relational.schema import RelationalFD
+        from repro.fd.explain import explain_implication
+        left = NestedSchema("L", ("B",))
+        right = NestedSchema("R", ("C",))
+        schema = NestedSchema("H1", ("A",), (left, right))
+        dtd = nested_dtd(schema)
+        sigma = nested_sigma(schema, [RelationalFD.parse("A -> B")])
+        text = explain_implication(dtd, sigma, "db.H1.@A -> db.H1.L")
+        assert "case split" in text
+        assert "goal reached" in text
+
+    def test_multi_rhs_blocks(self, uni_spec):
+        text = uni_spec.explain(
+            "courses.course -> "
+            "{courses.course.title, courses.course.taken_by}")
+        assert text.count("hypothesis:") == 2

@@ -1,0 +1,71 @@
+"""Unit tests for the XMLSpec facade."""
+
+import pytest
+
+from repro.errors import ConformanceError, InvalidFDError
+from repro.fd.model import FD
+from repro.spec import XMLSpec
+
+
+class TestConstruction:
+    def test_parse_with_fd_string(self, uni_spec):
+        assert len(uni_spec.sigma) == 3
+
+    def test_parse_with_fd_list(self):
+        spec = XMLSpec.parse(
+            "<!ELEMENT db (G*)>\n<!ELEMENT G EMPTY>\n"
+            "<!ATTLIST G A CDATA #REQUIRED>",
+            ["db.G.@A -> db.G", FD.parse("db.G -> db.G.@A")])
+        assert len(spec.sigma) == 2
+
+    def test_invalid_fd_rejected(self):
+        with pytest.raises(InvalidFDError):
+            XMLSpec.parse("<!ELEMENT db EMPTY>", ["db.ghost -> db"])
+
+
+class TestQueries:
+    def test_implies_accepts_strings(self, uni_spec):
+        assert uni_spec.implies(
+            "courses.course -> courses.course.title")
+
+    def test_is_trivial(self, uni_spec):
+        assert uni_spec.is_trivial(
+            "courses.course -> courses.course.@cno")
+        assert not uni_spec.is_trivial(str(uni_spec.sigma[2]))
+
+    def test_oracle_cached(self, uni_spec):
+        assert uni_spec.oracle is uni_spec.oracle
+
+
+class TestDocuments:
+    def test_parse_document_validates(self, uni_spec):
+        with pytest.raises(ConformanceError):
+            uni_spec.parse_document("<courses><bogus/></courses>")
+
+    def test_document_violations(self, uni_spec):
+        doc = uni_spec.parse_document("""
+        <courses>
+          <course cno="c1"><title>T</title><taken_by>
+            <student sno="s1"><name>A</name><grade>1</grade></student>
+          </taken_by></course>
+          <course cno="c2"><title>T</title><taken_by>
+            <student sno="s1"><name>B</name><grade>2</grade></student>
+          </taken_by></course>
+        </courses>
+        """)
+        violations = uni_spec.document_violations(doc)
+        assert violations[uni_spec.sigma[2]] >= 1
+        assert violations[uni_spec.sigma[0]] == 0
+
+
+class TestNormalization:
+    def test_normalized_spec_round_trip(self, uni_spec):
+        result = uni_spec.normalize()
+        normalized = uni_spec.normalized_spec(result)
+        assert normalized.is_in_xnf()
+        assert not uni_spec.is_in_xnf()
+
+    def test_str_rendering(self, uni_spec):
+        text = str(uni_spec)
+        assert "<!ELEMENT courses" in text
+        assert "FD:" in text

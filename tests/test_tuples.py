@@ -1,0 +1,200 @@
+"""Unit tests for tree tuples (Section 3, Definitions 4-7)."""
+
+import pytest
+
+from repro.errors import ConformanceError, InvalidTreeError
+from repro.dtd.paths import Path
+from repro.tuples.build import tree_of, trees_of
+from repro.tuples.compat import is_d_compatible, set_subsumed
+from repro.tuples.extract import count_tuples, tuples_of
+from repro.tuples.model import TreeTuple, validate_tuple
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.subsumption import equivalent, subsumed_by
+
+
+P = Path.parse
+
+
+class TestTreeTupleModel:
+    def test_get_returns_none_for_null(self):
+        tuple_ = TreeTuple({P("r"): "v0"})
+        assert tuple_.get(P("r")) == "v0"
+        assert tuple_.get(P("r.a")) is None
+        assert tuple_[P("r.a")] is None
+
+    def test_agreement(self):
+        first = TreeTuple({P("r"): "v0", P("r.a.@x"): "1"})
+        second = TreeTuple({P("r"): "v0", P("r.a.@x"): "1"})
+        third = TreeTuple({P("r"): "v0"})
+        assert first.agrees_with(second, [P("r.a.@x")])
+        # null-tolerant: both null counts as agreement
+        assert third.agrees_with(
+            TreeTuple({P("r"): "v0"}), [P("r.a.@x")])
+        assert not first.agrees_with(third, [P("r.a.@x")])
+
+    def test_non_null(self):
+        tuple_ = TreeTuple({P("r"): "v0", P("r.a.@x"): "1"})
+        assert tuple_.non_null([P("r"), P("r.a.@x")])
+        assert not tuple_.non_null([P("r.b")])
+
+    def test_subsumption_ordering(self):
+        smaller = TreeTuple({P("r"): "v0"})
+        bigger = TreeTuple({P("r"): "v0", P("r.a.@x"): "1"})
+        assert smaller.subsumed_by(bigger)
+        assert smaller.strictly_subsumed_by(bigger)
+        assert not bigger.subsumed_by(smaller)
+
+    def test_hash_eq(self):
+        first = TreeTuple({P("r"): "v0"})
+        second = TreeTuple({P("r"): "v0"})
+        assert first == second and hash(first) == hash(second)
+
+
+class TestValidateTuple:
+    def test_root_required(self, uni_spec):
+        with pytest.raises(InvalidTreeError):
+            validate_tuple(TreeTuple({P("courses.course"): "v1"}),
+                           uni_spec.dtd)
+
+    def test_prefix_closure_required(self, uni_spec):
+        bad = TreeTuple({P("courses"): "v0",
+                         P("courses.course.@cno"): "csc200"})
+        with pytest.raises(InvalidTreeError):
+            validate_tuple(bad, uni_spec.dtd)
+
+    def test_node_injectivity(self, uni_spec):
+        bad = TreeTuple({
+            P("courses"): "v0",
+            P("courses.course"): "v0",
+        })
+        with pytest.raises(InvalidTreeError):
+            validate_tuple(bad, uni_spec.dtd)
+
+    def test_valid_tuple_passes(self, uni_spec, uni_doc):
+        for tuple_ in tuples_of(uni_doc, uni_spec.dtd):
+            validate_tuple(tuple_, uni_spec.dtd)
+
+
+class TestTuplesOf:
+    def test_figure2_tuple_count(self, uni_spec, uni_doc):
+        # 2 courses x 2 students each: one tuple per (course, student)
+        assert len(tuples_of(uni_doc, uni_spec.dtd)) == 4
+
+    def test_figure2_tuple_paths(self, uni_spec, uni_doc):
+        """Example 3.1 / Figure 2: each tuple assigns the 12 paths."""
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        for tuple_ in tuples:
+            assert len(tuple_.paths) == 12
+
+    def test_figure2_values(self, uni_spec, uni_doc):
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        snapshot = {
+            (t.get(P("courses.course.@cno")),
+             t.get(P("courses.course.taken_by.student.@sno")),
+             t.get(P("courses.course.taken_by.student.name.S")),
+             t.get(P("courses.course.taken_by.student.grade.S")))
+            for t in tuples
+        }
+        assert snapshot == {
+            ("csc200", "st1", "Deere", "A+"),
+            ("csc200", "st2", "Smith", "B-"),
+            ("mat100", "st1", "Deere", "A-"),
+            ("mat100", "st3", "Smith", "B+"),
+        }
+
+    def test_empty_branches_give_nulls(self, uni_spec):
+        doc = parse_xml(
+            '<courses><course cno="c1"><title>T</title><taken_by/>'
+            "</course></courses>")
+        tuples = tuples_of(doc, uni_spec.dtd)
+        assert len(tuples) == 1
+        student = P("courses.course.taken_by.student")
+        assert tuples[0].get(student) is None
+
+    def test_incompatible_tree_rejected(self, uni_spec):
+        doc = parse_xml("<courses><bogus/></courses>")
+        with pytest.raises(ConformanceError):
+            tuples_of(doc, uni_spec.dtd)
+
+    def test_count_matches_enumeration(self, uni_spec, uni_doc):
+        assert count_tuples(uni_doc) == 4
+
+    def test_cross_product_of_independent_branches(self):
+        from repro.dtd.parser import parse_dtd
+        dtd = parse_dtd("""
+            <!ELEMENT r (a*, b*)>
+            <!ELEMENT a EMPTY>
+            <!ELEMENT b EMPTY>
+        """)
+        doc = parse_xml("<r><a/><a/><a/><b/><b/></r>")
+        assert len(tuples_of(doc, dtd)) == 6
+        assert count_tuples(doc) == 6
+
+
+class TestTreeOf:
+    def test_single_tuple_tree(self, uni_spec, uni_doc):
+        """Example 3.2 / Figure 2(b)."""
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        chosen = next(
+            t for t in tuples
+            if t.get(P("courses.course.@cno")) == "csc200"
+            and t.get(P("courses.course.taken_by.student.@sno")) == "st1")
+        tree = tree_of(chosen, uni_spec.dtd)
+        assert tree.size() == 7  # courses, course, title, taken_by,
+        #                          student, name, grade
+        assert subsumed_by(tree, uni_doc)
+
+    def test_tree_of_is_compatible(self, uni_spec, uni_doc):
+        """Proposition 1: tree_D(t) < D."""
+        from repro.xmltree.conformance import is_compatible
+        for tuple_ in tuples_of(uni_doc, uni_spec.dtd):
+            assert is_compatible(tree_of(tuple_, uni_spec.dtd),
+                                 uni_spec.dtd)
+
+
+class TestTreesOf:
+    def test_theorem1_roundtrip(self, uni_spec, uni_doc):
+        """Theorem 1: trees_D(tuples_D(T)) = [T]."""
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        merged = trees_of(tuples, uni_spec.dtd)
+        assert equivalent(merged, uni_doc)
+
+    def test_subset_of_tuples_is_subsumed(self, uni_spec, uni_doc):
+        """Proposition 2 (monotonicity flavour)."""
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        merged = trees_of(tuples[:2], uni_spec.dtd)
+        assert subsumed_by(merged, uni_doc)
+
+    def test_conflicting_labels_rejected(self, uni_spec):
+        bad = [
+            TreeTuple({P("courses"): "v0", P("courses.course"): "v1"}),
+            TreeTuple({P("courses"): "v1"}),
+        ]
+        with pytest.raises(InvalidTreeError):
+            trees_of(bad, uni_spec.dtd)
+
+    def test_empty_set_rejected(self, uni_spec):
+        with pytest.raises(InvalidTreeError):
+            trees_of([], uni_spec.dtd)
+
+
+class TestDCompatibility:
+    def test_tuples_of_document_are_compatible(self, uni_spec, uni_doc):
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        assert is_d_compatible(tuples, uni_spec.dtd)
+
+    def test_prop3_containment(self, uni_spec, uni_doc):
+        """Proposition 3(b): X ⊑' tuples_D(trees_D(X))."""
+        tuples = tuples_of(uni_doc, uni_spec.dtd)
+        subset = tuples[:2]
+        merged = trees_of(subset, uni_spec.dtd)
+        assert set_subsumed(subset, tuples_of(merged, uni_spec.dtd))
+
+    def test_incompatible_set(self, uni_spec):
+        # two root nodes with different ids cannot coexist
+        bad = [TreeTuple({P("courses"): "v0"}),
+               TreeTuple({P("courses"): "other"})]
+        assert not is_d_compatible(bad, uni_spec.dtd)
+
+    def test_empty_set_compatible(self, uni_spec):
+        assert is_d_compatible([], uni_spec.dtd)

@@ -1,0 +1,103 @@
+"""Unit tests for conformance and compatibility (Definition 3)."""
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.paths import Path
+from repro.xmltree.conformance import (
+    conformance_violations,
+    conforms,
+    conforms_unordered,
+    is_compatible,
+    tree_paths,
+    validate_conformance,
+)
+from repro.xmltree.parser import parse_xml
+
+
+@pytest.fixture
+def dtd():
+    return parse_dtd("""
+        <!ELEMENT r (a, b*)>
+        <!ELEMENT a (#PCDATA)>
+        <!ELEMENT b EMPTY>
+        <!ATTLIST b x CDATA #REQUIRED>
+    """)
+
+
+class TestConforms:
+    def test_conforming(self, dtd):
+        assert conforms(parse_xml('<r><a>t</a><b x="1"/></r>'), dtd)
+
+    def test_wrong_root(self, dtd):
+        assert not conforms(parse_xml("<a>t</a>"), dtd)
+
+    def test_undeclared_element(self, dtd):
+        assert not conforms(parse_xml("<r><z/></r>"), dtd)
+
+    def test_word_not_in_language(self, dtd):
+        assert not conforms(parse_xml('<r><b x="1"/><a>t</a></r>'), dtd)
+
+    def test_missing_text(self, dtd):
+        assert not conforms(parse_xml('<r><a/><b x="1"/></r>'), dtd)
+
+    def test_unexpected_text(self, dtd):
+        assert not conforms(parse_xml("<r>boom</r>"), dtd)
+
+    def test_missing_attribute(self, dtd):
+        assert not conforms(parse_xml("<r><a>t</a><b/></r>"), dtd)
+
+    def test_extra_attribute(self, dtd):
+        assert not conforms(
+            parse_xml('<r><a>t</a><b x="1" y="2"/></r>'), dtd)
+
+    def test_violations_are_descriptive(self, dtd):
+        violations = conformance_violations(parse_xml("<r><z/></r>"), dtd)
+        assert any("undeclared" in v for v in violations)
+        assert any("do not match" in v for v in violations)
+
+    def test_validate_raises_with_details(self, dtd):
+        with pytest.raises(ConformanceError, match="undeclared"):
+            validate_conformance(parse_xml("<r><z/></r>"), dtd)
+
+
+class TestUnorderedConformance:
+    def test_permutation_accepted(self, dtd):
+        doc = parse_xml('<r><b x="1"/><a>t</a></r>')
+        assert not conforms(doc, dtd)
+        assert conforms_unordered(doc, dtd)
+
+    def test_still_checks_counts(self, dtd):
+        doc = parse_xml("<r><a>t</a><a>u</a></r>")
+        assert not conforms_unordered(doc, dtd)
+
+
+class TestPathsAndCompatibility:
+    def test_tree_paths(self, dtd):
+        doc = parse_xml('<r><a>t</a><b x="1"/></r>')
+        paths = tree_paths(doc)
+        assert Path.parse("r") in paths
+        assert Path.parse("r.a.S") in paths
+        assert Path.parse("r.b.@x") in paths
+        assert len(paths) == 5
+
+    def test_compatible_but_not_conforming(self, dtd):
+        # two a's: incompatible word, but every path is a DTD path
+        doc = parse_xml("<r><a>t</a><a>u</a></r>")
+        assert not conforms(doc, dtd)
+        assert is_compatible(doc, dtd)
+
+    def test_incompatible(self, dtd):
+        assert not is_compatible(parse_xml("<r><z/></r>"), dtd)
+
+    def test_compatibility_with_recursive_dtd(self):
+        dtd = parse_dtd("<!ELEMENT r (s)>\n<!ELEMENT s (s?)>")
+        doc = parse_xml("<r><s><s><s/></s></s></r>")
+        assert is_compatible(doc, dtd)
+        assert conforms(doc, dtd)
+
+    def test_conformance_implies_compatibility(self, dtd, uni_spec,
+                                               uni_doc):
+        assert conforms(uni_doc, uni_spec.dtd)
+        assert is_compatible(uni_doc, uni_spec.dtd)

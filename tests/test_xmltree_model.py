@@ -1,0 +1,124 @@
+"""Unit tests for the XML tree model (Definition 2)."""
+
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.xmltree.model import XMLTree, elem
+
+
+class TestElemLiteral:
+    def test_simple(self):
+        tree = XMLTree.from_nested(
+            elem("courses", children=[
+                elem("course", {"cno": "csc200"}, [
+                    elem("title", text="Automata Theory"),
+                ]),
+            ]))
+        assert tree.label(tree.root) == "courses"
+        course = tree.children(tree.root)[0]
+        assert tree.attr(course, "cno") == "csc200"
+        assert tree.attr(course, "@cno") == "csc200"
+        title = tree.children(course)[0]
+        assert tree.text(title) == "Automata Theory"
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            elem("a", text="hi", children=[elem("b")])
+
+    def test_attrs_normalized_to_at(self):
+        tree = XMLTree.from_nested(elem("a", {"@x": "1", "y": "2"}))
+        assert tree.attrs_of(tree.root) == {"@x": "1", "@y": "2"}
+
+
+class TestAddNode:
+    def test_first_node_is_root(self):
+        tree = XMLTree()
+        node = tree.add_node("r")
+        assert tree.root == node
+
+    def test_second_root_rejected(self):
+        tree = XMLTree()
+        tree.add_node("r")
+        with pytest.raises(InvalidTreeError):
+            tree.add_node("r2")
+
+    def test_duplicate_id_rejected(self):
+        tree = XMLTree()
+        tree.add_node("r", node_id="n1")
+        with pytest.raises(InvalidTreeError):
+            tree.add_node("x", node_id="n1", parent="n1")
+
+    def test_cannot_attach_to_text_node(self):
+        tree = XMLTree()
+        root = tree.add_node("r", text="hello")
+        with pytest.raises(InvalidTreeError):
+            tree.add_node("x", parent=root)
+
+    def test_text_after_children_rejected(self):
+        tree = XMLTree()
+        root = tree.add_node("r")
+        tree.add_node("x", parent=root)
+        with pytest.raises(InvalidTreeError):
+            tree.set_text(root, "boom")
+
+
+class TestFreeze:
+    def test_no_root(self):
+        with pytest.raises(InvalidTreeError):
+            XMLTree().freeze()
+
+    def test_unreachable_node(self):
+        tree = XMLTree()
+        tree.add_node("r")
+        tree.labels["ghost"] = "g"
+        tree.content["ghost"] = []
+        with pytest.raises(InvalidTreeError):
+            tree.freeze()
+
+    def test_shared_child_rejected(self):
+        tree = XMLTree()
+        root = tree.add_node("r")
+        child = tree.add_node("c", parent=root)
+        body = tree.content[root]
+        assert isinstance(body, list)
+        body.append(child)  # the same node twice
+        with pytest.raises(InvalidTreeError):
+            tree.freeze()
+
+
+class TestAccessors:
+    @pytest.fixture
+    def tree(self):
+        return XMLTree.from_nested(
+            elem("r", children=[
+                elem("a", {"x": "1"}),
+                elem("b", children=[elem("a", {"x": "2"})]),
+            ]))
+
+    def test_nodes(self, tree):
+        assert len(tree.nodes) == 4
+
+    def test_parent(self, tree):
+        a1, b = tree.children(tree.root)
+        assert tree.parent(a1) == tree.root
+        assert tree.parent(tree.root) is None
+        inner = tree.children(b)[0]
+        assert tree.parent(inner) == b
+
+    def test_children_with_label(self, tree):
+        assert len(tree.children_with_label(tree.root, "a")) == 1
+        assert len(tree.children_with_label(tree.root, "zzz")) == 0
+
+    def test_iter_nodes_preorder(self, tree):
+        order = [tree.label(n) for n in tree.iter_nodes()]
+        assert order == ["r", "a", "b", "a"]
+
+    def test_size(self, tree):
+        assert tree.size() == 4
+
+    def test_copy_is_independent(self, tree):
+        duplicate = tree.copy()
+        duplicate.attributes[(duplicate.children(duplicate.root)[0],
+                              "@x")] = "changed"
+        original_a = tree.children(tree.root)[0]
+        assert tree.attr(original_a, "x") == "1"

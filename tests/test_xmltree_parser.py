@@ -1,0 +1,105 @@
+"""Unit tests for the from-scratch XML parser and serializer."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize_xml
+from repro.xmltree.subsumption import isomorphic_unordered
+
+
+class TestBasics:
+    def test_single_element(self):
+        tree = parse_xml("<a/>")
+        assert tree.label(tree.root) == "a"
+        assert tree.children(tree.root) == []
+
+    def test_text_content(self):
+        tree = parse_xml("<a>hello world</a>")
+        assert tree.text(tree.root) == "hello world"
+
+    def test_attributes(self):
+        tree = parse_xml('<a x="1" y=\'two\'/>')
+        assert tree.attrs_of(tree.root) == {"@x": "1", "@y": "two"}
+
+    def test_nesting(self):
+        tree = parse_xml("<a><b><c/></b><b/></a>")
+        assert [tree.label(c) for c in tree.children(tree.root)] == \
+            ["b", "b"]
+
+    def test_document_order_ids(self):
+        tree = parse_xml("<a><b/><c/></a>")
+        assert tree.root == "v0"
+        assert tree.children(tree.root) == ["v1", "v2"]
+
+    def test_whitespace_between_elements_ignored(self):
+        tree = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        assert len(tree.children(tree.root)) == 2
+
+    def test_entities_unescaped(self):
+        tree = parse_xml("<a x=\"&lt;&amp;&gt;\">&quot;&#65;&#x42;&apos;"
+                         "</a>")
+        assert tree.attr(tree.root, "x") == "<&>"
+        assert tree.text(tree.root) == '"AB\''
+
+    def test_comments_and_pi_skipped(self):
+        tree = parse_xml(
+            "<?xml version='1.0'?><!-- hi --><a><!-- there --><b/></a>")
+        assert len(tree.children(tree.root)) == 1
+
+    def test_doctype_skipped(self):
+        tree = parse_xml(
+            "<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert tree.label(tree.root) == "a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "<a>",                      # unclosed
+        "<a></b>",                  # mismatched
+        "<a/><b/>",                 # two roots
+        "text only",                # no element
+        "<a><b/>text</a>",          # mixed content
+        "<a x='1' x='2'/>",         # duplicate attribute
+        "<a x=1/>",                 # unquoted attribute
+        "</a>",                     # stray end tag
+        "<a>&bogus;</a>",           # unknown entity
+        "<a><!-- unterminated</a>",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_xml("<a>\n<b>\n</c>\n</a>")
+        except XMLSyntaxError as error:
+            assert error.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "<a/>",
+        "<a x=\"1\"/>",
+        "<a><b>text</b><c/></a>",
+        '<courses><course cno="csc200"><title>AT</title></course>'
+        "</courses>",
+    ])
+    def test_parse_serialize_parse(self, text):
+        once = parse_xml(text)
+        again = parse_xml(serialize_xml(once))
+        assert isomorphic_unordered(once, again)
+
+    def test_escaping_survives(self):
+        tree = parse_xml('<a x="a&amp;b">1 &lt; 2</a>')
+        again = parse_xml(serialize_xml(tree))
+        assert again.attr(again.root, "x") == "a&b"
+        assert again.text(again.root) == "1 < 2"
+
+    def test_sorted_serialization_canonical(self):
+        first = parse_xml("<a><b i=\"1\"/><c/></a>")
+        second = parse_xml("<a><c/><b i=\"1\"/></a>")
+        assert serialize_xml(first, sort_children=True) == \
+            serialize_xml(second, sort_children=True)

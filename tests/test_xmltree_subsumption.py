@@ -1,0 +1,97 @@
+"""Unit tests for subsumption / unordered equivalence (Section 3)."""
+
+from repro.xmltree.model import XMLTree
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.subsumption import (
+    canonical_key,
+    equivalent,
+    isomorphic_unordered,
+    sort_children_canonically,
+    strictly_subsumed_by,
+    subsumed_by,
+)
+
+
+def tree_with_ids(pairs):
+    """Build a tree from (id, label, parent, attrs, text) tuples."""
+    tree = XMLTree()
+    for node_id, label, parent, attrs, text in pairs:
+        tree.add_node(label, node_id=node_id, parent=parent,
+                      attrs=attrs or {}, text=text)
+    return tree.freeze()
+
+
+class TestSubsumption:
+    def test_reflexive(self):
+        tree = parse_xml("<a><b/><c/></a>")
+        assert subsumed_by(tree, tree)
+
+    def test_subtree_subsumed(self):
+        big = tree_with_ids([
+            ("r", "r", None, None, None),
+            ("x", "a", "r", {"i": "1"}, None),
+            ("y", "a", "r", {"i": "2"}, None),
+        ])
+        small = tree_with_ids([
+            ("r", "r", None, None, None),
+            ("x", "a", "r", {"i": "1"}, None),
+        ])
+        assert subsumed_by(small, big)
+        assert not subsumed_by(big, small)
+        assert strictly_subsumed_by(small, big)
+
+    def test_order_irrelevant(self):
+        first = tree_with_ids([
+            ("r", "r", None, None, None),
+            ("x", "a", "r", None, None),
+            ("y", "b", "r", None, None),
+        ])
+        second = tree_with_ids([
+            ("r", "r", None, None, None),
+            ("y", "b", "r", None, None),
+            ("x", "a", "r", None, None),
+        ])
+        assert subsumed_by(first, second)
+        assert subsumed_by(second, first)
+        assert equivalent(first, second)
+
+    def test_attribute_mismatch_blocks(self):
+        first = tree_with_ids([("r", "r", None, {"x": "1"}, None)])
+        second = tree_with_ids([("r", "r", None, {"x": "2"}, None)])
+        assert not subsumed_by(first, second)
+
+    def test_different_roots_block(self):
+        first = tree_with_ids([("r1", "r", None, None, None)])
+        second = tree_with_ids([("r2", "r", None, None, None)])
+        assert not subsumed_by(first, second)
+
+    def test_text_must_match(self):
+        first = tree_with_ids([("r", "r", None, None, "hello")])
+        second = tree_with_ids([("r", "r", None, None, "world")])
+        assert not subsumed_by(first, second)
+        assert subsumed_by(first, first)
+
+
+class TestCanonicalKey:
+    def test_insensitive_to_order_and_ids(self):
+        first = parse_xml("<a><b i=\"1\"/><c/></a>")
+        second = parse_xml("<a><c/><b i=\"1\"/></a>")
+        assert canonical_key(first) == canonical_key(second)
+        assert isomorphic_unordered(first, second)
+
+    def test_sensitive_to_content(self):
+        first = parse_xml("<a><b i=\"1\"/></a>")
+        second = parse_xml("<a><b i=\"2\"/></a>")
+        assert canonical_key(first) != canonical_key(second)
+
+    def test_sensitive_to_multiplicity(self):
+        first = parse_xml("<a><b/></a>")
+        second = parse_xml("<a><b/><b/></a>")
+        assert not isomorphic_unordered(first, second)
+
+    def test_sort_children_canonically(self):
+        messy = parse_xml("<a><c/><b/><c x=\"1\"/></a>")
+        tidy = sort_children_canonically(messy)
+        labels = [tidy.label(c) for c in tidy.children(tidy.root)]
+        assert labels == ["b", "c", "c"]
+        assert isomorphic_unordered(messy, tidy)

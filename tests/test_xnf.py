@@ -1,0 +1,140 @@
+"""Unit tests for the XNF test and anomalous-FD machinery (Section 5/6)."""
+
+from repro.dtd.parser import parse_dtd
+from repro.fd.implication import ImplicationEngine
+from repro.fd.model import FD
+from repro.xnf.anomalous import (
+    anomalous_paths,
+    anomalous_sigma_fds,
+    is_anomalous,
+    minimal_anomalous_fd,
+    sub_fd_candidates,
+)
+from repro.xnf.check import is_in_xnf, xnf_violations
+
+
+class TestPaperExamples:
+    def test_university_not_in_xnf(self, uni_spec):
+        """Example 5.1."""
+        assert not is_in_xnf(uni_spec.dtd, uni_spec.sigma)
+        violations = xnf_violations(uni_spec.dtd, uni_spec.sigma)
+        assert violations == [uni_spec.sigma[2]]  # FD3
+
+    def test_dblp_not_in_xnf(self, dblp):
+        """Example 5.2."""
+        assert not is_in_xnf(dblp.dtd, dblp.sigma)
+        violations = xnf_violations(dblp.dtd, dblp.sigma)
+        assert violations == [dblp.sigma[1]]  # FD5
+
+    def test_university_without_fd3_is_xnf(self, uni_spec):
+        assert is_in_xnf(uni_spec.dtd, uni_spec.sigma[:2])
+
+    def test_dblp_without_fd5_is_xnf(self, dblp):
+        assert is_in_xnf(dblp.dtd, dblp.sigma[:1])
+
+    def test_empty_sigma_is_xnf(self, uni_spec):
+        assert is_in_xnf(uni_spec.dtd, [])
+
+
+class TestIsAnomalous:
+    def test_fd3_anomalous(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        assert is_anomalous(oracle, uni_spec.sigma[2])
+
+    def test_key_fd_not_anomalous(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        assert not is_anomalous(oracle, uni_spec.sigma[0])
+
+    def test_trivial_fd_not_anomalous(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        trivial = FD.parse(
+            "courses.course -> courses.course.@cno")
+        assert not is_anomalous(oracle, trivial)
+
+    def test_element_rhs_not_anomalous(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        assert not is_anomalous(oracle, uni_spec.sigma[0])
+
+    def test_unimplied_fd_not_anomalous(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        made_up = FD.parse(
+            "courses.course.@cno -> "
+            "courses.course.taken_by.student.grade.S")
+        assert not is_anomalous(oracle, made_up)
+
+    def test_fd_whose_node_version_holds(self, uni_spec):
+        """cno -> title.S is implied, and cno -> title is too (via the
+        key FD1), so it is not anomalous."""
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        fd = FD.parse("courses.course.@cno -> courses.course.title.S")
+        assert oracle.implies(fd)
+        assert not is_anomalous(oracle, fd)
+
+
+class TestAnomalousPaths:
+    def test_university(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        paths = anomalous_paths(oracle)
+        assert {str(p) for p in paths} == {
+            "courses.course.taken_by.student.name.S"}
+
+    def test_dblp(self, dblp):
+        oracle = ImplicationEngine(dblp.dtd, dblp.sigma)
+        paths = anomalous_paths(oracle)
+        assert {str(p) for p in paths} == {
+            "db.conf.issue.inproceedings.@year"}
+
+    def test_xnf_means_no_anomalous_paths(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma[:2])
+        assert not anomalous_paths(oracle)
+
+
+class TestMinimality:
+    def test_sub_candidates_shape(self):
+        fd = FD.parse("{a.q, a.p.@l1, a.p.@l2} -> a.p.@l0")
+        candidates = sub_fd_candidates(fd)
+        assert candidates
+        for candidate in candidates:
+            assert len(candidate.lhs) <= 2
+            assert len(candidate.lhs_element_paths()) <= 1
+
+    def test_no_candidates_for_element_only_lhs(self):
+        fd = FD.parse("a.q -> a.p.@l0")
+        assert sub_fd_candidates(fd) == []
+
+    def test_minimal_fd_drops_redundant_attribute(self):
+        """{sno, cno} -> name.S minimizes to {sno} -> name.S because
+        the smaller FD is already anomalous."""
+        dtd = parse_dtd("""
+            <!ELEMENT courses (course*)>
+            <!ELEMENT course (student*)>
+            <!ATTLIST course cno CDATA #REQUIRED>
+            <!ELEMENT student (name)>
+            <!ATTLIST student sno CDATA #REQUIRED>
+            <!ELEMENT name (#PCDATA)>
+        """)
+        small = FD.parse("courses.course.student.@sno -> "
+                         "courses.course.student.name.S")
+        big = FD.parse(
+            "{courses.course.@cno, courses.course.student.@sno} -> "
+            "courses.course.student.name.S")
+        oracle = ImplicationEngine(dtd, [small, big])
+        assert is_anomalous(oracle, big)
+        minimal = minimal_anomalous_fd(oracle, big)
+        assert minimal == small
+
+    def test_already_minimal_stays(self, uni_spec):
+        oracle = ImplicationEngine(uni_spec.dtd, uni_spec.sigma)
+        fd3 = uni_spec.sigma[2]
+        assert minimal_anomalous_fd(oracle, fd3) == fd3
+
+
+class TestAnomalousSigmaFds:
+    def test_expansion_of_multi_rhs(self, uni_spec):
+        sigma = uni_spec.sigma[:2] + [FD.parse(
+            "courses.course.taken_by.student.@sno -> "
+            "{courses.course.taken_by.student.name.S, "
+            "courses.course.taken_by.student.grade.S}")]
+        oracle = ImplicationEngine(uni_spec.dtd, sigma)
+        anomalous = anomalous_sigma_fds(oracle)
+        assert len(anomalous) == 2  # both expansions are anomalous
