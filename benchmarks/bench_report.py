@@ -12,14 +12,25 @@ reports whether the observed growth matches the paper's bounds:
   independent disjunction choices;
 * Corollary 1 — the XNF test over simple DTDs: cubic upper bound.
 
-Run:  python benchmarks/bench_report.py
+Each series point carries both the best wall time of several repeats
+and an *operation-count* snapshot from :mod:`repro.obs` (closure
+iterations, chase steps, disjunction branches, implication-cache
+traffic), so the fitted slopes can be cross-checked against counts
+that — unlike wall time — are deterministic and noise-free.  The full
+result is written as JSON (``BENCH_obs.json`` by default).
+
+Run:  python benchmarks/bench_report.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
 import time
+from typing import Callable
 
+from repro import obs
 from repro.datasets.generators import scaled_university_spec
 from repro.fd.chase import chase_implies
 from repro.fd.implication import ImplicationEngine
@@ -36,14 +47,32 @@ from bench_implication import (  # noqa: E402
     _disjunctive_sigma,
 )
 
+#: The counters attached to every series point (0 when not hit).
+OP_COUNTERS = (
+    "closure.iterations",
+    "closure.case_splits",
+    "chase.steps",
+    "chase.branches.explored",
+    "chase.branches.pruned",
+    "implication.cache.hit",
+    "implication.cache.miss",
+)
 
-def _time(callable_, *, repeat: int = 3) -> float:
+
+def _measure(callable_: Callable[[], object], *,
+             repeat: int = 3) -> tuple[float, dict[str, int]]:
+    """Best-of-``repeat`` wall time plus the operation counters of the
+    last run (the counts are deterministic across repeats)."""
     best = math.inf
+    ops: dict[str, int] = {}
     for _ in range(repeat):
+        obs.reset()
         start = time.perf_counter()
         callable_()
         best = min(best, time.perf_counter() - start)
-    return best
+        counters = obs.snapshot()["counters"]
+        ops = {name: counters.get(name, 0) for name in OP_COUNTERS}
+    return best, ops
 
 
 def _fit_loglog(xs: list[float], ys: list[float]) -> float:
@@ -70,10 +99,14 @@ def _fit_exponent_base(xs: list[float], ys: list[float]) -> float:
     return math.exp(num / den)
 
 
-def report_theorem3() -> None:
+def _ops_series(points: list[dict], counter: str) -> list[float]:
+    return [float(point["ops"][counter]) for point in points]
+
+
+def report_theorem3(quick: bool) -> dict:
     print("== Theorem 3: implication over simple DTDs ==")
-    sizes = [1, 2, 4, 8, 16]
-    times = []
+    sizes = [1, 2, 4] if quick else [1, 2, 4, 8, 16]
+    points: list[dict] = []
     for k in sizes:
         spec = scaled_university_spec(k)
 
@@ -83,66 +116,169 @@ def report_theorem3() -> None:
             for fd in spec.sigma:
                 oracle.implies(fd)
 
-        times.append(_time(run))
-    for k, t in zip(sizes, times):
-        print(f"  k={k:3d}  |Sigma|={3 * k:3d}  time={t * 1e3:9.2f} ms")
-    degree = _fit_loglog([float(s) for s in sizes], times)
-    print(f"  fitted polynomial degree over k: {degree:.2f} "
+        elapsed, ops = _measure(run)
+        points.append({"k": k, "sigma": 3 * k, "time_s": elapsed,
+                       "ops": ops})
+    for point in points:
+        print(f"  k={point['k']:3d}  |Sigma|={point['sigma']:3d}  "
+              f"time={point['time_s'] * 1e3:9.2f} ms  "
+              f"closure.iterations={point['ops']['closure.iterations']}")
+    xs = [float(p["k"]) for p in points]
+    time_slope = _fit_loglog(xs, [p["time_s"] for p in points])
+    ops_slope = _fit_loglog(xs, _ops_series(points, "closure.iterations"))
+    print(f"  fitted polynomial degree over k: time {time_slope:.2f}, "
+          f"closure iterations {ops_slope:.2f} "
           f"(paper: polynomial — quadratic per query; PASS if small)")
+    return {
+        "name": "theorem3",
+        "series": "implication over simple DTDs (closure engine)",
+        "points": points,
+        "time_slope": time_slope,
+        "ops_slopes": {"closure.iterations": ops_slope},
+        "bound": "polynomial (quadratic per query)",
+        "consistent": ops_slope <= 3.0,
+    }
 
 
-def report_corollary1() -> None:
+def report_corollary1(quick: bool) -> dict:
     print("\n== Corollary 1: the XNF test over simple DTDs ==")
-    sizes = [1, 2, 4, 8, 16]
-    times = []
+    sizes = [1, 2, 4] if quick else [1, 2, 4, 8, 16]
+    points: list[dict] = []
     for k in sizes:
         spec = scaled_university_spec(k)
-        times.append(_time(lambda spec=spec: is_in_xnf(spec.dtd,
-                                                       spec.sigma)))
-    for k, t in zip(sizes, times):
-        print(f"  k={k:3d}  time={t * 1e3:9.2f} ms")
-    degree = _fit_loglog([float(s) for s in sizes], times)
-    print(f"  fitted polynomial degree over k: {degree:.2f} "
+        elapsed, ops = _measure(
+            lambda spec=spec: is_in_xnf(spec.dtd, spec.sigma))
+        queries = (ops["implication.cache.hit"]
+                   + ops["implication.cache.miss"])
+        points.append({"k": k, "time_s": elapsed, "ops": ops,
+                       "implication_queries": queries})
+    for point in points:
+        print(f"  k={point['k']:3d}  time={point['time_s'] * 1e3:9.2f} ms"
+              f"  queries={point['implication_queries']}  "
+              f"closure.iterations={point['ops']['closure.iterations']}")
+    xs = [float(p["k"]) for p in points]
+    time_slope = _fit_loglog(xs, [p["time_s"] for p in points])
+    ops_slope = _fit_loglog(xs, _ops_series(points, "closure.iterations"))
+    print(f"  fitted polynomial degree over k: time {time_slope:.2f}, "
+          f"closure iterations {ops_slope:.2f} "
           f"(paper bound: cubic; PASS if <= ~3)")
+    return {
+        "name": "corollary1",
+        "series": "XNF test over simple DTDs",
+        "points": points,
+        "time_slope": time_slope,
+        "ops_slopes": {"closure.iterations": ops_slope},
+        "bound": "cubic",
+        "consistent": ops_slope <= 3.5,
+    }
 
 
-def report_theorem4() -> None:
+def report_theorem4(quick: bool) -> dict:
     print("\n== Theorem 4: bounded disjunction stays polynomial ==")
-    paddings = [0, 4, 8, 16, 32]
-    times = []
+    paddings = [0, 4, 8] if quick else [0, 4, 8, 16, 32]
     query = FD.parse("r -> r.c.@x")
+    points: list[dict] = []
     for padding in paddings:
         dtd = _disjunctive_dtd(1, padding)
         sigma = _disjunctive_sigma(1)
-        times.append(_time(
-            lambda d=dtd, s=sigma: chase_implies(d, s, query)))
-    for padding, t in zip(paddings, times):
-        print(f"  padding={padding:3d}  time={t * 1e3:9.2f} ms")
-    degree = _fit_loglog([float(p + 2) for p in paddings], times)
-    print(f"  fitted polynomial degree over |D|: {degree:.2f} "
+        elapsed, ops = _measure(
+            lambda d=dtd, s=sigma: chase_implies(d, s, query))
+        points.append({"padding": padding, "time_s": elapsed,
+                       "ops": ops})
+    for point in points:
+        print(f"  padding={point['padding']:3d}  "
+              f"time={point['time_s'] * 1e3:9.2f} ms  "
+              f"chase.steps={point['ops']['chase.steps']}  "
+              f"branches={point['ops']['chase.branches.explored']}")
+    xs = [float(p["padding"] + 2) for p in points]
+    time_slope = _fit_loglog(xs, [p["time_s"] for p in points])
+    branch_slope = _fit_loglog(
+        xs, _ops_series(points, "chase.branches.explored"))
+    print(f"  fitted polynomial degree over |D|: time {time_slope:.2f}, "
+          f"branches {branch_slope:.2f} "
           f"(paper: polynomial for N_D <= k log |D|)")
+    return {
+        "name": "theorem4",
+        "series": "chase with one bounded disjunction",
+        "points": points,
+        "time_slope": time_slope,
+        "ops_slopes": {"chase.branches.explored": branch_slope},
+        "bound": "polynomial",
+        # The branch count must stay flat as padding grows: the single
+        # disjunction contributes a constant factor.
+        "consistent": branch_slope <= 1.0,
+    }
 
 
-def report_theorem5() -> None:
+def report_theorem5(quick: bool) -> dict:
     print("\n== Theorem 5: unbounded disjunction is exponential ==")
-    hards = [1, 2, 3, 4, 5, 6]
-    times = []
+    hards = [1, 2, 3] if quick else [1, 2, 3, 4, 5, 6]
     query = FD.parse("r -> r.c.@x")
+    points: list[dict] = []
     for hard in hards:
         dtd = _disjunctive_dtd(hard, 0)
         sigma = _disjunctive_sigma(hard)
-        times.append(_time(
-            lambda d=dtd, s=sigma: chase_implies(d, s, query), repeat=1))
-    for hard, t in zip(hards, times):
-        print(f"  disjunctions={hard}  N_D=2^{hard}  "
-              f"time={t * 1e3:9.2f} ms")
-    base = _fit_exponent_base([float(h) for h in hards], times)
-    print(f"  fitted growth base per extra disjunction: {base:.2f} "
+        elapsed, ops = _measure(
+            lambda d=dtd, s=sigma: chase_implies(d, s, query), repeat=1)
+        points.append({"disjunctions": hard, "n_d": 2 ** hard,
+                       "time_s": elapsed, "ops": ops})
+    for point in points:
+        print(f"  disjunctions={point['disjunctions']}  "
+              f"N_D=2^{point['disjunctions']}  "
+              f"time={point['time_s'] * 1e3:9.2f} ms  "
+              f"branches={point['ops']['chase.branches.explored']}")
+    xs = [float(p["disjunctions"]) for p in points]
+    time_base = _fit_exponent_base(xs, [p["time_s"] for p in points])
+    branch_base = _fit_exponent_base(
+        xs, _ops_series(points, "chase.branches.explored"))
+    print(f"  fitted growth base per extra disjunction: "
+          f"time {time_base:.2f}, branches {branch_base:.2f} "
           f"(paper: coNP-complete — expect ~2x per disjunction)")
+    return {
+        "name": "theorem5",
+        "series": "chase with independent disjunctions",
+        "points": points,
+        "time_base": time_base,
+        "ops_bases": {"chase.branches.explored": branch_base},
+        "bound": "exponential (~2x per disjunction)",
+        "consistent": branch_base >= 1.5,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="growth-shape benchmark with operation counts")
+    parser.add_argument("--quick", action="store_true",
+                        help="cap series sizes (CI smoke mode)")
+    parser.add_argument("--out", metavar="FILE", default="BENCH_obs.json",
+                        help="where to write the JSON report "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    try:
+        series = [
+            report_theorem3(args.quick),
+            report_corollary1(args.quick),
+            report_theorem4(args.quick),
+            report_theorem5(args.quick),
+        ]
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.reset()
+
+    payload = {"quick": args.quick, "series": series}
+    with open(args.out, "w") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    consistent = all(entry["consistent"] for entry in series)
+    print(f"\nwrote {args.out}; operation-count growth "
+          f"{'CONSISTENT' if consistent else 'INCONSISTENT'} "
+          "with Theorems 3-5 bounds")
+    return 0 if consistent else 1
 
 
 if __name__ == "__main__":
-    report_theorem3()
-    report_corollary1()
-    report_theorem4()
-    report_theorem5()
+    sys.exit(main())

@@ -10,6 +10,20 @@ Subcommands::
     xnf explain    DTD_FILE FD_FILE "S -> p" # derivation of an implication
     xnf analyze    DTD_FILE FD_FILE [XML...] # design + redundancy report
 
+Observability (see ``docs/OBSERVABILITY.md``): every subcommand accepts
+``--stats`` (print a metrics table — cache hit rate, chase steps,
+per-phase timings — to stderr when done) and ``--trace FILE`` (write a
+JSON-lines span log).  Setting ``REPRO_OBS=1`` in the environment is
+equivalent to ``--stats``.
+
+Exit codes (uniform across subcommands)::
+
+    0  success / positive answer (implied, in XNF, ...)
+    1  negative answer (not implied, not in XNF, violations found)
+    2  usage error (bad flags or arguments; argparse)
+    3  input or pipeline error (any ReproError: parse failure,
+       invalid FD, unsupported feature, ...) — message on stderr
+
 FD files contain one FD per line (``#`` comments allowed), e.g.::
 
     courses.course.@cno -> courses.course
@@ -20,15 +34,23 @@ FD files contain one FD per line (``#`` comments allowed), e.g.::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path as FilePath
 
+from repro import obs
 from repro.errors import ReproError
 from repro.dtd.parser import parse_dtd
 from repro.dtd.serializer import serialize_dtd
 from repro.fd.model import FD, parse_fds
 from repro.spec import XMLSpec
 from repro.xmltree.parser import parse_xml
+
+#: Uniform exit codes (documented in the module docstring).
+EXIT_OK = 0
+EXIT_NEGATIVE = 1
+EXIT_USAGE = 2
+EXIT_ERROR = 3
 
 
 def _load_spec(dtd_file: str, fd_file: str | None,
@@ -43,11 +65,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     violations = spec.xnf_violations()
     if not violations:
         print("(D, Sigma) is in XNF")
-        return 0
+        return EXIT_OK
     print(f"(D, Sigma) is NOT in XNF: {len(violations)} anomalous FD(s)")
     for fd in violations:
         print(f"  anomalous: {fd}")
-    return 1
+    return EXIT_NEGATIVE
 
 
 def _cmd_normalize(args: argparse.Namespace) -> int:
@@ -67,7 +89,7 @@ def _cmd_normalize(args: argparse.Namespace) -> int:
         (out / "normalized.fds").write_text(
             "".join(f"{fd}\n" for fd in result.sigma))
         print(f"\nwritten to {out}/", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_implies(args: argparse.Namespace) -> int:
@@ -75,7 +97,7 @@ def _cmd_implies(args: argparse.Namespace) -> int:
     fd = FD.parse(args.fd)
     answer = spec.implies(fd)
     print("implied" if answer else "not implied")
-    return 0 if answer else 1
+    return EXIT_OK if answer else EXIT_NEGATIVE
 
 
 def _cmd_tuples(args: argparse.Namespace) -> int:
@@ -88,14 +110,14 @@ def _cmd_tuples(args: argparse.Namespace) -> int:
     for tuple_ in tuples:
         print("\t".join(tuple_.get(p) or "_|_" for p in paths))
     print(f"# {len(tuples)} tuple(s)", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     spec = _load_spec(args.dtd, args.fds, args.root)
     from repro.fd.explain import explain_implication
     print(explain_implication(spec.dtd, spec.sigma, args.fd), end="")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -105,7 +127,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                  for path in args.xml]
     report = analyze(spec, documents)
     print(report.render(), end="")
-    return 0 if report.in_xnf else 1
+    return EXIT_OK if report.in_xnf else EXIT_NEGATIVE
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -121,7 +143,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"N_D:         {disjunction_measure(dtd)}")
     if not dtd.is_recursive:
         print(f"paths:       {len(dtd.paths)}")
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,43 +152,63 @@ def build_parser() -> argparse.ArgumentParser:
         description="XML normal form toolkit (Arenas & Libkin, PODS 2002)")
     parser.add_argument("--root", help="root element type "
                         "(default: first declared)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print a metrics table to stderr when done")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a JSON-lines span trace to FILE")
+
+    # The observability flags are also accepted *after* the subcommand
+    # (``xnf check d.dtd d.fds --stats``).  SUPPRESS keeps a subparser
+    # from overwriting a value parsed at the top level with its default.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--stats", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    common.add_argument("--trace", metavar="FILE",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="test whether (D, Sigma) is in XNF")
+    check = sub.add_parser("check", parents=[common],
+                           help="test whether (D, Sigma) is in XNF")
     check.add_argument("dtd")
     check.add_argument("fds")
     check.set_defaults(func=_cmd_check)
 
-    norm = sub.add_parser("normalize",
+    norm = sub.add_parser("normalize", parents=[common],
                           help="run the XNF decomposition algorithm")
     norm.add_argument("dtd")
     norm.add_argument("fds")
     norm.add_argument("-o", "--output", help="directory for the results")
     norm.set_defaults(func=_cmd_normalize)
 
-    imp = sub.add_parser("implies", help="decide (D, Sigma) |- FD")
+    imp = sub.add_parser("implies", parents=[common],
+                         help="decide (D, Sigma) |- FD")
     imp.add_argument("dtd")
     imp.add_argument("fds")
     imp.add_argument("fd", help='query, e.g. "db.conf.title.S -> db.conf"')
     imp.set_defaults(func=_cmd_implies)
 
-    tup = sub.add_parser("tuples", help="print tuples_D(T) as a table")
+    tup = sub.add_parser("tuples", parents=[common],
+                         help="print tuples_D(T) as a table")
     tup.add_argument("dtd")
     tup.add_argument("xml")
     tup.set_defaults(func=_cmd_tuples)
 
-    cls = sub.add_parser("classify", help="classify a DTD (Section 7)")
+    cls = sub.add_parser("classify", parents=[common],
+                         help="classify a DTD (Section 7)")
     cls.add_argument("dtd")
     cls.set_defaults(func=_cmd_classify)
 
-    exp = sub.add_parser("explain",
+    exp = sub.add_parser("explain", parents=[common],
                          help="show the derivation of an implication")
     exp.add_argument("dtd")
     exp.add_argument("fds")
     exp.add_argument("fd")
     exp.set_defaults(func=_cmd_explain)
 
-    ana = sub.add_parser("analyze",
+    ana = sub.add_parser("analyze", parents=[common],
                          help="design analysis + redundancy report")
     ana.add_argument("dtd")
     ana.add_argument("fds")
@@ -178,11 +220,44 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    want_stats = bool(getattr(args, "stats", False)) or (
+        os.environ.get("REPRO_OBS", "") not in ("", "0"))
+    trace_file = getattr(args, "trace", None)
+
+    was_enabled = obs.is_enabled()
+    sink = None
+    trace_stream = None
+    if want_stats or trace_file:
+        obs.enable()
+        if not was_enabled:
+            obs.reset()  # the table should cover this run only
+        if trace_file:
+            try:
+                trace_stream = open(trace_file, "w")
+            except OSError as error:
+                print(f"error: cannot open trace file: {error}",
+                      file=sys.stderr)
+                if not was_enabled:
+                    obs.disable()
+                return EXIT_ERROR
+            sink = obs.JsonLinesSink(trace_stream)
+            obs.add_sink(sink)
     try:
-        return args.func(args)
+        with obs.span(f"cli.{args.command}"):
+            return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    finally:
+        if sink is not None:
+            obs.remove_sink(sink)
+            assert trace_stream is not None
+            trace_stream.close()
+        if want_stats:
+            print(obs.render.metrics_table(obs.snapshot()),
+                  file=sys.stderr, end="")
+        if not was_enabled and (want_stats or trace_file):
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

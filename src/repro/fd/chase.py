@@ -47,6 +47,7 @@ from repro.errors import RecursionLimitError, ReproError
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
 from repro.fd.model import FD
+from repro.obs import metrics as _obs
 from repro.fd.satisfaction import satisfies, satisfies_all, violating_pairs
 from repro.regex.ast import PCData, Regex
 from repro.regex.matching import matches_multiset
@@ -71,10 +72,11 @@ def chase_implies(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
         raise RecursionLimitError(
             "the chase engine requires a non-recursive DTD")
     sigma = list(sigma)
-    return all(
-        _implies_single(dtd, sigma, FD(fd.lhs, frozenset({rhs})),
-                        max_branches=max_branches)
-        for rhs in fd.rhs)
+    with _obs.timer("chase.implies"):
+        return all(
+            _implies_single(dtd, sigma, FD(fd.lhs, frozenset({rhs})),
+                            max_branches=max_branches)
+            for rhs in fd.rhs)
 
 
 def _implies_single(dtd: DTD, sigma: list[FD], fd: FD, *,
@@ -93,18 +95,28 @@ def _implies_single(dtd: DTD, sigma: list[FD], fd: FD, *,
             raise ReproError(
                 f"chase exceeded {max_branches} disjunction branches; "
                 "the DTD's N_D is too large for exact implication")
+        if _obs.enabled:
+            _obs.inc("chase.branches.explored")
         tableau = pending.pop()
         try:
             forks = _chase_branch(dtd, sigma, tableau)
         except _Contradiction:
+            if _obs.enabled:
+                _obs.inc("chase.branches.pruned")
             continue
         if forks is not None:
+            if _obs.enabled:
+                _obs.inc("chase.branches.forked", len(forks))
             pending.extend(forks)
             continue
+        if _obs.enabled:
+            _obs.observe("chase.tableau.nodes", len(tableau.labels))
         tree = tableau.to_tree()
         if (conforms_unordered(tree, dtd)
                 and satisfies_all(tree, dtd, sigma)
                 and not satisfies(tree, dtd, fd)):
+            if _obs.enabled:
+                _obs.inc("chase.countermodels")
             return False  # verified countermodel
     return True
 
@@ -379,6 +391,8 @@ def _chase_branch(dtd: DTD, sigma: list[FD],
         violation = _find_violation(dtd, sigma, tableau)
         if violation is None:
             return None
+        if _obs.enabled:
+            _obs.inc("chase.steps")
         _fix_violation(dtd, tableau, *violation)
     raise ReproError("chase did not terminate within the step budget")
 

@@ -54,6 +54,7 @@ from typing import Iterable
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
 from repro.fd.model import FD
+from repro.obs import metrics as _obs
 from repro.regex.ast import PCData
 
 #: Nesting depth of null-correlation case splits.
@@ -63,13 +64,17 @@ SPLIT_DEPTH = 2
 def closure_implies(dtd: DTD, sigma: Iterable[FD], fd: FD) -> bool:
     """Whether the closure derives ``fd`` from ``(D, Σ)``."""
     sigma = list(sigma)
-    for single in fd.expand():
-        relevant = _relevant_sigma(sigma, single)
-        solver = _Solver(dtd, relevant, single.lhs,
-                         extra=frozenset({single.single_rhs}))
-        eq, _nn = solver.solve(frozenset(), frozenset(), SPLIT_DEPTH)
-        if single.single_rhs not in eq:
-            return False
+    with _obs.timer("closure.implies"):
+        for single in fd.expand():
+            relevant = _relevant_sigma(sigma, single)
+            solver = _Solver(dtd, relevant, single.lhs,
+                             extra=frozenset({single.single_rhs}))
+            eq, nn = solver.solve(frozenset(), frozenset(), SPLIT_DEPTH)
+            if _obs.enabled:
+                _obs.observe("closure.derived.eq", len(eq))
+                _obs.observe("closure.derived.nn", len(nn))
+            if single.single_rhs not in eq:
+                return False
     return True
 
 
@@ -168,6 +173,8 @@ class _Solver:
 
         changed = True
         while changed:
+            if _obs.enabled:
+                _obs.inc("closure.iterations")
             changed = False
             changed |= self._structural_rules(eq, nn)
             changed |= self._sigma_rules(eq, nn)
@@ -246,6 +253,8 @@ class _Solver:
                     depth: int) -> bool:
         for witness in self._split_candidates(eq, nn):
             null_region = self._null_region(witness)
+            if _obs.enabled:
+                _obs.inc("closure.case_splits")
             self._in_branch += 1
             try:
                 branch_nonnull, _ = self.solve(

@@ -13,12 +13,17 @@ Engine selection (``engine="auto"``):
 * ``engine="closure" | "chase" | "brute"`` forces a specific engine.
 
 :class:`ImplicationEngine` caches query results, which the XNF test and
-the normalization algorithm exploit heavily.
+the normalization algorithm exploit heavily.  The cache is keyed by the
+canonical form of each single-RHS query (see :meth:`ImplicationEngine.
+cache_key`) and instrumented: :meth:`ImplicationEngine.cache_info`
+mirrors :func:`functools.lru_cache`, and when :mod:`repro.obs` is
+enabled the engine emits ``implication.*`` counters (cache hits and
+misses, engine chosen per decided query, closure→chase fallbacks).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from typing import Iterable, Literal, NamedTuple
 
 from repro.errors import UnsupportedFeatureError
 from repro.dtd.classify import is_simple_dtd
@@ -27,8 +32,26 @@ from repro.fd.brute import brute_implies
 from repro.fd.chase import chase_implies
 from repro.fd.closure import closure_implies
 from repro.fd.model import FD
+from repro.obs import metrics as _obs
 
 EngineName = Literal["auto", "closure", "chase", "brute"]
+
+#: The cache key of one single-RHS query: ``(lhs, rhs)`` with the LHS
+#: as a frozenset of paths and the RHS a single path.
+CacheKey = tuple[frozenset, object]
+
+
+class CacheInfo(NamedTuple):
+    """Cache statistics, mirroring ``functools.lru_cache().cache_info()``.
+
+    ``maxsize`` is always ``None``: the cache is unbounded (one entry
+    per distinct single-RHS query against a fixed ``(D, Σ)``).
+    """
+
+    hits: int
+    misses: int
+    maxsize: None
+    currsize: int
 
 
 class ImplicationEngine:
@@ -40,18 +63,58 @@ class ImplicationEngine:
         self.sigma = [fd.validate(dtd) for fd in sigma]
         self.engine: EngineName = engine
         self._simple = is_simple_dtd(dtd)
-        self._cache: dict[FD, bool] = {}
+        self._cache: dict[CacheKey, bool] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def cache_key(fd: FD) -> CacheKey:
+        """The canonical cache key of a single-RHS query.
+
+        A multi-RHS FD is decided RHS-by-RHS (the standard wlog
+        reduction, :meth:`FD.expand`), so the canonical query form is
+        the pair ``(lhs, rhs)``: the LHS is already an order-free
+        ``frozenset`` of paths and the RHS a single path.  Two
+        syntactically different spellings of the same query (path
+        order, ``{}`` braces, duplicate paths) therefore hash to the
+        same key, which is what makes the hit/miss metrics meaningful.
+        """
+        return (fd.lhs, fd.single_rhs)
 
     def implies(self, fd: FD) -> bool:
         """``(D, Σ) |- fd``."""
         result = True
         for single in fd.expand():
-            cached = self._cache.get(single)
+            # Inline cache_key: expand() guarantees a single-RHS FD.
+            key = (single.lhs, next(iter(single.rhs)))
+            cached = self._cache.get(key)
             if cached is None:
+                self._misses += 1
+                if _obs.enabled:
+                    _obs.inc("implication.cache.miss")
                 cached = self._decide(single)
-                self._cache[single] = cached
+                self._cache[key] = cached
+            else:
+                self._hits += 1
+                if _obs.enabled:
+                    _obs.inc("implication.cache.hit")
             result = result and cached
         return result
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/size statistics for the query cache."""
+        return CacheInfo(self._hits, self._misses, None,
+                         len(self._cache))
+
+    def cache_clear(self) -> None:
+        """Drop every cached answer and zero the statistics."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def query_count(self) -> int:
+        """Total single-RHS queries answered (cached or decided)."""
+        return self._hits + self._misses
 
     def is_trivial(self, fd: FD) -> bool:
         """``(D, ∅) |- fd``: the FD holds in every conforming tree."""
@@ -59,13 +122,21 @@ class ImplicationEngine:
 
     def _decide(self, fd: FD) -> bool:
         if self.engine == "closure":
+            if _obs.enabled:
+                _obs.inc("implication.engine.closure")
             return closure_implies(self.dtd, self.sigma, fd)
         if self.engine == "chase":
+            if _obs.enabled:
+                _obs.inc("implication.engine.chase")
             return chase_implies(self.dtd, self.sigma, fd)
         if self.engine == "brute":
+            if _obs.enabled:
+                _obs.inc("implication.engine.brute")
             return brute_implies(self.dtd, self.sigma, fd)
         # auto: closure first (sound everywhere, complete for simple
         # DTDs), then the chase for the general case.
+        if _obs.enabled:
+            _obs.inc("implication.engine.closure")
         if closure_implies(self.dtd, self.sigma, fd):
             return True
         if self._simple:
@@ -75,6 +146,9 @@ class ImplicationEngine:
                 "exact implication over recursive non-simple DTDs is not "
                 "supported; force engine='closure' for a sound "
                 "approximation")
+        if _obs.enabled:
+            _obs.inc("implication.fallback.closure_to_chase")
+            _obs.inc("implication.engine.chase")
         return chase_implies(self.dtd, self.sigma, fd)
 
 

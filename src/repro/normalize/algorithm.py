@@ -32,6 +32,8 @@ from repro.normalize.transforms import (
     create_element_type,
     move_attribute,
 )
+from repro.obs import metrics as _obs
+from repro.obs.trace import span as _span
 from repro.xnf.anomalous import (
     anomalous_paths,
     anomalous_sigma_fds,
@@ -80,30 +82,45 @@ def normalize(dtd: DTD, sigma: Iterable[FD], *,
     current_sigma = _preprocess(current_dtd, current_sigma)
     steps: list[TransformStep] = []
 
-    for _round in range(max_steps):
-        oracle = ImplicationEngine(current_dtd, current_sigma, engine=engine)
-        anomalous = anomalous_sigma_fds(oracle)
-        if not anomalous:
-            return NormalizationResult(current_dtd, current_sigma, steps)
-        before = anomalous_paths(oracle) if check_progress else None
+    with _obs.timer("normalize.total"), _span("normalize"):
+        for _round in range(max_steps):
+            with _span("normalize.round", round=_round) as round_span:
+                oracle = ImplicationEngine(
+                    current_dtd, current_sigma, engine=engine)
+                anomalous = anomalous_sigma_fds(oracle)
+                round_span.set("anomalous_before", len(anomalous))
+                if not anomalous:
+                    round_span.set("rule", "converged")
+                    return NormalizationResult(
+                        current_dtd, current_sigma, steps)
+                before = anomalous_paths(oracle) if check_progress \
+                    else None
 
-        step = _apply_one(current_dtd, current_sigma, oracle, anomalous,
-                          naming, len(steps), engine)
-        steps.append(step)
-        current_dtd = step.dtd
-        current_sigma = _preprocess(current_dtd, step.sigma)
+                step = _apply_one(current_dtd, current_sigma, oracle,
+                                  anomalous, naming, len(steps), engine)
+                steps.append(step)
+                current_dtd = step.dtd
+                current_sigma = _preprocess(current_dtd, step.sigma)
+                if _obs.enabled:
+                    _obs.inc("normalize.rounds")
+                    _obs.inc(f"normalize.steps.{step.kind}")
+                    round_span.set("rule", step.kind)
+                    round_span.set("implication_queries",
+                                   oracle.query_count())
 
-        if check_progress:
-            after_oracle = ImplicationEngine(
-                current_dtd, current_sigma, engine=engine)
-            after = anomalous_paths(after_oracle)
-            assert before is not None
-            if not after < before:
-                raise NormalizationError(
-                    "Proposition 6 progress violated: anomalous paths "
-                    f"went from {sorted(map(str, before))} to "
-                    f"{sorted(map(str, after))} after step "
-                    f"{step.description!r}")
+                if check_progress:
+                    after_oracle = ImplicationEngine(
+                        current_dtd, current_sigma, engine=engine)
+                    after = anomalous_paths(after_oracle)
+                    round_span.set("anomalous_paths_after", len(after))
+                    assert before is not None
+                    if not after < before:
+                        raise NormalizationError(
+                            "Proposition 6 progress violated: anomalous "
+                            "paths went from "
+                            f"{sorted(map(str, before))} to "
+                            f"{sorted(map(str, after))} after step "
+                            f"{step.description!r}")
     raise NormalizationError(
         f"normalization did not converge within {max_steps} steps")
 

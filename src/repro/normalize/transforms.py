@@ -480,8 +480,14 @@ def create_element_type(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
                 group_value, [set() for _ in keys])
             for index, key in enumerate(keys):
                 key_value = tuple_.get(key)
-                if key_value is not None:
-                    key_sets[index].add(key_value)
+                if key_value is None:
+                    raise ConformanceError(
+                        f"document carries a {value} value whose key "
+                        f"{key} is null; the {tau!r} group storing it "
+                        "would be keyless and the value unrecoverable "
+                        "(the paper's lossless witness invents carrier "
+                        "nodes here — see EXPERIMENTS.md)")
+                key_sets[index].add(key_value)
         result = tree.copy()
         # Remove the old copies of the value.
         if value.is_attribute:

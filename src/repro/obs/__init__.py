@@ -1,0 +1,69 @@
+"""Observability for the implication/XNF/normalization pipeline.
+
+A lightweight, zero-dependency, **off-by-default** instrumentation
+layer.  :mod:`repro.obs.metrics` holds process-wide counters, gauges,
+and histogram timers; :mod:`repro.obs.trace` provides nestable spans
+with JSON-lines and tree sinks; :mod:`repro.obs.render` formats metric
+snapshots as tables (the CLI's ``--stats`` output).
+
+Enable via :func:`enable`, the CLI's ``--stats`` / ``--trace`` flags,
+or the ``REPRO_OBS=1`` environment variable (honoured at import time,
+so benchmarks and one-off scripts pick it up without code changes).
+
+The full metric and span vocabulary is documented in
+``docs/OBSERVABILITY.md``.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    spec.normalize()
+    print(obs.render.metrics_table(obs.snapshot()))
+    obs.reset()
+
+Hot-path contract: while disabled, instrumented code performs at most
+one module-attribute read (``metrics.enabled``) per potential event —
+no closures, no allocations, no clock reads.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import metrics, render, trace
+from repro.obs.metrics import (
+    counter_value,
+    disable,
+    enable,
+    inc,
+    is_enabled,
+    observe,
+    reset,
+    set_gauge,
+    snapshot,
+    timer,
+)
+from repro.obs.trace import (
+    InMemorySink,
+    JsonLinesSink,
+    Span,
+    add_sink,
+    clear_sinks,
+    current_span,
+    remove_sink,
+    render_tree,
+    span,
+)
+
+__all__ = [
+    "metrics", "trace", "render",
+    "enable", "disable", "is_enabled", "reset",
+    "inc", "set_gauge", "observe", "timer", "counter_value",
+    "snapshot",
+    "span", "current_span", "add_sink", "remove_sink", "clear_sinks",
+    "Span", "JsonLinesSink", "InMemorySink", "render_tree",
+]
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):  # pragma: no cover
+    enable()

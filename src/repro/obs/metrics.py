@@ -1,0 +1,170 @@
+"""Thread-safe counters, gauges, and histogram timers.
+
+A process-wide registry of named metrics, off by default.  The design
+goal is *zero cost when disabled*: every recording function first reads
+the module-level :data:`enabled` flag and returns immediately when it
+is ``False``, and the instrumentation sites in the pipeline guard even
+that call behind ``if _obs.enabled:`` — a single module-attribute load
+— so the hot paths allocate nothing (no closures, no context managers)
+while observability is off.
+
+Metric kinds:
+
+* **counter** — a monotonically increasing integer
+  (:func:`inc`), e.g. ``implication.cache.hit``;
+* **gauge** — a point-in-time value (:func:`set_gauge`), e.g. the
+  current chase frontier size;
+* **histogram** — a stream of plain-value observations summarized as
+  count/total/min/max/mean (:func:`observe`), e.g. tableau sizes;
+* **timer** — a histogram of wall-clock durations in seconds, fed by
+  the :func:`timer` context manager and kept in its own snapshot
+  section so renderers can scale to milliseconds.
+
+:func:`snapshot` returns a plain-``dict`` copy (safe to mutate, JSON
+serializable); :func:`reset` clears every metric but keeps the enabled
+state.  The metric name vocabulary is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The process-wide on/off switch.  Read directly (``metrics.enabled``)
+#: by instrumentation sites; flip only via :func:`enable` /
+#: :func:`disable` so the toggle stays in one place.
+enabled: bool = False
+
+_lock = threading.Lock()
+_counters: dict[str, int] = {}
+_gauges: dict[str, float] = {}
+_histograms: dict[str, "_Histogram"] = {}
+_timers: dict[str, "_Histogram"] = {}
+
+
+class _Histogram:
+    """Streaming summary of a series of observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "mean": mean}
+
+
+def enable() -> None:
+    """Turn metric recording (and span tracing) on, process-wide."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn metric recording off.  Recorded values are kept until
+    :func:`reset`."""
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    return enabled
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Add ``value`` to the counter ``name`` (no-op while disabled)."""
+    if not enabled:
+        return
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + value
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set the gauge ``name`` (no-op while disabled)."""
+    if not enabled:
+        return
+    with _lock:
+        _gauges[name] = value
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into the histogram ``name`` (no-op while
+    disabled).  Histograms hold plain values (path counts, tableau
+    sizes, ...); wall-clock durations go through :func:`timer`."""
+    if not enabled:
+        return
+    with _lock:
+        histogram = _histograms.get(name)
+        if histogram is None:
+            histogram = _histograms[name] = _Histogram()
+        histogram.observe(value)
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Time the ``with`` body into the timer histogram ``name``
+    (seconds).
+
+    Cheap when disabled (one flag check, no clock read), but hot loops
+    should still guard the call site with ``if metrics.enabled:``.
+    """
+    if not enabled:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        if enabled:
+            with _lock:
+                histogram = _timers.get(name)
+                if histogram is None:
+                    histogram = _timers[name] = _Histogram()
+                histogram.observe(elapsed)
+
+
+def counter_value(name: str) -> int:
+    """The current value of a counter (0 if never incremented)."""
+    with _lock:
+        return _counters.get(name, 0)
+
+
+def snapshot() -> dict[str, dict]:
+    """A JSON-serializable copy of every recorded metric."""
+    with _lock:
+        return {
+            "counters": dict(_counters),
+            "gauges": dict(_gauges),
+            "histograms": {name: h.as_dict()
+                           for name, h in _histograms.items()},
+            "timers": {name: h.as_dict()
+                       for name, h in _timers.items()},
+        }
+
+
+def reset() -> None:
+    """Clear all metrics (the enabled flag is left as-is)."""
+    with _lock:
+        _counters.clear()
+        _gauges.clear()
+        _histograms.clear()
+        _timers.clear()

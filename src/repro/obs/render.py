@@ -1,0 +1,94 @@
+"""Rendering metric snapshots as aligned, human-readable tables.
+
+Used by the CLI's ``--stats`` flag; also handy from a REPL::
+
+    from repro import obs
+    print(obs.render.metrics_table(obs.snapshot()))
+
+Besides the raw counters/gauges/timers the table includes *derived*
+ratios (cache hit rate, branch prune rate) computed from counter pairs
+when both members are present.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def _ratio(numerator: int, denominator: int) -> str:
+    if denominator <= 0:
+        return "n/a"
+    return f"{numerator / denominator:.1%}"
+
+
+def _derived(counters: dict[str, int]) -> list[tuple[str, str]]:
+    rows: list[tuple[str, str]] = []
+    hits = counters.get("implication.cache.hit", 0)
+    misses = counters.get("implication.cache.miss", 0)
+    if hits or misses:
+        rows.append(("implication.cache.hit_rate",
+                     _ratio(hits, hits + misses)))
+    explored = counters.get("chase.branches.explored", 0)
+    pruned = counters.get("chase.branches.pruned", 0)
+    if explored:
+        rows.append(("chase.branches.prune_rate",
+                     _ratio(pruned, explored)))
+    examined = counters.get("xnf.candidates.examined", 0)
+    found = counters.get("xnf.violations.found", 0)
+    if examined:
+        rows.append(("xnf.violation_rate", _ratio(found, examined)))
+    return rows
+
+
+def metrics_table(snapshot: dict[str, dict], *,
+                  title: str = "metrics") -> str:
+    """Format a :func:`repro.obs.metrics.snapshot` as a table."""
+    sections: list[tuple[str, list[tuple[str, str]]]] = []
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.append(("counters", [
+            (name, str(value))
+            for name, value in sorted(counters.items())]))
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        sections.append(("gauges", [
+            (name, f"{value:g}")
+            for name, value in sorted(gauges.items())]))
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, stats in sorted(histograms.items()):
+            rows.append((name,
+                         f"n={stats['count']}  "
+                         f"mean={stats['mean']:.1f}  "
+                         f"min={stats['min']:g}  max={stats['max']:g}"))
+        sections.append(("histograms", rows))
+
+    timers = snapshot.get("timers", {})
+    if timers:
+        rows = []
+        for name, stats in sorted(timers.items()):
+            rows.append((name,
+                         f"n={stats['count']}  "
+                         f"total={stats['total'] * 1e3:.2f} ms  "
+                         f"mean={stats['mean'] * 1e3:.3f} ms  "
+                         f"max={stats['max'] * 1e3:.3f} ms"))
+        sections.append(("timers", rows))
+
+    derived = _derived(counters)
+    if derived:
+        sections.append(("derived", derived))
+
+    if not sections:
+        return f"== {title} ==\n(no metrics recorded)\n"
+
+    width = max(len(name) for _, rows in sections for name, _ in rows)
+    lines = [f"== {title} =="]
+    for section, rows in sections:
+        lines.append(f"-- {section} --")
+        for name, value in rows:
+            lines.append(f"  {name.ljust(width)}  {value}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,227 @@
+"""Nestable tracing spans with pluggable sinks.
+
+A *span* measures one named region of work::
+
+    with span("normalize.round", rule="move") as sp:
+        ...
+        sp.set("anomalous_after", 2)
+
+Spans nest via a thread-local stack, so the hierarchy mirrors the call
+structure without any plumbing.  When a span finishes it is emitted to
+every registered sink; when its whole tree finishes (the root span
+exits) the root is emitted to every registered *tree* sink.
+
+Sinks:
+
+* :class:`JsonLinesSink` — one JSON object per finished span (schema
+  below), suitable for ``xnf --trace FILE``;
+* :class:`InMemorySink` — collects finished spans (and root trees) for
+  tests and in-process inspection;
+* :func:`render_tree` — a human-readable indented tree of one root
+  span.
+
+JSON-lines schema (one line per span, children precede parents because
+they finish first)::
+
+    {"id": 3, "parent": 1, "depth": 1, "name": "chase.branch",
+     "start": 0.123, "duration_ms": 4.56, "attrs": {"steps": 7}}
+
+``start`` is seconds since the process clock origin
+(``time.perf_counter``), useful for ordering, not wall-clock time.
+
+Everything is a no-op while :mod:`repro.obs.metrics` is disabled:
+:func:`span` then returns a shared null context manager and allocates
+nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Any, Callable, IO, Iterator
+
+from repro.obs import metrics as _metrics
+
+import time
+
+
+class Span:
+    """One timed, attributed region; part of a tree of spans."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children",
+                 "span_id", "parent_id", "depth")
+
+    def __init__(self, name: str, attrs: dict[str, Any],
+                 span_id: int, parent_id: int | None,
+                 depth: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list[Span] = []
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or update) an attribute mid-span."""
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def as_record(self) -> dict[str, Any]:
+        """The JSON-lines record for this span."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "duration_ms": round(self.duration * 1e3, 4),
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_ids = itertools.count(1)
+_stack = threading.local()
+
+#: Per-span sinks: called with every finished Span.
+_sinks: list[Callable[[Span], None]] = []
+#: Tree sinks: called with every finished *root* Span.
+_tree_sinks: list[Callable[[Span], None]] = []
+
+
+class _SpanContext:
+    __slots__ = ("span",)
+
+    def __init__(self, span_: Span) -> None:
+        self.span = span_
+
+    def __enter__(self) -> Span:
+        self.span.start = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.span.end = time.perf_counter()
+        stack = _stack.spans
+        stack.pop()
+        for sink in _sinks:
+            sink(self.span)
+        if not stack:
+            for sink in _tree_sinks:
+                sink(self.span)
+
+
+def span(name: str, **attrs: Any) -> "_SpanContext | _NullSpan":
+    """Open a nested span (``with span(...) as sp:``).
+
+    Returns the shared null span while observability is disabled, so
+    the call costs one flag check and no allocation.
+    """
+    if not _metrics.enabled:
+        return _NULL_SPAN
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = _stack.spans = []
+    parent = stack[-1] if stack else None
+    new = Span(name, attrs, next(_ids),
+               parent.span_id if parent is not None else None,
+               len(stack))
+    if parent is not None:
+        parent.children.append(new)
+    stack.append(new)
+    return _SpanContext(new)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    stack = getattr(_stack, "spans", None)
+    return stack[-1] if stack else None
+
+
+def add_sink(sink: Callable[[Span], None], *,
+             tree: bool = False) -> None:
+    """Register a sink for finished spans (or root trees)."""
+    (_tree_sinks if tree else _sinks).append(sink)
+
+
+def remove_sink(sink: Callable[[Span], None]) -> None:
+    for registry in (_sinks, _tree_sinks):
+        while sink in registry:
+            registry.remove(sink)
+
+
+def clear_sinks() -> None:
+    _sinks.clear()
+    _tree_sinks.clear()
+
+
+class JsonLinesSink:
+    """Writes one JSON object per finished span to a file object."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+
+    def __call__(self, span_: Span) -> None:
+        self.stream.write(json.dumps(span_.as_record(),
+                                     sort_keys=True, default=str))
+        self.stream.write("\n")
+
+
+class InMemorySink:
+    """Collects finished spans; ``roots`` keeps only finished trees."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.roots: list[Span] = []
+
+    def __call__(self, span_: Span) -> None:
+        self.spans.append(span_)
+        if span_.parent_id is None:
+            self.roots.append(span_)
+
+
+def render_tree(root: Span) -> str:
+    """An indented, human-readable rendering of one span tree."""
+    lines: list[str] = []
+
+    def render(span_: Span, indent: int) -> None:
+        attrs = ""
+        if span_.attrs:
+            parts = ", ".join(f"{k}={v}" for k, v in
+                              sorted(span_.attrs.items()))
+            attrs = f"  [{parts}]"
+        lines.append(f"{'  ' * indent}{span_.name}  "
+                     f"{span_.duration * 1e3:.2f} ms{attrs}")
+        for child in span_.children:
+            render(child, indent + 1)
+
+    render(root, 0)
+    return "\n".join(lines) + "\n"
+
+
+def iter_spans(root: Span) -> Iterator[Span]:
+    """Depth-first iteration over a finished span tree."""
+    yield root
+    for child in root.children:
+        yield from iter_spans(child)

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 from repro.errors import InvalidTreeError
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
+from repro.obs import metrics as _obs
 from repro.tuples.model import TreeTuple
 from repro.xmltree.model import XMLTree
 
@@ -35,6 +36,9 @@ def trees_of(tuples: Iterable[TreeTuple], dtd: DTD) -> XMLTree:
     tuples = list(tuples)
     if not tuples:
         raise InvalidTreeError("trees_D of an empty tuple set is undefined")
+    if _obs.enabled:
+        _obs.inc("tuples.trees_built")
+        _obs.observe("tuples.trees_built.input_tuples", len(tuples))
 
     tree = XMLTree()
     node_paths: dict[str, Path] = {}

@@ -12,6 +12,7 @@ from typing import Iterable
 
 from repro.errors import InvalidTreeError
 from repro.dtd.model import DTD
+from repro.obs import metrics as _obs
 from repro.tuples.build import trees_of
 from repro.tuples.extract import tuples_of
 from repro.tuples.model import TreeTuple
@@ -23,7 +24,14 @@ def set_subsumed(first: Iterable[TreeTuple],
     """``X ⊑' Y``: every tuple of ``X`` is subsumed by some tuple of
     ``Y`` (the ordering used in Theorem 1 / Proposition 3)."""
     second = list(second)
-    return all(any(t1.subsumed_by(t2) for t2 in second) for t1 in first)
+    for t1 in first:
+        if _obs.enabled:
+            _obs.inc("tuples.subsumption.checks")
+        if not any(t1.subsumed_by(t2) for t2 in second):
+            if _obs.enabled:
+                _obs.inc("tuples.subsumption.discards")
+            return False
+    return True
 
 
 def is_d_compatible(tuples: Iterable[TreeTuple], dtd: DTD) -> bool:

@@ -19,6 +19,7 @@ from typing import Iterator
 from repro.errors import ConformanceError
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
+from repro.obs import metrics as _obs
 from repro.tuples.model import TreeTuple
 from repro.xmltree.conformance import is_compatible
 from repro.xmltree.model import XMLTree
@@ -39,6 +40,8 @@ def iter_tuples(tree: XMLTree, dtd: DTD, *,
     assert tree.root is not None
     root_path = Path.root(tree.label(tree.root))
     for assignment in _subtree_tuples(tree, dtd, tree.root, root_path):
+        if _obs.enabled:
+            _obs.inc("tuples.materialized")
         yield TreeTuple(assignment)
 
 

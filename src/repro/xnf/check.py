@@ -7,6 +7,8 @@ from typing import Iterable
 from repro.dtd.model import DTD
 from repro.fd.implication import EngineName, ImplicationEngine
 from repro.fd.model import FD
+from repro.obs import metrics as _obs
+from repro.obs.trace import span as _span
 from repro.xnf.anomalous import anomalous_sigma_fds
 
 
@@ -21,8 +23,12 @@ def xnf_violations(dtd: DTD, sigma: Iterable[FD], *,
     simple).  For simple DTDs this runs in cubic time (Corollary 1):
     |Σ| implication queries, each quadratic.
     """
-    oracle = ImplicationEngine(dtd, sigma, engine=engine)
-    return anomalous_sigma_fds(oracle)
+    with _obs.timer("xnf.check"), _span("xnf.check") as sp:
+        oracle = ImplicationEngine(dtd, sigma, engine=engine)
+        violations = anomalous_sigma_fds(oracle)
+        sp.set("violations", len(violations))
+        sp.set("implication_queries", oracle.query_count())
+    return violations
 
 
 def is_in_xnf(dtd: DTD, sigma: Iterable[FD], *,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.errors import ReproError, UnsupportedFeatureError
 from repro.datasets.generators import (
@@ -70,6 +70,9 @@ def test_proposition6_measure_shrinks(seed):
 
 @settings(max_examples=15, deadline=None)
 @given(st.integers(0, 100_000))
+# Discovered failure: a create step whose key path is null on some
+# tuples silently dropped the moved value; migration now refuses.
+@example(seed=2138)
 def test_proposition8_lossless_on_random_documents(seed):
     rng, dtd, sigma = _spec(seed)
     result = _normalize(dtd, sigma)

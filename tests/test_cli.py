@@ -132,8 +132,25 @@ class TestErrors:
         dtd.write_text("<!ELEMENT broken>")
         fds = tmp_path / "bad.fds"
         fds.write_text("")
-        assert main(["check", str(dtd), str(fds)]) == 2
+        # ReproError is the documented exit code 3 (2 is usage).
+        assert main(["check", str(dtd), str(fds)]) == 3
         assert "error:" in capsys.readouterr().err
+
+    def test_usage_error_is_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-command"])
+        assert excinfo.value.code == 2
+
+    def test_bad_fd_is_exit_3(self, tmp_path, capsys):
+        dtd = tmp_path / "d.dtd"
+        dtd.write_text("<!ELEMENT db (G*)>\n<!ELEMENT G EMPTY>\n"
+                       "<!ATTLIST G A CDATA #REQUIRED>")
+        fds = tmp_path / "d.fds"
+        fds.write_text("db.G.@A ->\n")
+        assert main(["check", str(dtd), str(fds)]) == 3
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
 
 class TestMainModule:

@@ -1,0 +1,226 @@
+"""Integration tests: the instrumented pipeline and the CLI flags.
+
+Covers the two contract points of the observability layer:
+
+* enabled, it reports the pipeline's real work (cache hits, chase
+  steps, spans with the documented schema);
+* disabled OR enabled, it never changes pipeline *results* — the
+  normalization regression below asserts byte-identical output DTDs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.datasets.bookstore import bookstore_spec
+from repro.datasets.dblp import dblp_spec
+from repro.datasets.university import (
+    UNIVERSITY_DOCUMENT,
+    UNIVERSITY_DTD,
+    UNIVERSITY_FDS,
+    university_spec,
+)
+from repro.dtd.serializer import serialize_dtd
+from repro.fd.implication import ImplicationEngine
+from repro.fd.model import FD
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.clear_sinks()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.clear_sinks()
+
+
+@pytest.fixture
+def university_files(tmp_path):
+    dtd = tmp_path / "university.dtd"
+    dtd.write_text(UNIVERSITY_DTD)
+    fds = tmp_path / "university.fds"
+    fds.write_text(UNIVERSITY_FDS)
+    xml = tmp_path / "university.xml"
+    xml.write_text(UNIVERSITY_DOCUMENT)
+    return str(dtd), str(fds), str(xml)
+
+
+class TestEngineCacheInfo:
+    def test_mirrors_lru_cache(self):
+        spec = university_spec()
+        oracle = ImplicationEngine(spec.dtd, spec.sigma)
+        info = oracle.cache_info()
+        assert info == (0, 0, None, 0)
+        fd = spec.sigma[0]
+        oracle.implies(fd)
+        oracle.implies(fd)
+        info = oracle.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+        assert info.currsize == 1
+        assert info.maxsize is None
+        oracle.cache_clear()
+        assert oracle.cache_info() == (0, 0, None, 0)
+
+    def test_cache_key_is_canonical(self):
+        # Different spellings of the same query share one cache slot.
+        first = FD.parse("a.b, a.c.@x -> a.d.@y")
+        second = FD.parse("a.c.@x, a.b -> a.d.@y")
+        assert ImplicationEngine.cache_key(first) == \
+            ImplicationEngine.cache_key(second)
+
+    def test_query_count(self):
+        spec = university_spec()
+        oracle = ImplicationEngine(spec.dtd, spec.sigma)
+        oracle.implies(spec.sigma[0])
+        oracle.implies(spec.sigma[0])
+        assert oracle.query_count() == \
+            oracle.cache_info().hits + oracle.cache_info().misses
+
+
+class TestPipelineMetrics:
+    def test_xnf_check_records_candidates_and_queries(self):
+        obs.enable()
+        spec = university_spec()
+        violations = spec.xnf_violations()
+        assert violations
+        counters = obs.snapshot()["counters"]
+        assert counters["xnf.candidates.examined"] >= 3
+        assert counters["xnf.violations.found"] == len(violations)
+        assert counters["closure.iterations"] > 0
+
+    def test_normalize_records_rounds_and_rule(self):
+        obs.enable()
+        spec = university_spec()
+        spec.normalize()
+        counters = obs.snapshot()["counters"]
+        assert counters["normalize.rounds"] >= 1
+        assert counters.get("normalize.steps.create", 0) \
+            + counters.get("normalize.steps.move", 0) \
+            == counters["normalize.rounds"]
+        timers = obs.snapshot()["timers"]
+        assert timers["normalize.total"]["count"] == 1
+
+    def test_chase_records_branches_and_steps(self):
+        from repro.dtd.parser import parse_dtd
+        from repro.fd.chase import chase_implies
+        obs.enable()
+        dtd = parse_dtd("""
+            <!ELEMENT r ((a | b), c*)>
+            <!ELEMENT a EMPTY>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+            <!ATTLIST c x CDATA #REQUIRED>
+        """)
+        chase_implies(dtd, [], FD.parse("r -> r.c.@x"))
+        counters = obs.snapshot()["counters"]
+        assert counters["chase.branches.explored"] >= 1
+        assert obs.snapshot()["timers"]["chase.implies"]["count"] == 1
+
+    def test_normalize_emits_round_spans(self):
+        obs.enable()
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        university_spec().normalize()
+        rounds = [s for s in sink.spans if s.name == "normalize.round"]
+        assert rounds
+        assert rounds[0].attrs["rule"] in ("move", "create")
+        assert rounds[0].attrs["anomalous_before"] >= 1
+        assert rounds[0].attrs["implication_queries"] > 0
+        assert rounds[-1].attrs["rule"] == "converged"
+
+
+class TestCliStats:
+    def test_analyze_stats_reports_cache_hits(self, university_files,
+                                              capsys):
+        dtd, fds, xml = university_files
+        code = main(["analyze", dtd, fds, xml, "--stats"])
+        assert code == 1  # not in XNF
+        err = capsys.readouterr().err
+        assert "== metrics ==" in err
+        assert "implication.cache.hit_rate" in err
+        # Nonzero implication-cache hits on the university pipeline.
+        hits = [line for line in err.splitlines()
+                if line.strip().startswith("implication.cache.hit ")]
+        assert hits and int(hits[0].split()[-1]) > 0
+        # Per-phase timings are present.
+        assert "xnf.check" in err
+        assert "normalize.total" in err
+
+    def test_stats_flag_before_subcommand(self, university_files,
+                                          capsys):
+        dtd, fds, _xml = university_files
+        assert main(["--stats", "check", dtd, fds]) == 1
+        assert "== metrics ==" in capsys.readouterr().err
+
+    def test_without_stats_no_table(self, university_files, capsys):
+        dtd, fds, _xml = university_files
+        assert main(["check", dtd, fds]) == 1
+        assert "== metrics ==" not in capsys.readouterr().err
+
+    def test_repro_obs_env_toggle(self, university_files, capsys,
+                                  monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        dtd, fds, _xml = university_files
+        assert main(["check", dtd, fds]) == 1
+        assert "== metrics ==" in capsys.readouterr().err
+
+    def test_stats_leaves_obs_disabled_afterwards(self, university_files,
+                                                  capsys):
+        dtd, fds, _xml = university_files
+        main(["check", dtd, fds, "--stats"])
+        assert not obs.is_enabled()
+
+    def test_trace_file_is_json_lines(self, university_files, tmp_path,
+                                      capsys):
+        dtd, fds, _xml = university_files
+        trace_file = tmp_path / "trace.jsonl"
+        assert main(["check", dtd, fds, "--trace",
+                     str(trace_file)]) == 1
+        records = [json.loads(line) for line in
+                   trace_file.read_text().splitlines()]
+        assert records
+        names = {record["name"] for record in records}
+        assert "cli.check" in names
+        assert "xnf.check" in names
+        roots = [r for r in records if r["parent"] is None]
+        assert [r["name"] for r in roots] == ["cli.check"]
+
+
+class TestDisabledEnabledRegression:
+    """Instrumentation must never change pipeline results."""
+
+    @pytest.mark.parametrize("spec_factory", [bookstore_spec, dblp_spec],
+                             ids=["bookstore", "dblp"])
+    def test_normalize_output_identical(self, spec_factory):
+        obs.disable()
+        baseline = spec_factory().normalize()
+        baseline_dtd = serialize_dtd(baseline.dtd)
+        baseline_sigma = sorted(map(str, baseline.sigma))
+
+        obs.enable()
+        instrumented = spec_factory().normalize()
+        assert serialize_dtd(instrumented.dtd) == baseline_dtd
+        assert sorted(map(str, instrumented.sigma)) == baseline_sigma
+        assert [s.description for s in instrumented.steps] == \
+            [s.description for s in baseline.steps]
+        # ... and the run was actually observed.
+        assert obs.counter_value("normalize.rounds") >= 1
+
+    def test_implication_answers_identical(self):
+        spec = university_spec()
+        queries = [fd for sigma_fd in spec.sigma
+                   for fd in sigma_fd.expand()]
+        obs.disable()
+        baseline = [ImplicationEngine(spec.dtd, spec.sigma).implies(q)
+                    for q in queries]
+        obs.enable()
+        observed = [ImplicationEngine(spec.dtd, spec.sigma).implies(q)
+                    for q in queries]
+        assert observed == baseline

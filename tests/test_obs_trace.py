@@ -1,0 +1,129 @@
+"""Unit tests for tracing spans (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.clear_sinks()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.clear_sinks()
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_object(self):
+        first = obs.span("a")
+        second = obs.span("b", attr=1)
+        assert first is second  # no allocation on the disabled path
+
+    def test_null_span_supports_protocol(self):
+        with obs.span("a") as sp:
+            sp.set("key", "value")  # must not raise
+
+    def test_sinks_receive_nothing(self):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("a"):
+            pass
+        assert sink.spans == []
+
+
+class TestNesting:
+    def test_hierarchy_and_depth(self):
+        obs.enable()
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert trace.current_span() is inner
+            with obs.span("inner2"):
+                pass
+        assert outer.depth == 0
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+        assert outer.children[0].parent_id == outer.span_id
+        assert outer.children[0].depth == 1
+        # Children finish first, the root last.
+        assert [s.name for s in sink.spans] == ["inner", "inner2", "outer"]
+        assert sink.roots == [outer]
+
+    def test_attributes(self):
+        obs.enable()
+        with obs.span("s", dtd="university") as sp:
+            sp.set("result", True)
+        assert sp.attrs == {"dtd": "university", "result": True}
+
+    def test_duration_is_measured(self):
+        obs.enable()
+        with obs.span("s") as sp:
+            pass
+        assert sp.duration >= 0.0
+        assert sp.end >= sp.start > 0.0
+
+    def test_iter_spans(self):
+        obs.enable()
+        with obs.span("root") as root:
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+        assert [s.name for s in trace.iter_spans(root)] == \
+            ["root", "a", "b"]
+
+
+class TestJsonLines:
+    def test_schema(self):
+        obs.enable()
+        stream = io.StringIO()
+        obs.add_sink(obs.JsonLinesSink(stream))
+        with obs.span("outer", phase="check"):
+            with obs.span("inner") as sp:
+                sp.set("count", 3)
+        lines = stream.getvalue().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner, outer = records
+        for record in records:
+            assert set(record) == {"id", "parent", "depth", "name",
+                                   "start", "duration_ms", "attrs"}
+            assert isinstance(record["duration_ms"], (int, float))
+        assert outer["parent"] is None
+        assert outer["depth"] == 0
+        assert inner["parent"] == outer["id"]
+        assert inner["depth"] == 1
+        assert inner["attrs"] == {"count": 3}
+        assert outer["attrs"] == {"phase": "check"}
+
+    def test_remove_sink(self):
+        obs.enable()
+        stream = io.StringIO()
+        sink = obs.JsonLinesSink(stream)
+        obs.add_sink(sink)
+        obs.remove_sink(sink)
+        with obs.span("a"):
+            pass
+        assert stream.getvalue() == ""
+
+
+class TestRenderTree:
+    def test_indented_output(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner", rule="move"):
+                pass
+        text = obs.render_tree(outer)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "rule=move" in lines[1]
+        assert "ms" in lines[0]
