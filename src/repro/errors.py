@@ -76,6 +76,34 @@ class RecursionLimitError(ReproError):
     and no finite enumeration bound applies."""
 
 
+class ResourceExhausted(ReproError):
+    """Raised when a :class:`repro.guard.Budget` limit trips.
+
+    ``limit`` names the tripped dimension (``"deadline"``, ``"steps"``,
+    ``"branches"``, or ``"nodes"``); ``spent``/``allowed`` quantify it;
+    ``partial`` is a dict that engines annotate with progress made
+    before the trip (engine name, branches explored, transform steps
+    applied, ...).  The implication facade converts this exception into
+    an ``UNKNOWN`` verdict; the CLI maps it to exit code 4.
+    """
+
+    def __init__(self, limit: str, *, spent=None, allowed=None,
+                 partial: dict | None = None) -> None:
+        if limit == "deadline" and spent is not None \
+                and allowed is not None:
+            detail = (f" ({spent:.3f}s elapsed against a "
+                      f"{allowed:.3f}s deadline)")
+        elif spent is not None and allowed is not None:
+            detail = f" ({spent} spent, limit {allowed})"
+        else:
+            detail = ""
+        super().__init__(f"{limit} budget exhausted{detail}")
+        self.limit = limit
+        self.spent = spent
+        self.allowed = allowed
+        self.partial: dict = dict(partial) if partial else {}
+
+
 class NormalizationError(ReproError):
     """Raised when the XNF decomposition algorithm cannot make progress.
 

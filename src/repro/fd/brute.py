@@ -17,10 +17,11 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Sequence
 
-from repro.errors import RecursionLimitError
+from repro.errors import RecursionLimitError, ResourceExhausted
 from repro.dtd.model import DTD
 from repro.fd.model import FD
 from repro.fd.satisfaction import satisfies, satisfies_all
+from repro.guard import budget as _guard
 from repro.regex.ast import EMPTY_SET, PCData, Regex
 from repro.regex.matching import derivative
 from repro.xmltree.model import XMLTree
@@ -63,6 +64,7 @@ def enumerate_trees(dtd: DTD, *, domain: Sequence[str] = DEFAULT_DOMAIN,
 
     from repro.errors import ReproError
 
+    budget = _guard.current() if _guard.active else None
     memo: dict[str, list] = {}
 
     def attr_choices_of(element: str) -> list[dict]:
@@ -85,6 +87,8 @@ def enumerate_trees(dtd: DTD, *, domain: Sequence[str] = DEFAULT_DOMAIN,
             for word in bounded_words(production, max_word):
                 child_variant_lists = [subtree_variants(c) for c in word]
                 for combo in itertools.product(*child_variant_lists):
+                    if budget is not None:
+                        budget.tick_nodes()
                     bodies.append(("children", list(combo)))
                     if len(bodies) > max_variants:
                         raise ReproError(
@@ -135,11 +139,18 @@ def enumerate_trees(dtd: DTD, *, domain: Sequence[str] = DEFAULT_DOMAIN,
         return tree.freeze()
 
     produced = 0
-    for variant in root_variants():
-        yield materialize(variant)
-        produced += 1
-        if max_trees is not None and produced >= max_trees:
-            return
+    try:
+        for variant in root_variants():
+            if budget is not None:
+                budget.tick_steps()
+            yield materialize(variant)
+            produced += 1
+            if max_trees is not None and produced >= max_trees:
+                return
+    except ResourceExhausted as error:
+        error.partial.setdefault("engine", "brute")
+        error.partial.setdefault("trees_enumerated", produced)
+        raise
 
 
 def find_countermodel(dtd: DTD, sigma: Iterable[FD], fd: FD, *,

@@ -43,10 +43,11 @@ import itertools
 from collections import Counter
 from typing import Iterable, Iterator
 
-from repro.errors import RecursionLimitError, ReproError
+from repro.errors import RecursionLimitError, ReproError, ResourceExhausted
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
 from repro.fd.model import FD
+from repro.guard import budget as _guard
 from repro.obs import metrics as _obs
 from repro.fd.satisfaction import satisfies, satisfies_all, violating_pairs
 from repro.regex.ast import PCData, Regex
@@ -87,37 +88,47 @@ def _implies_single(dtd: DTD, sigma: list[FD], fd: FD, *,
     skeleton = _Skeleton(dtd, fd)
     if skeleton.structurally_implied:
         return True
+    budget = _guard.current() if _guard.active else None
     pending = [skeleton.build()]
     explored = 0
-    while pending:
-        explored += 1
-        if explored > max_branches:
-            raise ReproError(
-                f"chase exceeded {max_branches} disjunction branches; "
-                "the DTD's N_D is too large for exact implication")
-        if _obs.enabled:
-            _obs.inc("chase.branches.explored")
-        tableau = pending.pop()
-        try:
-            forks = _chase_branch(dtd, sigma, tableau)
-        except _Contradiction:
+    try:
+        while pending:
+            explored += 1
+            if explored > max_branches:
+                raise ReproError(
+                    f"chase exceeded {max_branches} disjunction branches; "
+                    "the DTD's N_D is too large for exact implication")
+            if budget is not None:
+                budget.tick_branches()
             if _obs.enabled:
-                _obs.inc("chase.branches.pruned")
-            continue
-        if forks is not None:
+                _obs.inc("chase.branches.explored")
+            tableau = pending.pop()
+            try:
+                forks = _chase_branch(dtd, sigma, tableau, budget)
+            except _Contradiction:
+                if _obs.enabled:
+                    _obs.inc("chase.branches.pruned")
+                continue
+            if forks is not None:
+                if _obs.enabled:
+                    _obs.inc("chase.branches.forked", len(forks))
+                pending.extend(forks)
+                continue
             if _obs.enabled:
-                _obs.inc("chase.branches.forked", len(forks))
-            pending.extend(forks)
-            continue
-        if _obs.enabled:
-            _obs.observe("chase.tableau.nodes", len(tableau.labels))
-        tree = tableau.to_tree()
-        if (conforms_unordered(tree, dtd)
-                and satisfies_all(tree, dtd, sigma)
-                and not satisfies(tree, dtd, fd)):
-            if _obs.enabled:
-                _obs.inc("chase.countermodels")
-            return False  # verified countermodel
+                _obs.observe("chase.tableau.nodes", len(tableau.labels))
+            tree = tableau.to_tree()
+            if (conforms_unordered(tree, dtd)
+                    and satisfies_all(tree, dtd, sigma)
+                    and not satisfies(tree, dtd, fd)):
+                if _obs.enabled:
+                    _obs.inc("chase.countermodels")
+                return False  # verified countermodel
+    except ResourceExhausted as error:
+        error.partial.setdefault("engine", "chase")
+        error.partial.setdefault("query", str(fd))
+        error.partial.setdefault("branches_explored", explored)
+        error.partial.setdefault("branches_pending", len(pending))
+        raise
     return True
 
 
@@ -375,17 +386,21 @@ class _Skeleton:
 # Chase loop
 # ---------------------------------------------------------------------------
 
-def _chase_branch(dtd: DTD, sigma: list[FD],
-                  tableau: _Tableau) -> list[_Tableau] | None:
+def _chase_branch(dtd: DTD, sigma: list[FD], tableau: _Tableau,
+                  budget: "_guard.Budget | None" = None,
+                  ) -> list[_Tableau] | None:
     """Run one branch to fixpoint.
 
     Returns ``None`` when the branch reached a fixpoint (caller then
     verifies it), or a list of forked tableaux when a completion had
     several minimal options.  Raises :class:`_Contradiction` if the
-    branch is unsatisfiable.
+    branch is unsatisfiable, :class:`ResourceExhausted` if ``budget``
+    trips mid-branch.
     """
     for _step in range(MAX_CHASE_STEPS):
-        forks = _repair(dtd, tableau)
+        if budget is not None:
+            budget.tick_steps()
+        forks = _repair(dtd, tableau, budget)
         if forks is not None:
             return forks
         violation = _find_violation(dtd, sigma, tableau)
@@ -397,7 +412,9 @@ def _chase_branch(dtd: DTD, sigma: list[FD],
     raise ReproError("chase did not terminate within the step budget")
 
 
-def _repair(dtd: DTD, tableau: _Tableau) -> list[_Tableau] | None:
+def _repair(dtd: DTD, tableau: _Tableau,
+            budget: "_guard.Budget | None" = None,
+            ) -> list[_Tableau] | None:
     """Repair attributes, text and child multisets node by node.
 
     Deterministic repairs are applied in place; the first node with
@@ -428,13 +445,14 @@ def _repair(dtd: DTD, tableau: _Tableau) -> list[_Tableau] | None:
             if not completions:
                 raise _Contradiction
             if len(completions) == 1:
-                _apply_completion(dtd, tableau, node, completions[0])
+                _apply_completion(dtd, tableau, node, completions[0],
+                                  budget)
                 progress = True
                 continue
             forks = []
             for completion in completions:
                 fork = tableau.clone()
-                _apply_completion(dtd, fork, node, completion)
+                _apply_completion(dtd, fork, node, completion, budget)
                 forks.append(fork)
             return forks
     return None
@@ -514,7 +532,10 @@ def _enumerate_completions(production: Regex,
 
 
 def _apply_completion(dtd: DTD, tableau: _Tableau, node: str,
-                      addition: Counter) -> None:
+                      addition: Counter,
+                      budget: "_guard.Budget | None" = None) -> None:
+    if budget is not None:
+        budget.tick_nodes(sum(addition.values()))
     for label, count in addition.items():
         for _ in range(count):
             tableau.add_node(label, node)

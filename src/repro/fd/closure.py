@@ -51,9 +51,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.errors import ResourceExhausted
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
 from repro.fd.model import FD
+from repro.guard import budget as _guard
 from repro.obs import metrics as _obs
 from repro.regex.ast import PCData
 
@@ -65,16 +67,22 @@ def closure_implies(dtd: DTD, sigma: Iterable[FD], fd: FD) -> bool:
     """Whether the closure derives ``fd`` from ``(D, Σ)``."""
     sigma = list(sigma)
     with _obs.timer("closure.implies"):
-        for single in fd.expand():
-            relevant = _relevant_sigma(sigma, single)
-            solver = _Solver(dtd, relevant, single.lhs,
-                             extra=frozenset({single.single_rhs}))
-            eq, nn = solver.solve(frozenset(), frozenset(), SPLIT_DEPTH)
-            if _obs.enabled:
-                _obs.observe("closure.derived.eq", len(eq))
-                _obs.observe("closure.derived.nn", len(nn))
-            if single.single_rhs not in eq:
-                return False
+        try:
+            for single in fd.expand():
+                relevant = _relevant_sigma(sigma, single)
+                solver = _Solver(dtd, relevant, single.lhs,
+                                 extra=frozenset({single.single_rhs}))
+                eq, nn = solver.solve(frozenset(), frozenset(),
+                                      SPLIT_DEPTH)
+                if _obs.enabled:
+                    _obs.observe("closure.derived.eq", len(eq))
+                    _obs.observe("closure.derived.nn", len(nn))
+                if single.single_rhs not in eq:
+                    return False
+        except ResourceExhausted as error:
+            error.partial.setdefault("engine", "closure")
+            error.partial.setdefault("query", str(fd))
+            raise
     return True
 
 
@@ -141,6 +149,7 @@ class _Solver:
         #: (kind, path, reason) events for explanation rendering.
         self.events: list[tuple[str, Path, str]] | None = None
         self._in_branch = 0
+        self._budget = _guard.current() if _guard.active else None
 
     def _universe(self, extra: frozenset[Path]) -> set[Path]:
         mentioned: set[Path] = set(self.lhs) | set(extra)
@@ -173,6 +182,8 @@ class _Solver:
 
         changed = True
         while changed:
+            if self._budget is not None:
+                self._budget.tick_steps()
             if _obs.enabled:
                 _obs.inc("closure.iterations")
             changed = False
@@ -253,6 +264,8 @@ class _Solver:
                     depth: int) -> bool:
         for witness in self._split_candidates(eq, nn):
             null_region = self._null_region(witness)
+            if self._budget is not None:
+                self._budget.tick_branches()
             if _obs.enabled:
                 _obs.inc("closure.case_splits")
             self._in_branch += 1

@@ -19,13 +19,26 @@ cache_key`) and instrumented: :meth:`ImplicationEngine.cache_info`
 mirrors :func:`functools.lru_cache`, and when :mod:`repro.obs` is
 enabled the engine emits ``implication.*`` counters (cache hits and
 misses, engine chosen per decided query, closure→chase fallbacks).
+
+**Resource governance** (see ``docs/ROBUSTNESS.md``): under an active
+:mod:`repro.guard` budget the engines raise
+:class:`~repro.errors.ResourceExhausted` instead of running unbounded.
+:meth:`ImplicationEngine.implies` lets that propagate (a boolean API
+cannot degrade); :meth:`ImplicationEngine.decide` walks the fallback
+chain — the cache, then the always-sound closure, then (non-simple
+DTDs) the budget-bounded chase — and converts exhaustion into a
+three-valued :class:`ImplicationVerdict`: :data:`YES` / :data:`NO` /
+:data:`UNKNOWN` with the tripped limit named.  The cache is keyed on
+*completeness*: only fully decided answers are stored, so an
+``UNKNOWN`` produced under a tight budget is never replayed as
+authoritative by a later (or warmer) query.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Literal, NamedTuple
 
-from repro.errors import UnsupportedFeatureError
+from repro.errors import ResourceExhausted, UnsupportedFeatureError
 from repro.dtd.classify import is_simple_dtd
 from repro.dtd.model import DTD
 from repro.fd.brute import brute_implies
@@ -35,6 +48,32 @@ from repro.fd.model import FD
 from repro.obs import metrics as _obs
 
 EngineName = Literal["auto", "closure", "chase", "brute"]
+
+#: The three verdict values of :meth:`ImplicationEngine.decide`.
+YES = "YES"
+NO = "NO"
+UNKNOWN = "UNKNOWN"
+
+
+class ImplicationVerdict(NamedTuple):
+    """A three-valued implication answer.
+
+    ``value`` is :data:`YES`, :data:`NO`, or :data:`UNKNOWN`; both
+    definite values are **sound** (backed by a completed engine run),
+    while ``UNKNOWN`` is only ever produced when a resource limit
+    actually tripped — ``limit`` then names it (``"deadline"``,
+    ``"steps"``, ``"branches"``, or ``"nodes"``) and ``reason`` is a
+    human-readable account.
+    """
+
+    value: str
+    reason: str
+    limit: str | None = None
+
+    @property
+    def decided(self) -> bool:
+        """Whether the verdict is definite (``YES`` or ``NO``)."""
+        return self.value != UNKNOWN
 
 #: The cache key of one single-RHS query: ``(lhs, rhs)`` with the LHS
 #: as a frozenset of paths and the RHS a single path.
@@ -82,24 +121,79 @@ class ImplicationEngine:
         return (fd.lhs, fd.single_rhs)
 
     def implies(self, fd: FD) -> bool:
-        """``(D, Σ) |- fd``."""
+        """``(D, Σ) |- fd``.
+
+        Under an active :mod:`repro.guard` budget this may raise
+        :class:`~repro.errors.ResourceExhausted`; use :meth:`decide`
+        for the degrade-gracefully three-valued form.
+        """
         result = True
         for single in fd.expand():
-            # Inline cache_key: expand() guarantees a single-RHS FD.
-            key = (single.lhs, next(iter(single.rhs)))
-            cached = self._cache.get(key)
-            if cached is None:
-                self._misses += 1
-                if _obs.enabled:
-                    _obs.inc("implication.cache.miss")
-                cached = self._decide(single)
-                self._cache[key] = cached
-            else:
-                self._hits += 1
-                if _obs.enabled:
-                    _obs.inc("implication.cache.hit")
-            result = result and cached
+            result = self._lookup(single) and result
         return result
+
+    def decide(self, fd: FD) -> ImplicationVerdict:
+        """``(D, Σ) |- fd`` as a three-valued verdict.
+
+        Walks the fallback chain per single-RHS query — cached answers,
+        then the exact engines in :meth:`_decide`'s order (closure
+        first: sound everywhere, complete for simple DTDs; then the
+        budget-bounded chase for general DTDs) — and absorbs
+        :class:`~repro.errors.ResourceExhausted` into an ``UNKNOWN``
+        verdict naming the tripped limit.  A ``NO`` on any conjunct is
+        final regardless of budget trips elsewhere (one unimplied RHS
+        refutes the conjunction); otherwise any trip degrades the
+        overall verdict to ``UNKNOWN``.  Budget-aborted queries are
+        **not** cached, so a later call with more budget re-decides
+        them from scratch.
+        """
+        unknown: ImplicationVerdict | None = None
+        for single in fd.expand():
+            try:
+                value = self._lookup(single)
+            except ResourceExhausted as error:
+                if _obs.enabled:
+                    _obs.inc("implication.verdict.unknown")
+                if unknown is None:
+                    unknown = ImplicationVerdict(
+                        UNKNOWN, limit=error.limit,
+                        reason=(f"undecided: {error} while deciding "
+                                f"{single} (engine "
+                                f"{error.partial.get('engine', '?')})"))
+                continue
+            if not value:
+                if _obs.enabled:
+                    _obs.inc("implication.verdict.no")
+                return ImplicationVerdict(
+                    NO, reason=f"{single} is not implied")
+        if unknown is not None:
+            return unknown
+        if _obs.enabled:
+            _obs.inc("implication.verdict.yes")
+        return ImplicationVerdict(YES, reason="implied")
+
+    def _lookup(self, single: FD) -> bool:
+        """Decide one single-RHS query through the cache.
+
+        Only *complete* answers are ever stored: :meth:`_decide`
+        signals an aborted run by raising (``ResourceExhausted``
+        propagates before the assignment below), so the cache never
+        holds a verdict produced under an exhausted budget.
+        """
+        # Inline cache_key: expand() guarantees a single-RHS FD.
+        key = (single.lhs, next(iter(single.rhs)))
+        cached = self._cache.get(key)
+        if cached is None:
+            self._misses += 1
+            if _obs.enabled:
+                _obs.inc("implication.cache.miss")
+            cached = self._decide(single)
+            self._cache[key] = cached
+        else:
+            self._hits += 1
+            if _obs.enabled:
+                _obs.inc("implication.cache.hit")
+        return cached
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/size statistics for the query cache."""
@@ -156,6 +250,12 @@ def implies(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
             engine: EngineName = "auto") -> bool:
     """One-shot ``(D, Σ) |- fd``."""
     return ImplicationEngine(dtd, sigma, engine=engine).implies(fd)
+
+
+def decide(dtd: DTD, sigma: Iterable[FD], fd: FD, *,
+           engine: EngineName = "auto") -> ImplicationVerdict:
+    """One-shot three-valued ``(D, Σ) |- fd`` (budget-aware)."""
+    return ImplicationEngine(dtd, sigma, engine=engine).decide(fd)
 
 
 def is_trivial(dtd: DTD, fd: FD, *, engine: EngineName = "auto") -> bool:

@@ -1,0 +1,24 @@
+"""Resource governor for the coNP-hard core (see ``docs/ROBUSTNESS.md``).
+
+Public surface::
+
+    from repro import guard
+
+    with guard.limits(deadline=2.0, max_steps=1_000_000):
+        ...                      # engines degrade instead of hanging
+
+:class:`Budget` / :func:`use` / :func:`limits` / :func:`current` live
+in :mod:`repro.guard.budget`; the companion exception
+:class:`~repro.errors.ResourceExhausted` is re-exported here for
+convenience.  Instrumented engine code imports the submodule directly
+(``from repro.guard import budget as _guard``) and reads its
+``active`` flag, which this package does **not** re-export — a
+from-import would freeze the value.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceExhausted
+from repro.guard.budget import Budget, current, limits, use
+
+__all__ = ["Budget", "ResourceExhausted", "current", "limits", "use"]

@@ -1,0 +1,245 @@
+"""The cooperative resource governor: budgets, deadlines, degradation.
+
+Theorem 5 makes general XML-FD implication coNP-complete, and every
+exact engine in this package (the chase, the closure's case splits, the
+brute-force oracle, maximal-tuple enumeration) inherits that worst
+case.  A :class:`Budget` turns "may run forever" into "runs until a
+declared limit, then raises" — the prerequisite for serving untrusted
+inputs: no request may ever run unbounded.
+
+A budget carries four independent limits, all optional:
+
+* ``deadline`` — wall-clock seconds from construction;
+* ``max_steps`` — generic engine work units (chase steps, closure
+  fixpoint passes, brute-force trees, multiset-match search states);
+* ``max_branches`` — disjunction/case-split branches (the ``N_D``
+  explosion of Theorems 4/5);
+* ``max_nodes`` — tableau/tuple/variant nodes materialized (memory
+  proxy).
+
+Budgets are **cooperative**: engines call :meth:`Budget.tick_steps` /
+:meth:`~Budget.tick_branches` / :meth:`~Budget.tick_nodes` at the same
+sites where :mod:`repro.obs` counters are emitted, and every tick also
+checks the deadline, so a live engine notices expiry within one unit of
+work.  A tripped limit raises
+:class:`~repro.errors.ResourceExhausted` carrying which limit tripped,
+the amount spent, and a ``partial`` dict that engines annotate with
+progress made so far; the implication facade
+(:meth:`repro.fd.implication.ImplicationEngine.decide`) converts the
+exception into an honest ``UNKNOWN`` verdict.
+
+Budgets are installed ambiently with :func:`use` (or the :func:`limits`
+convenience) so the existing engine signatures stay unchanged::
+
+    from repro import guard
+
+    with guard.limits(deadline=1.5, max_steps=100_000):
+        verdict = engine.decide(fd)       # YES / NO / UNKNOWN
+
+Hot-path contract (mirrors :mod:`repro.obs.metrics`): while no budget
+is installed, an instrumented site performs one module-attribute read
+(``budget.active``) — or, inside engine loops, one ``is None`` test on
+a captured local — and nothing else.  ``benchmarks/bench_guard.py``
+verifies the disabled overhead stays under 1%.
+
+Like the obs registry the installed-budget stack is process-wide, not
+thread-local: a budget installed in one thread governs engine work in
+all of them (ticks themselves are plain integer increments and safe
+under the GIL; the worst race is a check against a just-popped budget).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ResourceExhausted
+from repro.obs import metrics as _obs
+
+#: Fast-path flag: ``True`` iff at least one budget is installed.
+#: Instrumentation sites read this (one module-attribute load) before
+#: touching anything else, so unguarded runs pay essentially nothing.
+active: bool = False
+
+_stack: list["Budget"] = []
+
+
+class Budget:
+    """A mutable bundle of resource limits and spent counters.
+
+    All limits are optional; ``None`` means unlimited.  The deadline
+    clock starts at construction (inject ``clock`` to test expiry
+    deterministically).
+    """
+
+    __slots__ = ("deadline", "max_steps", "max_branches", "max_nodes",
+                 "steps", "branches", "nodes", "tripped",
+                 "_clock", "_started_at", "_expires_at")
+
+    def __init__(self, *, deadline: float | None = None,
+                 max_steps: int | None = None,
+                 max_branches: int | None = None,
+                 max_nodes: int | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        for name, value in (("deadline", deadline),
+                            ("max_steps", max_steps),
+                            ("max_branches", max_branches),
+                            ("max_nodes", max_nodes)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        self.deadline = deadline
+        self.max_steps = max_steps
+        self.max_branches = max_branches
+        self.max_nodes = max_nodes
+        self.steps = 0
+        self.branches = 0
+        self.nodes = 0
+        #: The first limit that tripped ("deadline" / "steps" /
+        #: "branches" / "nodes"), or ``None`` while within budget.
+        self.tripped: str | None = None
+        self._clock = clock
+        self._started_at = clock()
+        self._expires_at = (self._started_at + deadline
+                            if deadline is not None else None)
+
+    # -- spending ----------------------------------------------------------
+
+    def tick_steps(self, n: int = 1) -> None:
+        """Spend ``n`` work units; raise if a limit trips."""
+        self.steps += n
+        if _obs.enabled:
+            _obs.inc("guard.checks")
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._trip("steps", self.steps, self.max_steps)
+        self._check_deadline()
+
+    def tick_branches(self, n: int = 1) -> None:
+        """Spend ``n`` disjunction/case-split branches."""
+        self.branches += n
+        if _obs.enabled:
+            _obs.inc("guard.checks")
+        if self.max_branches is not None \
+                and self.branches > self.max_branches:
+            self._trip("branches", self.branches, self.max_branches)
+        self._check_deadline()
+
+    def tick_nodes(self, n: int = 1) -> None:
+        """Spend ``n`` materialized nodes (tableau, tuple, variant)."""
+        self.nodes += n
+        if _obs.enabled:
+            _obs.inc("guard.checks")
+        if self.max_nodes is not None and self.nodes > self.max_nodes:
+            self._trip("nodes", self.nodes, self.max_nodes)
+        self._check_deadline()
+
+    def check(self) -> None:
+        """A deadline-only checkpoint (no counter spent)."""
+        if _obs.enabled:
+            _obs.inc("guard.checks")
+        self._check_deadline()
+
+    # -- inspection --------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the budget was created."""
+        return self._clock() - self._started_at
+
+    def remaining(self) -> dict[str, float | int | None]:
+        """Per-limit headroom (``None`` for unlimited dimensions)."""
+        return {
+            "deadline": (None if self._expires_at is None
+                         else max(0.0, self._expires_at - self._clock())),
+            "steps": (None if self.max_steps is None
+                      else max(0, self.max_steps - self.steps)),
+            "branches": (None if self.max_branches is None
+                         else max(0, self.max_branches - self.branches)),
+            "nodes": (None if self.max_nodes is None
+                      else max(0, self.max_nodes - self.nodes)),
+        }
+
+    def spent(self) -> dict[str, float | int]:
+        """What the budget has consumed so far (for error payloads)."""
+        return {"elapsed": self.elapsed(), "steps": self.steps,
+                "branches": self.branches, "nodes": self.nodes}
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_deadline(self) -> None:
+        if self._expires_at is not None \
+                and self._clock() >= self._expires_at:
+            self._trip("deadline", self.elapsed(), self.deadline)
+
+    def _trip(self, limit: str, spent, allowed) -> None:
+        if self.tripped is None:
+            self.tripped = limit
+        if _obs.enabled:
+            _obs.inc(f"guard.trips.{limit}")
+        raise ResourceExhausted(limit, spent=spent, allowed=allowed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        limits = ", ".join(
+            f"{name}={value}" for name, value in
+            (("deadline", self.deadline), ("max_steps", self.max_steps),
+             ("max_branches", self.max_branches),
+             ("max_nodes", self.max_nodes))
+            if value is not None) or "unlimited"
+        return (f"Budget({limits}; spent steps={self.steps} "
+                f"branches={self.branches} nodes={self.nodes})")
+
+
+# ---------------------------------------------------------------------------
+# Ambient installation
+# ---------------------------------------------------------------------------
+
+def current() -> Budget | None:
+    """The innermost installed budget, or ``None``.
+
+    Engine call sites capture this once per decision (guarded by the
+    :data:`active` flag) and pass the local down their loops.
+    """
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def use(budget: Budget) -> Iterator[Budget]:
+    """Install ``budget`` for the duration of the ``with`` body.
+
+    Budgets nest (the innermost wins at instrumentation points); on
+    exit the previous budget is restored and, when obs is enabled, the
+    remaining headroom of every set limit is recorded into
+    ``guard.remaining.*`` histograms so completion margins are
+    observable.
+    """
+    global active
+    _stack.append(budget)
+    active = True
+    try:
+        yield budget
+    finally:
+        _stack.pop()
+        active = bool(_stack)
+        if _obs.enabled:
+            for name, headroom in budget.remaining().items():
+                if headroom is not None:
+                    _obs.observe(f"guard.remaining.{name}", headroom)
+            if budget.tripped is None:
+                _obs.inc("guard.completed")
+
+
+@contextmanager
+def limits(*, deadline: float | None = None, max_steps: int | None = None,
+           max_branches: int | None = None, max_nodes: int | None = None,
+           clock: Callable[[], float] = time.monotonic,
+           ) -> Iterator[Budget | None]:
+    """``use(Budget(...))`` in one call; a no-op when every limit is
+    ``None`` (so callers can thread optional CLI flags through
+    unconditionally)."""
+    if (deadline is None and max_steps is None and max_branches is None
+            and max_nodes is None):
+        yield None
+        return
+    with use(Budget(deadline=deadline, max_steps=max_steps,
+                    max_branches=max_branches, max_nodes=max_nodes,
+                    clock=clock)) as budget:
+        yield budget

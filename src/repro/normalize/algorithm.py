@@ -21,11 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import NormalizationError, UnsupportedFeatureError
+from repro.errors import (
+    NormalizationError,
+    ResourceExhausted,
+    UnsupportedFeatureError,
+)
 from repro.dtd.model import DTD
 from repro.dtd.paths import Path
 from repro.fd.implication import EngineName, ImplicationEngine
 from repro.fd.model import FD
+from repro.guard import budget as _guard
 from repro.normalize.transforms import (
     NewElementNames,
     TransformStep,
@@ -82,45 +87,63 @@ def normalize(dtd: DTD, sigma: Iterable[FD], *,
     current_sigma = _preprocess(current_dtd, current_sigma)
     steps: list[TransformStep] = []
 
-    with _obs.timer("normalize.total"), _span("normalize"):
-        for _round in range(max_steps):
-            with _span("normalize.round", round=_round) as round_span:
-                oracle = ImplicationEngine(
-                    current_dtd, current_sigma, engine=engine)
-                anomalous = anomalous_sigma_fds(oracle)
-                round_span.set("anomalous_before", len(anomalous))
-                if not anomalous:
-                    round_span.set("rule", "converged")
-                    return NormalizationResult(
-                        current_dtd, current_sigma, steps)
-                before = anomalous_paths(oracle) if check_progress \
-                    else None
-
-                step = _apply_one(current_dtd, current_sigma, oracle,
-                                  anomalous, naming, len(steps), engine)
-                steps.append(step)
-                current_dtd = step.dtd
-                current_sigma = _preprocess(current_dtd, step.sigma)
-                if _obs.enabled:
-                    _obs.inc("normalize.rounds")
-                    _obs.inc(f"normalize.steps.{step.kind}")
-                    round_span.set("rule", step.kind)
-                    round_span.set("implication_queries",
-                                   oracle.query_count())
-
-                if check_progress:
-                    after_oracle = ImplicationEngine(
+    budget = _guard.current() if _guard.active else None
+    try:
+        with _obs.timer("normalize.total"), _span("normalize"):
+            for _round in range(max_steps):
+                if budget is not None:
+                    # One step per round on top of whatever the round's
+                    # implication queries spend; keeps a degenerate
+                    # loop of free rounds from evading the deadline.
+                    budget.tick_steps()
+                with _span("normalize.round",
+                           round=_round) as round_span:
+                    oracle = ImplicationEngine(
                         current_dtd, current_sigma, engine=engine)
-                    after = anomalous_paths(after_oracle)
-                    round_span.set("anomalous_paths_after", len(after))
-                    assert before is not None
-                    if not after < before:
-                        raise NormalizationError(
-                            "Proposition 6 progress violated: anomalous "
-                            "paths went from "
-                            f"{sorted(map(str, before))} to "
-                            f"{sorted(map(str, after))} after step "
-                            f"{step.description!r}")
+                    anomalous = anomalous_sigma_fds(oracle)
+                    round_span.set("anomalous_before", len(anomalous))
+                    if not anomalous:
+                        round_span.set("rule", "converged")
+                        return NormalizationResult(
+                            current_dtd, current_sigma, steps)
+                    before = anomalous_paths(oracle) if check_progress \
+                        else None
+
+                    step = _apply_one(current_dtd, current_sigma, oracle,
+                                      anomalous, naming, len(steps),
+                                      engine)
+                    steps.append(step)
+                    current_dtd = step.dtd
+                    current_sigma = _preprocess(current_dtd, step.sigma)
+                    if _obs.enabled:
+                        _obs.inc("normalize.rounds")
+                        _obs.inc(f"normalize.steps.{step.kind}")
+                        round_span.set("rule", step.kind)
+                        round_span.set("implication_queries",
+                                       oracle.query_count())
+
+                    if check_progress:
+                        after_oracle = ImplicationEngine(
+                            current_dtd, current_sigma, engine=engine)
+                        after = anomalous_paths(after_oracle)
+                        round_span.set("anomalous_paths_after",
+                                       len(after))
+                        assert before is not None
+                        if not after < before:
+                            raise NormalizationError(
+                                "Proposition 6 progress violated: "
+                                "anomalous paths went from "
+                                f"{sorted(map(str, before))} to "
+                                f"{sorted(map(str, after))} after step "
+                                f"{step.description!r}")
+    except ResourceExhausted as error:
+        # Partial progress: the transforms applied before the trip are
+        # sound individually, so surface them for diagnostics/resume.
+        error.partial.setdefault("engine", "normalize")
+        error.partial.setdefault("rounds_completed", len(steps))
+        error.partial.setdefault(
+            "steps_applied", [step.description for step in steps])
+        raise
     raise NormalizationError(
         f"normalization did not converge within {max_steps} steps")
 

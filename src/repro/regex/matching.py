@@ -20,6 +20,7 @@ from collections import Counter
 from functools import lru_cache
 from typing import Iterable, Mapping
 
+from repro.guard import budget as _guard
 from repro.regex.ast import (
     EMPTY_SET,
     EPSILON,
@@ -94,11 +95,15 @@ def matches_multiset(regex: Regex,
     if any(symbol not in alphabet for symbol in remaining):
         return False
     items = tuple(sorted(remaining.items()))
-    return _search(regex, items, set())
+    budget = _guard.current() if _guard.active else None
+    return _search(regex, items, set(), budget)
 
 
 def _search(state: Regex, items: tuple[tuple[str, int], ...],
-            failed: set[tuple[Regex, tuple[tuple[str, int], ...]]]) -> bool:
+            failed: set[tuple[Regex, tuple[tuple[str, int], ...]]],
+            budget: "_guard.Budget | None" = None) -> bool:
+    if budget is not None:
+        budget.tick_steps()
     if not items:
         return state.nullable()
     key = (state, items)
@@ -112,7 +117,7 @@ def _search(state: Regex, items: tuple[tuple[str, int], ...],
             rest = items[:index] + items[index + 1:]
         else:
             rest = items[:index] + ((symbol, count - 1),) + items[index + 1:]
-        if _search(nxt, rest, failed):
+        if _search(nxt, rest, failed, budget):
             return True
     failed.add(key)
     return False

@@ -35,6 +35,13 @@ from repro.regex.ast import (
     union,
 )
 
+#: Maximum parenthesis-nesting depth of a content model.  The parser is
+#: recursive-descent, so without an explicit cap a deeply nested input
+#: (``(((...a...)))``) escapes as a raw :class:`RecursionError`; real
+#: content models nest a handful of levels, and 200 stays comfortably
+#: inside CPython's default recursion limit.
+MAX_NESTING_DEPTH = 200
+
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
@@ -71,10 +78,13 @@ def _tokenize(text: str) -> list[_Token]:
 
 
 class _Parser:
-    def __init__(self, tokens: list[_Token], text: str) -> None:
+    def __init__(self, tokens: list[_Token], text: str, *,
+                 max_depth: int = MAX_NESTING_DEPTH) -> None:
         self._tokens = tokens
         self._text = text
         self._pos = 0
+        self._depth = 0
+        self._max_depth = max_depth
 
     def peek(self) -> _Token | None:
         if self._pos < len(self._tokens):
@@ -125,8 +135,16 @@ class _Parser:
     def parse_unit(self) -> Regex:
         token = self.next()
         if token.value == "(":
+            self._depth += 1
+            if self._depth > self._max_depth:
+                raise RegexSyntaxError(
+                    f"content model nested deeper than {self._max_depth} "
+                    f"levels (offending depth {self._depth})",
+                    column=token.position + 1,
+                )
             inner = self.parse_particle()
             self.expect(")")
+            self._depth -= 1
             base = inner
         elif token.kind == "name":
             base = sym(token.value)
@@ -148,12 +166,15 @@ class _Parser:
         return base
 
 
-def parse_content_model(text: str) -> Regex:
+def parse_content_model(text: str, *,
+                        max_depth: int = MAX_NESTING_DEPTH) -> Regex:
     """Parse the content model of an ``<!ELEMENT>`` declaration.
 
     ``EMPTY`` yields :data:`~repro.regex.ast.EPSILON`, ``(#PCDATA)``
     yields :data:`~repro.regex.ast.PCDATA`, anything else a regex over
-    element names.
+    element names.  Nesting beyond ``max_depth`` raises
+    :class:`~repro.errors.RegexSyntaxError` (never a raw
+    ``RecursionError``).
     """
     stripped = text.strip()
     if stripped == "EMPTY":
@@ -164,7 +185,7 @@ def parse_content_model(text: str) -> Regex:
         raise RegexSyntaxError(
             "ANY content is outside the paper's DTD fragment (Definition 1)")
     tokens = _tokenize(stripped)
-    parser = _Parser(tokens, stripped)
+    parser = _Parser(tokens, stripped, max_depth=max_depth)
     result = parser.parse_particle()
     if not parser.at_end():
         extra = parser.peek()

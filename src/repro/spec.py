@@ -17,7 +17,11 @@ from typing import Callable, Iterable, Sequence
 
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
-from repro.fd.implication import EngineName, ImplicationEngine
+from repro.fd.implication import (
+    EngineName,
+    ImplicationEngine,
+    ImplicationVerdict,
+)
 from repro.fd.model import FD, parse_fds
 from repro.fd.satisfaction import satisfies_all, violating_pairs
 from repro.normalize.algorithm import NormalizationResult, normalize
@@ -71,6 +75,18 @@ class XMLSpec:
         if isinstance(fd, str):
             fd = FD.parse(fd)
         return self.oracle.implies(fd.validate(self.dtd))
+
+    def decide(self, fd: FD | str) -> "ImplicationVerdict":
+        """Three-valued ``(D, Σ) |- fd``: ``YES``/``NO``/``UNKNOWN``.
+
+        Unlike :meth:`implies`, never raises
+        :class:`~repro.errors.ResourceExhausted` — a tripped
+        :mod:`repro.guard` budget degrades to ``UNKNOWN`` with the
+        limit named (see ``docs/ROBUSTNESS.md``).
+        """
+        if isinstance(fd, str):
+            fd = FD.parse(fd)
+        return self.oracle.decide(fd.validate(self.dtd))
 
     def is_trivial(self, fd: FD | str) -> bool:
         """``(D, ∅) |- fd``."""

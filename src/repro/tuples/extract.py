@@ -8,17 +8,24 @@ over the visited nodes, of their per-label child choices.
 
 The number of tuples can be exponential in document depth in the worst
 case; :func:`count_tuples` computes the count without materializing
-them, and :func:`iter_tuples` yields them lazily.
+them, and :func:`iter_tuples` yields them lazily.  The enumeration is
+*streaming*: the nested per-label product is walked with recursive
+generators (re-enumerating subtrees per combination prefix instead of
+materializing alternative lists), so peak memory stays proportional to
+document depth, not to the tuple count — wide DTDs can be consumed
+tuple by tuple under a :mod:`repro.guard` node budget, which is ticked
+per node visit and trips with :class:`~repro.errors.ResourceExhausted`
+before an unbounded product can run away.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterator
 
-from repro.errors import ConformanceError
+from repro.errors import ConformanceError, ResourceExhausted
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
+from repro.guard import budget as _guard
 from repro.obs import metrics as _obs
 from repro.tuples.model import TreeTuple
 from repro.xmltree.conformance import is_compatible
@@ -38,17 +45,38 @@ def iter_tuples(tree: XMLTree, dtd: DTD, *,
         raise ConformanceError(
             "tuples_D(T) requires T < D (paths(T) ⊆ paths(D))")
     assert tree.root is not None
+    budget = _guard.current() if _guard.active else None
     root_path = Path.root(tree.label(tree.root))
-    for assignment in _subtree_tuples(tree, dtd, tree.root, root_path):
-        if _obs.enabled:
-            _obs.inc("tuples.materialized")
-        yield TreeTuple(assignment)
+    produced = 0
+    try:
+        for assignment in _subtree_tuples(tree, dtd, tree.root,
+                                          root_path, budget):
+            if _obs.enabled:
+                _obs.inc("tuples.materialized")
+            produced += 1
+            yield TreeTuple(assignment)
+    except ResourceExhausted as error:
+        error.partial.setdefault("engine", "tuples")
+        error.partial.setdefault("tuples_yielded", produced)
+        raise
 
 
-def _subtree_tuples(tree: XMLTree, dtd: DTD, node: str,
-                    path: Path) -> Iterator[dict[Path, str]]:
+def _subtree_tuples(tree: XMLTree, dtd: DTD, node: str, path: Path,
+                    budget: "_guard.Budget | None" = None,
+                    ) -> Iterator[dict[Path, str]]:
     """All maximal partial assignments for the subtree rooted at
-    ``node`` (situated at ``path``)."""
+    ``node`` (situated at ``path``), streamed.
+
+    The per-label choices multiply, so the product is walked lazily: a
+    recursive generator per label level, re-enumerating the deeper
+    subtrees for every prefix combination.  This trades repeated
+    traversal for bounded memory (nothing beyond the O(depth) generator
+    frames and the assignment under construction is retained), and the
+    node budget — ticked once per node visit — therefore bounds the
+    *work* of the enumeration, not just its output size.
+    """
+    if budget is not None:
+        budget.tick_nodes()
     base: dict[Path, str] = {path: node}
     for name, value in tree.attrs_of(node).items():
         base[path.child(name)] = value
@@ -61,20 +89,23 @@ def _subtree_tuples(tree: XMLTree, dtd: DTD, node: str,
         yield base
         return
 
-    per_label: list[list[dict[Path, str]]] = []
-    for label in labels:
+    def alternatives(label: str) -> Iterator[dict[Path, str]]:
         child_path = path.child(label)
-        alternatives: list[dict[Path, str]] = []
         for child in tree.children_with_label(node, label):
-            alternatives.extend(
-                _subtree_tuples(tree, dtd, child, child_path))
-        per_label.append(alternatives)
+            yield from _subtree_tuples(tree, dtd, child, child_path,
+                                       budget)
 
-    for combination in itertools.product(*per_label):
-        assignment = dict(base)
-        for piece in combination:
-            assignment.update(piece)
-        yield assignment
+    def combine(index: int,
+                acc: dict[Path, str]) -> Iterator[dict[Path, str]]:
+        if index == len(labels):
+            yield acc
+            return
+        for piece in alternatives(labels[index]):
+            merged = dict(acc)
+            merged.update(piece)
+            yield from combine(index + 1, merged)
+
+    yield from combine(0, base)
 
 
 def count_tuples(tree: XMLTree, dtd: DTD | None = None) -> int:

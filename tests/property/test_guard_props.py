@@ -1,0 +1,130 @@
+"""Fuzz harness for the resource governor.
+
+Random specifications decided under hostile budgets must uphold the
+degradation contract of ``docs/ROBUSTNESS.md``:
+
+* a wall-clock deadline is honored within a factor of two;
+* tiny step/branch/node budgets never crash the pipeline — every query
+  comes back ``YES``/``NO``/``UNKNOWN``;
+* ``UNKNOWN`` is only ever returned when a limit actually tripped; and
+* whenever a budgeted run *does* decide, it agrees with the unbudgeted
+  answer (budgets can only withhold an answer, never change it).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro import guard
+from repro.datasets.generators import random_fds, random_simple_dtd
+from repro.dtd.model import DTD
+from repro.fd.implication import UNKNOWN, YES, NO, ImplicationEngine
+from repro.fd.model import FD
+from repro.regex.ast import EPSILON, concat, optional, plus, star, sym, union
+
+
+def _random_disjunctive_dtd(rng: random.Random) -> DTD:
+    """Unions force the general engines; stars admit countermodels."""
+    wrappers = [lambda r: r, optional, plus, star]
+    leaves = ["a", "b", "c", "d", "e"]
+    productions = {leaf: EPSILON for leaf in leaves}
+    attributes = {"a": frozenset({"@x"}), "c": frozenset({"@y"}),
+                  "e": frozenset({"@u", "@v"})}
+    parts = [union([sym("a"), sym("b")]),
+             rng.choice(wrappers)(union([sym("c"), sym("d")])),
+             star(sym("e"))]
+    rng.shuffle(parts)
+    productions["r"] = concat(parts)
+    return DTD(root="r", productions=productions, attributes=attributes)
+
+
+def _random_fd(rng: random.Random, dtd: DTD) -> FD:
+    paths = sorted(dtd.paths, key=str)
+    lhs = frozenset(rng.sample(paths, rng.randint(1, min(2, len(paths)))))
+    return FD(lhs, frozenset({rng.choice(paths)}))
+
+
+def _random_spec(rng: random.Random):
+    if rng.random() < 0.5:
+        dtd = random_simple_dtd(rng, max_depth=2, max_children=2)
+    else:
+        dtd = _random_disjunctive_dtd(rng)
+    # random_fds can come back short on degenerate DTDs; top up from
+    # the raw path set so there is always a query.
+    sigma = random_fds(rng, dtd, rng.randint(0, 2))
+    query = _random_fd(rng, dtd)
+    return dtd, sigma, query
+
+
+def _random_budget_kwargs(rng: random.Random) -> dict:
+    kwargs = {}
+    if rng.random() < 0.7:
+        kwargs["max_steps"] = rng.randint(1, 20)
+    if rng.random() < 0.5:
+        kwargs["max_branches"] = rng.randint(1, 4)
+    if rng.random() < 0.5:
+        kwargs["max_nodes"] = rng.randint(1, 30)
+    if not kwargs:
+        kwargs["max_steps"] = rng.randint(1, 20)
+    return kwargs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_tiny_budgets_never_crash_and_unknown_means_tripped(seed):
+    rng = random.Random(seed)
+    dtd, sigma, query = _random_spec(rng)
+    engine = ImplicationEngine(dtd, sigma)
+    with guard.limits(**_random_budget_kwargs(rng)) as budget:
+        verdict = engine.decide(query)
+    assert verdict.value in (YES, NO, UNKNOWN)
+    if verdict.value == UNKNOWN:
+        assert budget.tripped is not None, (
+            str(dtd), [str(f) for f in sigma], str(query), verdict)
+        assert verdict.limit == budget.tripped
+    else:
+        assert verdict.limit is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_budgeted_decisions_agree_with_unbudgeted(seed):
+    rng = random.Random(seed)
+    dtd, sigma, query = _random_spec(rng)
+    with guard.limits(**_random_budget_kwargs(rng)):
+        budgeted = ImplicationEngine(dtd, sigma).decide(query)
+    if budgeted.value == UNKNOWN:
+        return  # withheld answers carry no claim
+    unbudgeted = ImplicationEngine(dtd, sigma).implies(query)
+    assert budgeted.value == (YES if unbudgeted else NO), (
+        str(dtd), [str(f) for f in sigma], str(query), budgeted)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_deadline_honored_within_factor_two(seed):
+    rng = random.Random(seed)
+    dtd, sigma, query = _random_spec(rng)
+    requested = 0.25
+    engine = ImplicationEngine(dtd, sigma)
+    started = time.monotonic()
+    with guard.limits(deadline=requested):
+        verdict = engine.decide(query)
+    elapsed = time.monotonic() - started
+    assert elapsed < 2 * requested, (
+        f"decide ran {elapsed:.3f}s against a {requested}s deadline",
+        str(dtd), str(query), verdict)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_budget_state_always_restored(seed):
+    """Neither completion nor a trip may leak the ambient budget."""
+    rng = random.Random(seed)
+    dtd, sigma, query = _random_spec(rng)
+    with guard.limits(**_random_budget_kwargs(rng)):
+        ImplicationEngine(dtd, sigma).decide(query)
+    assert guard.current() is None

@@ -162,3 +162,70 @@ class TestMainModule:
             capture_output=True, text=True)
         assert proc.returncode == 1
         assert "NOT in XNF" in proc.stdout
+
+
+HARD_DTD = """
+<!ELEMENT r ((a | b), (c | d), (e | f))>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+<!ELEMENT d EMPTY> <!ELEMENT e EMPTY> <!ELEMENT f EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST c y CDATA #REQUIRED>
+"""
+
+
+@pytest.fixture
+def hard_files(tmp_path):
+    """A disjunctive spec whose implication query trips tiny budgets."""
+    dtd = tmp_path / "hard.dtd"
+    dtd.write_text(HARD_DTD)
+    fds = tmp_path / "hard.fds"
+    fds.write_text("r.a.@x -> r.c.@y\n")
+    return str(dtd), str(fds)
+
+
+class TestResourceLimits:
+    QUERY = "r.c.@y -> r.a.@x"
+
+    def test_implies_unknown_is_exit_4(self, hard_files, capsys):
+        code = main(["implies", "--max-steps", "5", *hard_files,
+                     self.QUERY])
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "unknown" in out
+        assert "steps" in out  # the tripped limit is named
+
+    def test_flags_before_subcommand(self, hard_files, capsys):
+        code = main(["--max-steps", "5", "implies", *hard_files,
+                     self.QUERY])
+        assert code == 4
+        assert "unknown" in capsys.readouterr().out
+
+    def test_generous_budget_decides(self, hard_files, capsys):
+        code = main(["implies", "--max-steps", "100000", *hard_files,
+                     self.QUERY])
+        assert code == 0
+        assert "implied" in capsys.readouterr().out
+
+    def test_timeout_honored_within_factor_two(self, hard_files, capsys):
+        import time
+        started = time.monotonic()
+        code = main(["implies", "--timeout", "0.001", *hard_files,
+                     self.QUERY])
+        elapsed = time.monotonic() - started
+        # Either the tiny deadline tripped (exit 4) or the query won the
+        # race (exit 0); it must never hang either way.
+        assert code in (0, 4)
+        assert elapsed < max(2 * 0.001, 1.0)
+
+    def test_normalize_under_budget_is_exit_4(self, university_files,
+                                              capsys):
+        code = main(["normalize", "--max-steps", "5", *university_files])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "resource limit reached" in err
+        assert "partial progress" in err
+
+    def test_invalid_budget_is_usage_error(self, hard_files):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["implies", "--max-steps", "0", *hard_files, self.QUERY])
+        assert excinfo.value.code == 2

@@ -122,3 +122,17 @@ class TestRoundTrip:
         dtd = parse_dtd(UNIVERSITY)
         text = serialize_dtd(dtd, declared_order=False)
         assert parse_dtd(text, root="courses") == dtd
+
+
+class TestNestingDepthLimit:
+    """Regression: a DTD whose content model nests 10k deep must raise
+    a ParseError naming the element, never a raw RecursionError."""
+
+    def test_10k_deep_content_model(self):
+        deep = "(" * 10_000 + "a" + ")" * 10_000
+        text = f"<!ELEMENT r {deep}>\n<!ELEMENT a EMPTY>"
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd(text)
+        message = str(excinfo.value)
+        assert "<!ELEMENT r>" in message
+        assert "nested deeper than" in message

@@ -1,0 +1,251 @@
+"""Unit tests for the resource governor (``repro.guard``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import guard, obs
+from repro.errors import ReproError, ResourceExhausted
+from repro.guard import budget as guard_budget
+from repro.dtd.parser import parse_dtd
+from repro.fd.chase import chase_implies
+from repro.fd.closure import closure_implies
+from repro.fd.brute import brute_implies
+from repro.fd.model import FD
+from repro.regex.matching import matches_multiset
+from repro.regex.parser import parse_regex
+from repro.tuples.extract import iter_tuples, tuples_of
+from repro.xmltree.parser import parse_xml
+
+
+@pytest.fixture
+def disjunctive_spec():
+    """Three independent binary disjunctions: the chase forks 2^3
+    branches, so tiny branch budgets trip reliably."""
+    dtd = parse_dtd("""
+        <!ELEMENT r ((a | b), (c | d), (e | f))>
+        <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+        <!ELEMENT d EMPTY> <!ELEMENT e EMPTY> <!ELEMENT f EMPTY>
+        <!ATTLIST a x CDATA #REQUIRED>
+        <!ATTLIST c y CDATA #REQUIRED>
+    """)
+    sigma = [FD.parse("r.a.@x -> r.c.@y")]
+    query = FD.parse("r.c.@y -> r.a.@x")
+    return dtd, sigma, query
+
+
+@pytest.fixture
+def starred_spec():
+    """Disjunctions plus a starred child: the query is not structurally
+    implied, so the chase really builds and forks tableaux."""
+    dtd = parse_dtd("""
+        <!ELEMENT r ((a | b), (c | d), e*)>
+        <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+        <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>
+        <!ATTLIST e x CDATA #REQUIRED y CDATA #REQUIRED>
+    """)
+    sigma = [FD.parse("r.e.@y -> r.e.@x")]
+    query = FD.parse("r.e.@y -> r.e.@x")
+    return dtd, sigma, query
+
+
+class TestBudget:
+    def test_limits_must_be_positive(self):
+        for kwargs in ({"deadline": 0}, {"max_steps": -1},
+                       {"max_branches": 0}, {"max_nodes": -5}):
+            with pytest.raises(ValueError):
+                guard.Budget(**kwargs)
+
+    def test_step_limit_trips_with_payload(self):
+        budget = guard.Budget(max_steps=3)
+        for _ in range(3):
+            budget.tick_steps()
+        with pytest.raises(ResourceExhausted) as excinfo:
+            budget.tick_steps()
+        error = excinfo.value
+        assert isinstance(error, ReproError)
+        assert error.limit == "steps"
+        assert error.spent == 4 and error.allowed == 3
+        assert budget.tripped == "steps"
+
+    def test_branch_and_node_limits_independent(self):
+        budget = guard.Budget(max_branches=1, max_nodes=10)
+        budget.tick_branches()
+        budget.tick_nodes(10)
+        with pytest.raises(ResourceExhausted) as excinfo:
+            budget.tick_nodes()
+        assert excinfo.value.limit == "nodes"
+
+    def test_deadline_with_injected_clock(self):
+        now = [0.0]
+        budget = guard.Budget(deadline=1.0, clock=lambda: now[0])
+        budget.tick_steps()
+        now[0] = 0.99
+        budget.check()
+        now[0] = 1.0
+        with pytest.raises(ResourceExhausted) as excinfo:
+            budget.check()
+        assert excinfo.value.limit == "deadline"
+        assert "deadline" in str(excinfo.value)
+
+    def test_remaining_and_spent(self):
+        now = [0.0]
+        budget = guard.Budget(deadline=2.0, max_steps=10,
+                              clock=lambda: now[0])
+        budget.tick_steps(4)
+        now[0] = 0.5
+        remaining = budget.remaining()
+        assert remaining["steps"] == 6
+        assert remaining["deadline"] == pytest.approx(1.5)
+        assert remaining["branches"] is None
+        spent = budget.spent()
+        assert spent["steps"] == 4
+        assert spent["elapsed"] == pytest.approx(0.5)
+
+
+class TestAmbientInstallation:
+    def test_use_installs_and_restores(self):
+        assert guard.current() is None
+        assert guard_budget.active is False
+        budget = guard.Budget(max_steps=1)
+        with guard.use(budget) as installed:
+            assert installed is budget
+            assert guard.current() is budget
+            assert guard_budget.active is True
+        assert guard.current() is None
+        assert guard_budget.active is False
+
+    def test_nesting_innermost_wins(self):
+        outer = guard.Budget(max_steps=100)
+        inner = guard.Budget(max_steps=1)
+        with guard.use(outer):
+            with guard.use(inner):
+                assert guard.current() is inner
+            assert guard.current() is outer
+
+    def test_limits_noop_when_unset(self):
+        with guard.limits() as budget:
+            assert budget is None
+            assert guard_budget.active is False
+
+    def test_restored_after_trip(self, starred_spec):
+        dtd, sigma, query = starred_spec
+        with pytest.raises(ResourceExhausted):
+            with guard.limits(max_steps=2):
+                chase_implies(dtd, sigma, query)
+        assert guard.current() is None
+        assert guard_budget.active is False
+
+
+class TestEngineIntegration:
+    def test_chase_branch_budget_with_partial(self, starred_spec):
+        dtd, sigma, query = starred_spec
+        with guard.limits(max_branches=2):
+            with pytest.raises(ResourceExhausted) as excinfo:
+                chase_implies(dtd, sigma, query)
+        partial = excinfo.value.partial
+        assert partial["engine"] == "chase"
+        assert partial["branches_explored"] >= 1
+        assert "query" in partial
+
+    def test_closure_step_budget_with_partial(self, disjunctive_spec):
+        dtd, sigma, query = disjunctive_spec
+        with guard.limits(max_steps=1):
+            with pytest.raises(ResourceExhausted) as excinfo:
+                closure_implies(dtd, sigma, query)
+        assert excinfo.value.partial["engine"] == "closure"
+
+    def test_brute_budget_with_partial(self, disjunctive_spec):
+        dtd, sigma, query = disjunctive_spec
+        with guard.limits(max_steps=5):
+            with pytest.raises(ResourceExhausted) as excinfo:
+                brute_implies(dtd, sigma, query)
+        assert excinfo.value.partial["engine"] == "brute"
+        assert excinfo.value.partial["trees_enumerated"] >= 0
+
+    def test_matches_multiset_budget(self):
+        regex = parse_regex("((a | b)*, (c | d)*, (e | f)*)")
+        counts = {"a": 3, "b": 3, "c": 3, "d": 3, "e": 3, "f": 3}
+        assert matches_multiset(regex, counts)
+        with guard.limits(max_steps=2):
+            with pytest.raises(ResourceExhausted):
+                matches_multiset(regex, counts)
+
+    def test_unguarded_behaviour_unchanged(self, starred_spec):
+        dtd, sigma, query = starred_spec
+        assert chase_implies(dtd, sigma, query) is True
+        assert closure_implies(dtd, sigma, query) is True
+
+
+class TestTupleEnumeration:
+    @pytest.fixture
+    def wide_instance(self):
+        """3 labels x 4 children each: 64 maximal tuples."""
+        dtd = parse_dtd("""
+            <!ELEMENT r (a*, b*, c*)>
+            <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+            <!ATTLIST a x CDATA #REQUIRED>
+        """)
+        xml = "<r>" + "".join(
+            f'<a x="{i}"/>' for i in range(4)) + "<b/><b/><b/><b/>" \
+            + "<c/><c/><c/><c/></r>"
+        return dtd, parse_xml(xml)
+
+    def test_node_budget_trips_before_full_product(self, wide_instance):
+        dtd, tree = wide_instance
+        with guard.limits(max_nodes=20):
+            with pytest.raises(ResourceExhausted) as excinfo:
+                tuples_of(tree, dtd)
+        error = excinfo.value
+        assert error.limit == "nodes"
+        assert error.partial["engine"] == "tuples"
+        assert "tuples_yielded" in error.partial
+
+    def test_streaming_prefix_within_budget(self, wide_instance):
+        """Lazy enumeration: the first few tuples are retrievable under
+        a budget far too small for the full product."""
+        dtd, tree = wide_instance
+        with guard.limits(max_nodes=30):
+            iterator = iter_tuples(tree, dtd)
+            first = next(iterator)
+            second = next(iterator)
+        assert first.paths and second.paths
+
+    def test_budget_free_enumeration_unchanged(self, wide_instance):
+        dtd, tree = wide_instance
+        assert len(tuples_of(tree, dtd)) == 4 ** 3
+
+
+class TestObsCounters:
+    def test_checks_trips_and_remaining_recorded(self, disjunctive_spec):
+        dtd, sigma, query = disjunctive_spec
+        was_enabled = obs.is_enabled()
+        obs.enable()
+        obs.reset()
+        try:
+            with pytest.raises(ResourceExhausted):
+                with guard.limits(max_steps=3):
+                    closure_implies(dtd, sigma, query)
+            snapshot = obs.snapshot()
+            assert snapshot["counters"]["guard.checks"] >= 3
+            assert snapshot["counters"]["guard.trips.steps"] == 1
+            assert "guard.remaining.steps" in snapshot["histograms"]
+            # A completed (untripped) region records headroom and the
+            # completion counter.
+            with guard.limits(max_steps=10_000):
+                closure_implies(dtd, sigma, query)
+            snapshot = obs.snapshot()
+            assert snapshot["counters"]["guard.completed"] == 1
+            remaining = snapshot["histograms"]["guard.remaining.steps"]
+            assert remaining["max"] > 0
+        finally:
+            obs.reset()
+            if not was_enabled:
+                obs.disable()
+
+    def test_no_counters_while_disabled(self, disjunctive_spec):
+        dtd, sigma, query = disjunctive_spec
+        obs.reset()
+        with guard.limits(max_steps=10_000):
+            closure_implies(dtd, sigma, query)
+        assert obs.counter_value("guard.checks") == 0

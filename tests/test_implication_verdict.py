@@ -1,0 +1,165 @@
+"""Three-valued implication verdicts and budget-aware caching.
+
+Covers the degradation contract of :meth:`ImplicationEngine.decide`:
+``YES``/``NO`` agree with :meth:`implies`, ``UNKNOWN`` appears only
+when a :mod:`repro.guard` limit tripped, and budget-aborted runs are
+never cached (a warm retry with headroom is authoritative).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import guard
+from repro.errors import ResourceExhausted
+from repro.dtd.parser import parse_dtd
+from repro.fd.implication import (
+    NO,
+    UNKNOWN,
+    YES,
+    ImplicationEngine,
+    decide,
+)
+from repro.fd.model import FD
+from repro.spec import XMLSpec
+
+UNIVERSITY_DTD = """
+<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (grade)>
+<!ELEMENT grade (#PCDATA)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ATTLIST student sno CDATA #REQUIRED>
+"""
+
+UNIVERSITY_SIGMA = [
+    "courses.course.@cno -> courses.course",
+    "courses.course.taken_by.student.@sno, courses.course "
+    "-> courses.course.taken_by.student",
+]
+
+#: Disjunctions route the query past the simple engines, the starred
+#: ``g`` child admits genuine countermodels.  Deciding HARD_QUERY needs
+#: over a dozen guarded steps, so ``max_steps=5`` always trips.
+HARD_DTD = """
+<!ELEMENT r ((a | b), (c | d), (e | f), g*)>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+<!ELEMENT d EMPTY> <!ELEMENT e EMPTY> <!ELEMENT f EMPTY>
+<!ELEMENT g EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST c y CDATA #REQUIRED>
+<!ATTLIST g u CDATA #REQUIRED v CDATA #REQUIRED>
+"""
+HARD_SIGMA = ["r.a.@x -> r.c.@y"]
+HARD_QUERY = "r.c.@y -> r.a.@x"
+REFUTED_QUERY = "r.g.@u -> r.g.@v"
+
+
+@pytest.fixture
+def engine():
+    dtd = parse_dtd(UNIVERSITY_DTD)
+    sigma = [FD.parse(line) for line in UNIVERSITY_SIGMA]
+    return ImplicationEngine(dtd, sigma)
+
+
+@pytest.fixture
+def hard_engine():
+    dtd = parse_dtd(HARD_DTD)
+    sigma = [FD.parse(line) for line in HARD_SIGMA]
+    return ImplicationEngine(dtd, sigma)
+
+
+class TestVerdictAgreement:
+    def test_yes_matches_implies(self, engine):
+        implied = FD.parse(
+            "courses.course.@cno -> courses.course.title.S")
+        verdict = engine.decide(implied)
+        assert verdict.value == YES
+        assert verdict.decided
+        assert verdict.limit is None
+        assert engine.implies(implied) is True
+
+    def test_no_matches_implies(self, engine):
+        refuted = FD.parse(
+            "courses.course.@cno -> courses.course.taken_by.student.@sno")
+        verdict = engine.decide(refuted)
+        assert verdict.value == NO
+        assert verdict.decided
+        assert "not implied" in verdict.reason
+        assert engine.implies(refuted) is False
+
+    def test_hard_engine_agreement(self, hard_engine):
+        assert hard_engine.decide(FD.parse(HARD_QUERY)).value == YES
+        assert hard_engine.decide(FD.parse(REFUTED_QUERY)).value == NO
+
+    def test_module_level_decide(self):
+        dtd = parse_dtd(HARD_DTD)
+        sigma = [FD.parse(line) for line in HARD_SIGMA]
+        verdict = decide(dtd, sigma, FD.parse(HARD_QUERY))
+        assert verdict.value == YES
+
+
+class TestDegradation:
+    def test_unknown_names_the_tripped_limit(self, hard_engine):
+        with guard.limits(max_steps=5) as budget:
+            verdict = hard_engine.decide(FD.parse(HARD_QUERY))
+        assert verdict.value == UNKNOWN
+        assert not verdict.decided
+        assert verdict.limit == "steps"
+        assert "steps" in verdict.reason
+        assert budget.tripped == "steps"
+
+    def test_decide_never_raises_but_implies_does(self, hard_engine):
+        with guard.limits(max_steps=5):
+            with pytest.raises(ResourceExhausted):
+                hard_engine.implies(FD.parse(HARD_QUERY))
+        hard_engine.cache_clear()
+        with guard.limits(max_steps=5):
+            hard_engine.decide(FD.parse(HARD_QUERY))  # must not raise
+
+    def test_aborted_verdict_not_cached_warm_retry_authoritative(
+            self, hard_engine):
+        query = FD.parse(HARD_QUERY)
+        with guard.limits(max_steps=5):
+            assert hard_engine.decide(query).value == UNKNOWN
+        assert hard_engine.cache_info().currsize == 0
+        # Retry with headroom: decided, and now cached.
+        assert hard_engine.decide(query).value == YES
+        assert hard_engine.cache_info().currsize > 0
+        # A later budgeted call is served from cache without tripping.
+        with guard.limits(max_steps=1) as budget:
+            assert hard_engine.decide(query).value == YES
+        assert budget.tripped is None
+
+    def test_no_verdict_is_final_despite_budget(self, hard_engine):
+        """A sound refutation on one conjunct beats UNKNOWN elsewhere:
+        with the refuted single cached, a multi-RHS query whose other
+        conjunct trips the budget still comes back NO, not UNKNOWN."""
+        assert hard_engine.decide(FD.parse(REFUTED_QUERY)).value == NO
+        with guard.limits(max_steps=5) as budget:
+            verdict = hard_engine.decide(
+                FD.parse("r.g.@u -> r.a.@x, r.g.@v"))
+        assert budget.tripped == "steps"
+        assert verdict.value == NO
+        assert verdict.limit is None
+
+    def test_unknown_without_budget_never_happens(self, hard_engine):
+        verdict = hard_engine.decide(FD.parse(HARD_QUERY))
+        assert verdict.value in (YES, NO)
+
+
+class TestSpecFacade:
+    def test_spec_decide_parses_strings(self):
+        spec = XMLSpec.parse(UNIVERSITY_DTD, UNIVERSITY_SIGMA)
+        verdict = spec.decide(
+            "courses.course.@cno -> courses.course.title.S")
+        assert verdict.value == YES
+
+    def test_spec_decide_degrades(self):
+        spec = XMLSpec.parse(HARD_DTD, HARD_SIGMA)
+        with guard.limits(max_steps=5):
+            verdict = spec.decide(HARD_QUERY)
+        assert verdict.value == UNKNOWN
+        assert verdict.limit == "steps"

@@ -95,3 +95,27 @@ class TestRoundTrip:
         once = parse_content_model(text)
         again = parse_content_model(once.to_dtd())
         assert once == again
+
+
+class TestNestingDepthLimit:
+    """Regression: deep nesting must raise ParseError, never a raw
+    RecursionError from the recursive-descent parser."""
+
+    def test_10k_deep_nesting_raises_parse_error(self):
+        deep = "(" * 10_000 + "a" + ")" * 10_000
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse_content_model(deep)
+        message = str(excinfo.value)
+        assert "nested deeper than" in message
+        assert "201" in message  # the offending depth is reported
+
+    def test_depth_at_limit_is_accepted(self):
+        from repro.regex.parser import MAX_NESTING_DEPTH
+        depth = MAX_NESTING_DEPTH
+        text = "(" * depth + "a" + ")" * depth
+        assert parse_content_model(text) == sym("a")
+
+    def test_custom_max_depth(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_content_model("((a))", max_depth=1)
+        assert parse_content_model("((a))", max_depth=2) == sym("a")
