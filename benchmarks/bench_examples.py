@@ -1,79 +1,23 @@
-"""End-to-end pipeline benchmarks: the paper's figures as workloads.
+#!/usr/bin/env python
+"""End-to-end pipeline benchmarks (the paper's figures as workloads) —
+folded into the observatory.
 
-* Figure 1: parse → check Σ → detect the anomaly → normalize → migrate
-  (the full university pipeline), at the paper's size and scaled up.
-* Example 1.2: the same for DBLP.
-* Proposition 8: the lossless round-trip verification itself.
+Registered in :mod:`repro.bench.suites.pipeline`.  This entry point
+runs just the pipeline group::
+
+    python benchmarks/bench_examples.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.datasets.dblp import (
-    DBLP_DOCUMENT,
-    dblp_spec,
-    synthetic_dblp_document,
-)
-from repro.datasets.university import (
-    UNIVERSITY_DOCUMENT,
-    synthetic_university_document,
-    university_spec,
-)
-from repro.lossless.check import check_normalization_lossless
-from repro.normalize.transforms import NewElementNames
-from repro.xmltree.parser import parse_xml
+import sys
 
 
-def test_figure1_pipeline(benchmark):
-    """The complete Figure 1 story at the paper's own scale."""
-    def pipeline():
-        spec = university_spec()
-        doc = spec.parse_document(UNIVERSITY_DOCUMENT)
-        assert not spec.is_in_xnf()
-        result = spec.normalize(
-            naming=lambda i, fd: NewElementNames(tau="info",
-                                                 taus=["number"]))
-        migrated = result.migrate(doc)
-        return migrated.size()
-
-    assert benchmark(pipeline) > 0
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.cli import main as bench_main
+    extra = sys.argv[1:] if argv is None else argv
+    return bench_main(["run", "--only", "pipeline."] + extra)
 
 
-def test_example12_pipeline(benchmark):
-    def pipeline():
-        spec = dblp_spec()
-        doc = spec.parse_document(DBLP_DOCUMENT)
-        result = spec.normalize()
-        return result.migrate(doc).size()
-
-    assert benchmark(pipeline) > 0
-
-
-@pytest.mark.parametrize("courses", [5, 10, 20])
-def test_migration_scaling(benchmark, courses):
-    spec = university_spec()
-    result = spec.normalize()
-    doc = synthetic_university_document(courses, 4, seed=5)
-    migrated = benchmark(result.migrate, doc)
-    assert migrated.size() > 0
-
-
-@pytest.mark.parametrize("confs", [2, 4, 8])
-def test_dblp_migration_scaling(benchmark, confs):
-    spec = dblp_spec()
-    result = spec.normalize()
-    doc = synthetic_dblp_document(confs, 3, 4, seed=6)
-    # moving an attribute changes no nodes, only attribute owners
-    migrated = benchmark(result.migrate, doc)
-    assert migrated.size() == doc.size()
-
-
-def test_lossless_verification_cost(benchmark):
-    """Proposition 8's instance check on the paper's document."""
-    spec = university_spec()
-    result = spec.normalize()
-    doc = parse_xml(UNIVERSITY_DOCUMENT)
-    outcome = benchmark(check_normalization_lossless, result, spec.dtd,
-                        doc)
-    assert outcome
+if __name__ == "__main__":
+    sys.exit(main())

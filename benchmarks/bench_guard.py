@@ -1,20 +1,17 @@
 #!/usr/bin/env python
-"""Overhead check for the resource governor (:mod:`repro.guard`).
+"""Overhead gate for the resource governor (:mod:`repro.guard`).
 
 The governor's design contract (``docs/ROBUSTNESS.md``) is that an
 *unset* guard costs one module-attribute read at engine entry plus a
 local ``is None`` test per loop — under 1 % on the implication hot
-path.  This script measures that directly: the same implication
-workload is timed with no guard installed (the default) and with a
-generous budget installed (every tick live), using min-of-repeats on
-a fixed seeded workload so the comparison is noise-resistant.
+path.  This script measures that directly, timing the same seeded
+implication workload unguarded and under a generous always-live
+budget, and fails when the unguarded run pays for the governor.
 
-Exit status is non-zero when the no-guard run is more than 1 % slower
-than the pre-governor baseline proxy.  Since the baseline no longer
-exists in-tree, the proxy is the guarded-vs-unguarded spread: with the
-fast path working, the *unguarded* run must not pay for the budget
-machinery, so we require ``unguarded <= guarded`` within tolerance and
-report both.
+The workload definition is shared with the observatory's
+``guard.unguarded`` / ``guard.guarded`` benchmarks
+(:mod:`repro.bench.suites.guard`), which track the same two
+trajectories — with operation counters — in ``BENCH_core.json``.
 
 Run:  python benchmarks/bench_guard.py [--repeats N] [--queries N]
 """
@@ -26,55 +23,20 @@ import sys
 import time
 
 from repro import guard
-from repro.dtd.parser import parse_dtd
-from repro.fd.implication import ImplicationEngine
-from repro.fd.model import FD
-
-#: Simple-DTD workload: closure-engine queries, the common fast case
-#: where governor overhead would hurt the most.
-DTD_TEXT = """
-<!ELEMENT courses (course*)>
-<!ELEMENT course (title, taken_by)>
-<!ELEMENT title (#PCDATA)>
-<!ELEMENT taken_by (student*)>
-<!ELEMENT student (grade)>
-<!ELEMENT grade (#PCDATA)>
-<!ATTLIST course cno CDATA #REQUIRED>
-<!ATTLIST student sno CDATA #REQUIRED>
-"""
-SIGMA = [
-    "courses.course.@cno -> courses.course",
-    "courses.course.taken_by.student.@sno, courses.course "
-    "-> courses.course.taken_by.student",
-]
-QUERIES = [
-    "courses.course.@cno -> courses.course.title.S",
-    "courses.course.@cno -> courses.course.taken_by.student.@sno",
-    "courses.course.taken_by.student.@sno -> courses.course",
-    "courses.course -> courses.course.title",
-]
-
-
-def _workload(queries: int) -> None:
-    """Fresh engine each time: exercises real decisions, not the cache."""
-    dtd = parse_dtd(DTD_TEXT)
-    sigma = [FD.parse(line) for line in SIGMA]
-    for index in range(queries):
-        engine = ImplicationEngine(dtd, sigma)
-        for query in QUERIES:
-            engine.implies(FD.parse(query))
+from repro.bench.suites.guard import make_workload
 
 
 def _best_of(repeats: int, queries: int, guarded: bool) -> float:
     best = float("inf")
+    workload = make_workload(queries)
     for _ in range(repeats):
         started = time.perf_counter()
         if guarded:
             with guard.limits(max_steps=10**9, max_branches=10**9,
                               max_nodes=10**9, deadline=3600.0):
-                _workload(queries)
+                workload()
         else:
-            _workload(queries)
+            workload()
         best = min(best, time.perf_counter() - started)
     return best
 
@@ -90,7 +52,7 @@ def main(argv: list[str] | None = None) -> int:
 
     # Interleave and warm up once so neither variant benefits from
     # allocator or cache warm-up order.
-    _workload(2)
+    make_workload(2)()
     unguarded = _best_of(args.repeats, args.queries, guarded=False)
     guarded = _best_of(args.repeats, args.queries, guarded=True)
 

@@ -1,113 +1,30 @@
-"""Benchmarks for the FD implication problem (Section 7).
+#!/usr/bin/env python
+"""Implication-engine benchmarks — folded into the observatory.
 
-* **Theorem 3** — implication over *simple* DTDs is quadratic: the
-  ``simple-k*`` series scales the Example 1.1 schema ``k`` times (so
-  ``|D|`` and ``|Σ|`` both grow linearly in ``k``) and runs the closure
-  engine over the whole Σ; the time per run should grow polynomially
-  with small degree (the paper's bound is O(|Σ|·|paths|) per query).
-* **Theorem 4** — disjunctive DTDs with ``N_D`` bounded stay
-  polynomial: the ``disjunctive-bounded-*`` series keeps one binary
-  disjunction while growing the rest of the schema.
-* **Theorem 5** — unrestricted disjunction is coNP-complete: the
-  ``disjunctive-hard-*`` series adds independent binary disjunctions,
-  and the chase's branch count (hence its time) grows exponentially —
-  the expected *shape* for an exact procedure.
+The Theorem 3/4/5 workload series formerly defined here as
+pytest-benchmark cases are now registered declaratively in
+:mod:`repro.bench.suites.implication` (raw trajectories) and
+:mod:`repro.bench.suites.complexity` (the asserted claims).  This
+entry point runs just the implication group::
 
-A fitted growth summary across the series is printed by
-``benchmarks/bench_report.py`` (run as a script).
+    python benchmarks/bench_implication.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
-import pytest
+import sys
 
-from repro.datasets.generators import scaled_university_spec
-from repro.dtd.model import DTD
-from repro.fd.chase import chase_implies
-from repro.fd.closure import closure_implies
-from repro.fd.implication import ImplicationEngine
-from repro.fd.model import FD
-from repro.regex.ast import EPSILON, concat, star, sym, union
+from repro.bench.suites.implication import (  # noqa: F401  (re-export)
+    disjunctive_dtd,
+    disjunctive_sigma,
+)
 
 
-@pytest.mark.parametrize("k", [1, 2, 4, 8])
-def test_implication_simple_scaling(benchmark, k):
-    """Theorem 3 series: decide every Σ-FD of the k-fold schema."""
-    spec = scaled_university_spec(k)
-    dtd, sigma = spec.dtd, spec.sigma
-
-    def run():
-        oracle = ImplicationEngine(dtd, sigma, engine="closure")
-        return [oracle.implies(fd) for fd in sigma]
-
-    results = benchmark(run)
-    assert all(results)
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.cli import main as bench_main
+    extra = sys.argv[1:] if argv is None else argv
+    return bench_main(["run", "--only", "implication."] + extra)
 
 
-@pytest.mark.parametrize("k", [1, 2, 4, 8])
-def test_implication_simple_single_query(benchmark, k):
-    """Theorem 3 series: one fixed query against a growing (D, Σ)."""
-    spec = scaled_university_spec(k)
-    dtd, sigma = spec.dtd, spec.sigma
-    query = FD.parse(
-        "uni.courses0.course0.@cno -> uni.courses0.course0.title0.S")
-    result = benchmark(closure_implies, dtd, sigma, query)
-    assert result
-
-
-def _disjunctive_dtd(hard_disjunctions: int, padding: int) -> DTD:
-    """(a_i | b_i) choices plus ``padding`` plain starred leaves."""
-    productions = {}
-    attributes = {}
-    parts = []
-    for index in range(hard_disjunctions):
-        for name in (f"a{index}", f"b{index}"):
-            productions[name] = EPSILON
-            attributes[name] = frozenset({"@v"})
-        parts.append(union([sym(f"a{index}"), sym(f"b{index}")]))
-    for index in range(padding):
-        name = f"p{index}"
-        productions[name] = EPSILON
-        attributes[name] = frozenset({"@w"})
-        parts.append(star(sym(name)))
-    productions["c"] = EPSILON
-    attributes["c"] = frozenset({"@x"})
-    parts.append(star(sym("c")))
-    productions["r"] = concat(parts)
-    return DTD(root="r", productions=productions, attributes=attributes)
-
-
-def _disjunctive_sigma(hard_disjunctions: int) -> list[FD]:
-    sigma = []
-    for index in range(hard_disjunctions):
-        sigma.append(FD.parse(f"r.a{index} -> r.c.@x"))
-        sigma.append(FD.parse(f"r.b{index} -> r.c.@x"))
-    return sigma
-
-
-@pytest.mark.parametrize("padding", [0, 4, 8, 16])
-def test_implication_disjunctive_bounded(benchmark, padding):
-    """Theorem 4 series: one disjunction (N_D = 2), growing |D|."""
-    dtd = _disjunctive_dtd(1, padding)
-    sigma = _disjunctive_sigma(1)
-    query = FD.parse("r -> r.c.@x")
-    result = benchmark(chase_implies, dtd, sigma, query)
-    assert result
-
-
-@pytest.mark.parametrize("hard", [1, 2, 3, 4, 5])
-def test_implication_disjunctive_hard(benchmark, hard):
-    """Theorem 5 series: N_D = 2^hard — exponential branch growth."""
-    dtd = _disjunctive_dtd(hard, 0)
-    sigma = _disjunctive_sigma(hard)
-    query = FD.parse("r -> r.c.@x")
-    result = benchmark(chase_implies, dtd, sigma, query)
-    assert result
-
-
-@pytest.mark.parametrize("k", [1, 2, 4])
-def test_implication_auto_engine_workload(benchmark, k):
-    """The auto engine on the practical anomaly-detection workload."""
-    spec = scaled_university_spec(k)
-    violations = benchmark(spec.xnf_violations)
-    assert len(violations) == k
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,55 +1,22 @@
-"""Benchmarks for the Section 8 MVD extension.
+#!/usr/bin/env python
+"""Section 8 MVD-extension benchmarks — folded into the observatory.
 
-MVD satisfaction checks the exchange property group by group; these
-series measure its cost against document size and compare the XNF4
-check with plain XNF (the ablation for the extension's overhead).
+Registered in :mod:`repro.bench.suites.mvd`.  This entry point runs
+just the mvd group::
+
+    python benchmarks/bench_mvd.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.datasets.university import (
-    synthetic_university_document,
-    university_spec,
-)
-from repro.mvd.induced import tree_induced_mvds
-from repro.mvd.model import MVD
-from repro.mvd.satisfaction import satisfies_mvd
-from repro.mvd.xnf4 import is_in_xnf4
-from repro.tuples.extract import tuples_of
-from repro.xnf.check import is_in_xnf
+import sys
 
 
-@pytest.mark.parametrize("courses", [5, 10, 20])
-def test_mvd_satisfaction_scaling(benchmark, courses):
-    spec = university_spec()
-    doc = synthetic_university_document(courses, 4, seed=21)
-    tuples = tuples_of(doc, spec.dtd)
-    mvd = MVD.parse(
-        "courses.course ->> "
-        "{courses.course.taken_by.student.@sno, "
-        "courses.course.taken_by.student.name.S, "
-        "courses.course.taken_by.student.grade.S}")
-    result = benchmark(satisfies_mvd, doc, spec.dtd, mvd,
-                       tuples=tuples)
-    assert result  # a full child branch: tree-induced, always holds
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.cli import main as bench_main
+    extra = sys.argv[1:] if argv is None else argv
+    return bench_main(["run", "--only", "mvd."] + extra)
 
 
-def test_induced_mvd_enumeration(benchmark):
-    spec = university_spec()
-    mvds = benchmark(lambda: list(tree_induced_mvds(spec.dtd)))
-    assert len(mvds) == 11
-
-
-def test_xnf4_vs_xnf_overhead(benchmark):
-    """Ablation: the MVD pass on top of the plain XNF test."""
-    spec = university_spec()
-    mvds = list(tree_induced_mvds(spec.dtd))
-
-    def both():
-        return (is_in_xnf(spec.dtd, spec.sigma[:2]),
-                is_in_xnf4(spec.dtd, spec.sigma[:2], mvds))
-
-    plain, extended = benchmark(both)
-    assert plain and extended
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,59 +1,23 @@
-"""Benchmarks for the Figure 4 decomposition algorithm (Theorem 2).
+#!/usr/bin/env python
+"""Decomposition-algorithm benchmarks (Figure 4 / Theorem 2) — folded
+into the observatory.
 
-Covers the paper's two running redesigns (university → Figure 1(b);
-DBLP → the attribute move), the scaled workload (k anomalies → k
-steps), and the implication-free variant of Proposition 7.
+Registered in :mod:`repro.bench.suites.normalize`.  This entry point
+runs just the normalize group::
+
+    python benchmarks/bench_normalize.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.datasets.dblp import dblp_spec
-from repro.datasets.generators import scaled_university_spec
-from repro.datasets.university import university_spec
-from repro.normalize.algorithm import normalize
-from repro.normalize.simple_algorithm import normalize_simple
+import sys
 
 
-def test_normalize_university(benchmark):
-    """Example 1.1: one *create* step."""
-    spec = university_spec()
-    result = benchmark(normalize, spec.dtd, spec.sigma)
-    assert len(result.steps) == 1
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.cli import main as bench_main
+    extra = sys.argv[1:] if argv is None else argv
+    return bench_main(["run", "--only", "normalize."] + extra)
 
 
-def test_normalize_dblp(benchmark):
-    """Example 1.2: one *move* step."""
-    spec = dblp_spec()
-    result = benchmark(normalize, spec.dtd, spec.sigma)
-    assert [s.kind for s in result.steps] == ["move"]
-
-
-@pytest.mark.parametrize("k", [1, 2, 4, 8])
-def test_normalize_scaled(benchmark, k):
-    """k independent anomalies: k steps, near-linear in k on top of
-    the per-step implication cost."""
-    spec = scaled_university_spec(k)
-    result = benchmark(
-        normalize, spec.dtd, spec.sigma)
-    assert len(result.steps) == k
-
-
-@pytest.mark.parametrize("k", [1, 2, 4])
-def test_normalize_simple_variant(benchmark, k):
-    """Proposition 7 ablation: step (3) only, closure-only reasoning."""
-    spec = scaled_university_spec(k)
-    result = benchmark(normalize_simple, spec.dtd, spec.sigma)
-    assert len(result.steps) == k
-
-
-@pytest.mark.parametrize("k", [1, 2, 4])
-def test_normalize_without_progress_checks(benchmark, k):
-    """Ablation: Proposition 6's runtime assertion costs two extra
-    anomalous-path sweeps per step; this series measures the algorithm
-    without them."""
-    spec = scaled_university_spec(k)
-    result = benchmark(normalize, spec.dtd, spec.sigma,
-                       check_progress=False)
-    assert len(result.steps) == k
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,253 +1,30 @@
 #!/usr/bin/env python
-"""Growth-shape analysis of the complexity-theorem benchmarks.
+"""Back-compat shim: the growth-shape report now lives in the
+benchmark observatory.
 
-Runs the implication/XNF scaling series directly (without
-pytest-benchmark) with increasing sizes, fits log-log slopes, and
-reports whether the observed growth matches the paper's bounds:
+This script used to run the Theorem 3/4/5 + Corollary 1 scaling
+series by hand; those are now first-class registered benchmarks with
+asserted complexity claims (``repro.bench.suites.complexity``).  The
+historical interface is preserved — ``--quick``, ``--out`` and the
+``BENCH_obs.json`` default — and delegates to::
 
-* Theorem 3 — implication over simple DTDs: polynomial, low degree
-  (the paper proves quadratic in |D| + |Σ| per query);
-* Theorem 4 — disjunctive DTDs with bounded N_D: polynomial;
-* Theorem 5 — unbounded disjunctions: exponential in the number of
-  independent disjunction choices;
-* Corollary 1 — the XNF test over simple DTDs: cubic upper bound.
+    python -m repro.bench run --only complexity.
 
-Each series point carries both the best wall time of several repeats
-and an *operation-count* snapshot from :mod:`repro.obs` (closure
-iterations, chase steps, disjunction branches, implication-cache
-traffic), so the fitted slopes can be cross-checked against counts
-that — unlike wall time — are deterministic and noise-free.  The full
-result is written as JSON (``BENCH_obs.json`` by default).
-
-Run:  python benchmarks/bench_report.py [--quick] [--out FILE]
+which prints the fitted slopes with PASS/FAIL and exits non-zero when
+any claim is inconsistent with the paper's bounds.  Prefer calling
+``repro bench`` directly; see ``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
-import time
-from typing import Callable
-
-from repro import obs
-from repro.datasets.generators import scaled_university_spec
-from repro.fd.chase import chase_implies
-from repro.fd.implication import ImplicationEngine
-from repro.fd.model import FD
-from repro.xnf.check import is_in_xnf
-
-import os
 import sys
-
-sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-
-from bench_implication import (  # noqa: E402
-    _disjunctive_dtd,
-    _disjunctive_sigma,
-)
-
-#: The counters attached to every series point (0 when not hit).
-OP_COUNTERS = (
-    "closure.iterations",
-    "closure.case_splits",
-    "chase.steps",
-    "chase.branches.explored",
-    "chase.branches.pruned",
-    "implication.cache.hit",
-    "implication.cache.miss",
-)
-
-
-def _measure(callable_: Callable[[], object], *,
-             repeat: int = 3) -> tuple[float, dict[str, int]]:
-    """Best-of-``repeat`` wall time plus the operation counters of the
-    last run (the counts are deterministic across repeats)."""
-    best = math.inf
-    ops: dict[str, int] = {}
-    for _ in range(repeat):
-        obs.reset()
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-        counters = obs.snapshot()["counters"]
-        ops = {name: counters.get(name, 0) for name in OP_COUNTERS}
-    return best, ops
-
-
-def _fit_loglog(xs: list[float], ys: list[float]) -> float:
-    """Least-squares slope of log(y) against log(x): the polynomial
-    degree of the growth."""
-    lx = [math.log(x) for x in xs]
-    ly = [math.log(max(y, 1e-9)) for y in ys]
-    n = len(xs)
-    mean_x = sum(lx) / n
-    mean_y = sum(ly) / n
-    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
-    den = sum((a - mean_x) ** 2 for a in lx)
-    return num / den
-
-
-def _fit_exponent_base(xs: list[float], ys: list[float]) -> float:
-    """Least-squares base b of y = c * b^x (log(y) linear in x)."""
-    ly = [math.log(max(y, 1e-9)) for y in ys]
-    n = len(xs)
-    mean_x = sum(xs) / n
-    mean_y = sum(ly) / n
-    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(xs, ly))
-    den = sum((a - mean_x) ** 2 for a in xs)
-    return math.exp(num / den)
-
-
-def _ops_series(points: list[dict], counter: str) -> list[float]:
-    return [float(point["ops"][counter]) for point in points]
-
-
-def report_theorem3(quick: bool) -> dict:
-    print("== Theorem 3: implication over simple DTDs ==")
-    sizes = [1, 2, 4] if quick else [1, 2, 4, 8, 16]
-    points: list[dict] = []
-    for k in sizes:
-        spec = scaled_university_spec(k)
-
-        def run(spec=spec):
-            oracle = ImplicationEngine(spec.dtd, spec.sigma,
-                                       engine="closure")
-            for fd in spec.sigma:
-                oracle.implies(fd)
-
-        elapsed, ops = _measure(run)
-        points.append({"k": k, "sigma": 3 * k, "time_s": elapsed,
-                       "ops": ops})
-    for point in points:
-        print(f"  k={point['k']:3d}  |Sigma|={point['sigma']:3d}  "
-              f"time={point['time_s'] * 1e3:9.2f} ms  "
-              f"closure.iterations={point['ops']['closure.iterations']}")
-    xs = [float(p["k"]) for p in points]
-    time_slope = _fit_loglog(xs, [p["time_s"] for p in points])
-    ops_slope = _fit_loglog(xs, _ops_series(points, "closure.iterations"))
-    print(f"  fitted polynomial degree over k: time {time_slope:.2f}, "
-          f"closure iterations {ops_slope:.2f} "
-          f"(paper: polynomial — quadratic per query; PASS if small)")
-    return {
-        "name": "theorem3",
-        "series": "implication over simple DTDs (closure engine)",
-        "points": points,
-        "time_slope": time_slope,
-        "ops_slopes": {"closure.iterations": ops_slope},
-        "bound": "polynomial (quadratic per query)",
-        "consistent": ops_slope <= 3.0,
-    }
-
-
-def report_corollary1(quick: bool) -> dict:
-    print("\n== Corollary 1: the XNF test over simple DTDs ==")
-    sizes = [1, 2, 4] if quick else [1, 2, 4, 8, 16]
-    points: list[dict] = []
-    for k in sizes:
-        spec = scaled_university_spec(k)
-        elapsed, ops = _measure(
-            lambda spec=spec: is_in_xnf(spec.dtd, spec.sigma))
-        queries = (ops["implication.cache.hit"]
-                   + ops["implication.cache.miss"])
-        points.append({"k": k, "time_s": elapsed, "ops": ops,
-                       "implication_queries": queries})
-    for point in points:
-        print(f"  k={point['k']:3d}  time={point['time_s'] * 1e3:9.2f} ms"
-              f"  queries={point['implication_queries']}  "
-              f"closure.iterations={point['ops']['closure.iterations']}")
-    xs = [float(p["k"]) for p in points]
-    time_slope = _fit_loglog(xs, [p["time_s"] for p in points])
-    ops_slope = _fit_loglog(xs, _ops_series(points, "closure.iterations"))
-    print(f"  fitted polynomial degree over k: time {time_slope:.2f}, "
-          f"closure iterations {ops_slope:.2f} "
-          f"(paper bound: cubic; PASS if <= ~3)")
-    return {
-        "name": "corollary1",
-        "series": "XNF test over simple DTDs",
-        "points": points,
-        "time_slope": time_slope,
-        "ops_slopes": {"closure.iterations": ops_slope},
-        "bound": "cubic",
-        "consistent": ops_slope <= 3.5,
-    }
-
-
-def report_theorem4(quick: bool) -> dict:
-    print("\n== Theorem 4: bounded disjunction stays polynomial ==")
-    paddings = [0, 4, 8] if quick else [0, 4, 8, 16, 32]
-    query = FD.parse("r -> r.c.@x")
-    points: list[dict] = []
-    for padding in paddings:
-        dtd = _disjunctive_dtd(1, padding)
-        sigma = _disjunctive_sigma(1)
-        elapsed, ops = _measure(
-            lambda d=dtd, s=sigma: chase_implies(d, s, query))
-        points.append({"padding": padding, "time_s": elapsed,
-                       "ops": ops})
-    for point in points:
-        print(f"  padding={point['padding']:3d}  "
-              f"time={point['time_s'] * 1e3:9.2f} ms  "
-              f"chase.steps={point['ops']['chase.steps']}  "
-              f"branches={point['ops']['chase.branches.explored']}")
-    xs = [float(p["padding"] + 2) for p in points]
-    time_slope = _fit_loglog(xs, [p["time_s"] for p in points])
-    branch_slope = _fit_loglog(
-        xs, _ops_series(points, "chase.branches.explored"))
-    print(f"  fitted polynomial degree over |D|: time {time_slope:.2f}, "
-          f"branches {branch_slope:.2f} "
-          f"(paper: polynomial for N_D <= k log |D|)")
-    return {
-        "name": "theorem4",
-        "series": "chase with one bounded disjunction",
-        "points": points,
-        "time_slope": time_slope,
-        "ops_slopes": {"chase.branches.explored": branch_slope},
-        "bound": "polynomial",
-        # The branch count must stay flat as padding grows: the single
-        # disjunction contributes a constant factor.
-        "consistent": branch_slope <= 1.0,
-    }
-
-
-def report_theorem5(quick: bool) -> dict:
-    print("\n== Theorem 5: unbounded disjunction is exponential ==")
-    hards = [1, 2, 3] if quick else [1, 2, 3, 4, 5, 6]
-    query = FD.parse("r -> r.c.@x")
-    points: list[dict] = []
-    for hard in hards:
-        dtd = _disjunctive_dtd(hard, 0)
-        sigma = _disjunctive_sigma(hard)
-        elapsed, ops = _measure(
-            lambda d=dtd, s=sigma: chase_implies(d, s, query), repeat=1)
-        points.append({"disjunctions": hard, "n_d": 2 ** hard,
-                       "time_s": elapsed, "ops": ops})
-    for point in points:
-        print(f"  disjunctions={point['disjunctions']}  "
-              f"N_D=2^{point['disjunctions']}  "
-              f"time={point['time_s'] * 1e3:9.2f} ms  "
-              f"branches={point['ops']['chase.branches.explored']}")
-    xs = [float(p["disjunctions"]) for p in points]
-    time_base = _fit_exponent_base(xs, [p["time_s"] for p in points])
-    branch_base = _fit_exponent_base(
-        xs, _ops_series(points, "chase.branches.explored"))
-    print(f"  fitted growth base per extra disjunction: "
-          f"time {time_base:.2f}, branches {branch_base:.2f} "
-          f"(paper: coNP-complete — expect ~2x per disjunction)")
-    return {
-        "name": "theorem5",
-        "series": "chase with independent disjunctions",
-        "points": points,
-        "time_base": time_base,
-        "ops_bases": {"chase.branches.explored": branch_base},
-        "bound": "exponential (~2x per disjunction)",
-        "consistent": branch_base >= 1.5,
-    }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="growth-shape benchmark with operation counts")
+        description="growth-shape benchmark with operation counts "
+                    "(delegates to `python -m repro.bench`)")
     parser.add_argument("--quick", action="store_true",
                         help="cap series sizes (CI smoke mode)")
     parser.add_argument("--out", metavar="FILE", default="BENCH_obs.json",
@@ -255,29 +32,12 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
 
-    was_enabled = obs.is_enabled()
-    obs.enable()
-    try:
-        series = [
-            report_theorem3(args.quick),
-            report_corollary1(args.quick),
-            report_theorem4(args.quick),
-            report_theorem5(args.quick),
-        ]
-    finally:
-        if not was_enabled:
-            obs.disable()
-        obs.reset()
+    from repro.bench.cli import main as bench_main
 
-    payload = {"quick": args.quick, "series": series}
-    with open(args.out, "w") as stream:
-        json.dump(payload, stream, indent=2)
-        stream.write("\n")
-    consistent = all(entry["consistent"] for entry in series)
-    print(f"\nwrote {args.out}; operation-count growth "
-          f"{'CONSISTENT' if consistent else 'INCONSISTENT'} "
-          "with Theorems 3-5 bounds")
-    return 0 if consistent else 1
+    command = ["run", "--only", "complexity.", "--out", args.out]
+    if args.quick:
+        command.append("--quick")
+    return bench_main(command)
 
 
 if __name__ == "__main__":

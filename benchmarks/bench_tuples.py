@@ -1,59 +1,23 @@
-"""Benchmarks for the tree-tuple machinery (Section 3).
+#!/usr/bin/env python
+"""Tree-tuple machinery benchmarks (Section 3) — folded into the
+observatory.
 
-``tuples_D(T)`` drives both FD satisfaction checking and document
-migration; these series measure its cost against document size on the
-Figure 1 workload, plus the Theorem 1 round-trip.
+Registered in :mod:`repro.bench.suites.tuples`.  This entry point runs
+just the tuples group::
+
+    python benchmarks/bench_tuples.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.datasets.university import (
-    synthetic_university_document,
-    university_spec,
-)
-from repro.tuples.build import trees_of
-from repro.tuples.extract import count_tuples, tuples_of
+import sys
 
 
-@pytest.mark.parametrize("courses", [5, 10, 20, 40])
-def test_tuples_extraction_scaling(benchmark, courses):
-    """Linear in (courses × students): the document is flat-ish, so the
-    tuple count equals the student count."""
-    spec = university_spec()
-    doc = synthetic_university_document(courses, 5, seed=1)
-    tuples = benchmark(tuples_of, doc, spec.dtd)
-    assert len(tuples) == count_tuples(doc)
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.cli import main as bench_main
+    extra = sys.argv[1:] if argv is None else argv
+    return bench_main(["run", "--only", "tuples."] + extra)
 
 
-@pytest.mark.parametrize("students", [2, 4, 8, 16])
-def test_tuples_extraction_wide_courses(benchmark, students):
-    spec = university_spec()
-    doc = synthetic_university_document(4, students, seed=2,
-                                        student_pool=64)
-    tuples = benchmark(tuples_of, doc, spec.dtd)
-    assert len(tuples) == count_tuples(doc)
-
-
-@pytest.mark.parametrize("courses", [5, 10, 20])
-def test_theorem1_roundtrip_cost(benchmark, courses):
-    """tuples_D then trees_D: the Theorem 1 pipeline."""
-    spec = university_spec()
-    doc = synthetic_university_document(courses, 4, seed=3)
-    tuples = tuples_of(doc, spec.dtd)
-
-    merged = benchmark(trees_of, tuples, spec.dtd)
-    assert merged.size() == doc.size()
-
-
-@pytest.mark.parametrize("courses", [5, 10, 20, 40])
-def test_fd_satisfaction_scaling(benchmark, courses):
-    """Example 4.1 at scale: checking FD1-FD3 on growing documents."""
-    from repro.fd.satisfaction import satisfies_all
-    spec = university_spec()
-    doc = synthetic_university_document(courses, 5, seed=4)
-    tuples = tuples_of(doc, spec.dtd)
-    result = benchmark(satisfies_all, doc, spec.dtd, spec.sigma,
-                       tuples=tuples)
-    assert result
+if __name__ == "__main__":
+    sys.exit(main())

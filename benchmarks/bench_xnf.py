@@ -1,58 +1,23 @@
-"""Benchmarks for the XNF test (Corollary 1).
+#!/usr/bin/env python
+"""XNF-test benchmarks (Corollary 1) — folded into the observatory.
 
-For simple DTDs the test is cubic — |Σ| anomaly checks, each a
-quadratic implication query.  The series scales both the DTD and Σ
-linearly (k copies of the Example 1.1 schema), so the fitted growth
-over ``k`` should be a low-degree polynomial, and the ebXML series
-checks the real-world Figure 5 schema with synthetic keys.
+Registered in :mod:`repro.bench.suites.xnf`; the asserted cubic-bound
+claim lives in :mod:`repro.bench.suites.complexity`.  This entry point
+runs just the xnf group::
+
+    python benchmarks/bench_xnf.py [--quick] [--out FILE]
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.datasets.ebxml import ebxml_dtd
-from repro.datasets.generators import scaled_university_spec
-from repro.fd.model import FD
-from repro.xnf.check import is_in_xnf, xnf_violations
+import sys
 
 
-@pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
-def test_xnf_check_scaling(benchmark, k):
-    """Corollary 1 series: cubic-in-k upper bound."""
-    spec = scaled_university_spec(k)
-    result = benchmark(is_in_xnf, spec.dtd, spec.sigma)
-    assert result is False
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.cli import main as bench_main
+    extra = sys.argv[1:] if argv is None else argv
+    return bench_main(["run", "--only", "xnf."] + extra)
 
 
-@pytest.mark.parametrize("k", [1, 2, 4, 8])
-def test_xnf_violation_listing(benchmark, k):
-    spec = scaled_university_spec(k)
-    violations = benchmark(xnf_violations, spec.dtd, spec.sigma)
-    assert len(violations) == k
-
-
-def test_xnf_check_on_ebxml(benchmark):
-    """Figure 5: XNF analysis of the (simple) ebXML BPSS fragment with
-    name-key FDs."""
-    dtd = ebxml_dtd()
-    sigma = [
-        FD.parse("ProcessSpecification.Include.@name -> "
-                 "ProcessSpecification.Include"),
-        FD.parse("ProcessSpecification.BinaryCollaboration.@name -> "
-                 "ProcessSpecification.BinaryCollaboration"),
-        FD.parse(
-            "ProcessSpecification.BinaryCollaboration ->"
-            " ProcessSpecification.BinaryCollaboration."
-            "InitiatingRole.@name"),
-    ]
-    result = benchmark(is_in_xnf, dtd, sigma)
-    assert result is True
-
-
-def test_xnf_check_after_normalization(benchmark):
-    """The normalized schema passes the test (and the check is cheap)."""
-    spec = scaled_university_spec(4)
-    result = spec.normalize()
-    outcome = benchmark(is_in_xnf, result.dtd, result.sigma)
-    assert outcome is True
+if __name__ == "__main__":
+    sys.exit(main())

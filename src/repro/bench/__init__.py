@@ -1,0 +1,54 @@
+"""The benchmark observatory (see ``docs/BENCHMARKS.md``).
+
+A declarative registry of benchmarks over the PR-1 observability
+counters and PR-2 guard stats:
+
+* :mod:`repro.bench.registry` — the :func:`benchmark` decorator and
+  :class:`Claim` (a paper complexity bound asserted on fitted growth);
+* :mod:`repro.bench.suites` — the standard suite, absorbing the old
+  ad-hoc ``benchmarks/bench_*.py`` scripts;
+* :mod:`repro.bench.runner` — isolated execution: best-of-N wall
+  time, deterministic operation-counter snapshots, tracemalloc peak;
+* :mod:`repro.bench.schema` — the versioned ``BENCH_core.json`` shape;
+* :mod:`repro.bench.compare` — the counter-based regression gate
+  (wall time advisory-only);
+* :mod:`repro.bench.slopes` — log-log / log-linear growth fitting;
+* :mod:`repro.bench.cli` — ``python -m repro.bench`` and the main
+  CLI's ``bench`` subcommand.
+
+Usage::
+
+    from repro.bench import benchmark
+
+    @benchmark("closure.my_workload", series=(1, 2, 4), param="k")
+    def my_workload(k):
+        spec = build_spec(k)          # setup: not measured
+        return lambda: spec.xnf_violations()   # body: measured
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import (
+    Benchmark,
+    Claim,
+    all_benchmarks,
+    benchmark,
+    get,
+    load_default_suites,
+    select,
+)
+from repro.bench.runner import isolate, run_benchmark, run_suite
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchReportError,
+    validate,
+)
+from repro.bench.compare import compare_payloads, gate, load_report
+
+__all__ = [
+    "Benchmark", "Claim", "benchmark", "all_benchmarks", "get",
+    "select", "load_default_suites",
+    "isolate", "run_benchmark", "run_suite",
+    "SCHEMA_VERSION", "BenchReportError", "validate",
+    "compare_payloads", "gate", "load_report",
+]

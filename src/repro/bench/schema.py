@@ -1,0 +1,104 @@
+"""The versioned on-disk format of benchmark reports.
+
+``BENCH_core.json`` (and every file the comparator accepts) is a
+single JSON object::
+
+    {
+      "schema": "repro.bench",
+      "schema_version": 1,
+      "suite": "quick" | "full",
+      "repeat": 3,
+      "benchmarks": {
+        "<name>": {
+          "group": "tuples",
+          "param": "courses",
+          "points": [
+            {"value": 5,
+             "time_s": 0.0042,          # best-of-<repeat>, advisory
+             "mem_peak_kb": 312.5,      # tracemalloc peak, advisory
+             "counters": {"closure.iterations": 118, ...}},  # gating
+            ...
+          ],
+          "claim": null | {
+            "statement": "Theorem 3", "bound": "...",
+            "counter": "closure.iterations",
+            "kind": "polynomial" | "exponential",
+            "slope"/"base": 1.42, "time_slope"/"time_base": 1.38,
+            "max_slope"/"min_base": 3.0, "passed": true
+          }
+        }
+      }
+    }
+
+Only ``counters`` (and claim verdicts) gate comparisons — they are
+deterministic operation counts, reproducible across machines.  Wall
+time and peak memory are recorded for trend reading but never fail a
+gate (``docs/BENCHMARKS.md`` has the rationale).
+
+The version number covers the whole shape: any structural change bumps
+:data:`SCHEMA_VERSION`, and the comparator refuses to diff files whose
+versions disagree with its own rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+
+SCHEMA_NAME = "repro.bench"
+SCHEMA_VERSION = 1
+
+
+class BenchReportError(ReproError):
+    """A benchmark report file is malformed, unreadable, or from an
+    incompatible schema version."""
+
+
+def envelope(*, suite: str, repeat: int) -> dict[str, Any]:
+    """A fresh, empty report payload."""
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "repeat": repeat,
+        "benchmarks": {},
+    }
+
+
+def validate(payload: Any, *, source: str = "report") -> dict[str, Any]:
+    """Check ``payload`` against the current schema; returns it.
+
+    Raises :class:`BenchReportError` with an actionable message on any
+    mismatch — the comparator turns these into exit code 2, never a
+    traceback.
+    """
+    if not isinstance(payload, dict):
+        raise BenchReportError(
+            f"{source}: expected a JSON object, got "
+            f"{type(payload).__name__}")
+    if payload.get("schema") != SCHEMA_NAME:
+        raise BenchReportError(
+            f"{source}: not a {SCHEMA_NAME} report "
+            f"(schema={payload.get('schema')!r})")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BenchReportError(
+            f"{source}: schema version {version!r} does not match "
+            f"this tool's version {SCHEMA_VERSION}; regenerate the "
+            f"file with `python -m repro.bench run` from the same "
+            f"checkout")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise BenchReportError(
+            f"{source}: missing or malformed 'benchmarks' mapping")
+    for name, entry in benchmarks.items():
+        if not isinstance(entry, dict) or "points" not in entry:
+            raise BenchReportError(
+                f"{source}: benchmark {name!r} has no 'points'")
+        for point in entry["points"]:
+            if not isinstance(point, dict) or "counters" not in point:
+                raise BenchReportError(
+                    f"{source}: benchmark {name!r} has a point "
+                    f"without 'counters'")
+    return payload

@@ -1,0 +1,76 @@
+"""Growth-curve fitting for the complexity-claim benchmarks.
+
+The paper's quantitative content is its complexity theorems; we
+reproduce them as *shapes*: run a scaling series, fit the growth of a
+deterministic operation counter, and assert the fit against the stated
+bound.  Polynomial bounds (Theorems 3/4, Corollary 1) are checked as
+log-log slopes (the empirical degree); the coNP-hardness of Theorem 5
+is checked as a log-linear growth *base* — an exact procedure must
+exhibit the exponential blow-up, so the assertion is a lower bound.
+
+Upper bounds cannot be confirmed by measurement, only not refuted;
+``docs/BENCHMARKS.md`` discusses what a PASS does and does not mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.registry import Claim
+
+#: Counter values of 0 would break the log fits; clamp to this floor.
+_LOG_FLOOR = 1e-9
+
+
+def fit_loglog(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log(y) against log(x): the empirical
+    polynomial degree of the growth."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, _LOG_FLOOR)) for y in ys]
+    return _slope(lx, ly)
+
+
+def fit_exponent_base(xs: list[float], ys: list[float]) -> float:
+    """Least-squares base ``b`` of ``y = c * b^x`` (log(y) linear in
+    x): the empirical per-step growth factor."""
+    ly = [math.log(max(y, _LOG_FLOOR)) for y in ys]
+    return math.exp(_slope(xs, ly))
+
+
+def _slope(xs: list[float], ys: list[float]) -> float:
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(xs, ys))
+    den = sum((a - mean_x) ** 2 for a in xs)
+    if den == 0.0:
+        raise ValueError("degenerate series: all x values equal")
+    return num / den
+
+
+def evaluate_claim(claim: Claim, xs: list[float],
+                   counter_ys: list[float],
+                   time_ys: list[float]) -> dict:
+    """Fit the claim's counter series (gating) and the wall-time series
+    (advisory) and return the JSON-ready verdict record."""
+    record: dict = {
+        "statement": claim.statement,
+        "bound": claim.bound,
+        "counter": claim.counter,
+        "kind": claim.kind,
+    }
+    if claim.kind == "polynomial":
+        fitted = fit_loglog(xs, counter_ys)
+        record["slope"] = fitted
+        record["time_slope"] = fit_loglog(xs, time_ys)
+        record["max_slope"] = claim.max_slope
+        record["passed"] = fitted <= claim.max_slope
+    else:
+        fitted = fit_exponent_base(xs, counter_ys)
+        record["base"] = fitted
+        record["time_base"] = fit_exponent_base(xs, time_ys)
+        record["min_base"] = claim.min_base
+        record["passed"] = fitted >= claim.min_base
+    return record

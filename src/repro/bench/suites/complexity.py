@@ -1,0 +1,98 @@
+"""The paper's complexity theorems as first-class scaling benchmarks.
+
+Each entry carries a :class:`~repro.bench.registry.Claim`: the runner
+fits the growth of a deterministic operation counter over the series
+and records PASS/FAIL against the paper's bound in the report
+(``repro bench report`` prints the verdict table):
+
+* **Theorem 3** — implication over simple DTDs is polynomial (the
+  paper proves quadratic per query); gated as a log-log degree of
+  ``closure.iterations`` ≤ 3 over ``k`` (both ``|D|`` and ``|Σ|``
+  grow with ``k``).
+* **Corollary 1** — the XNF test over simple DTDs is cubic; degree of
+  ``closure.iterations`` ≤ 3.5 (the extra .5 absorbs fit noise on
+  small series).
+* **Theorem 4** — disjunctive DTDs with bounded ``N_D`` stay
+  polynomial: with a single binary disjunction the chase's explored
+  branch count must stay *flat* while ``|D|`` grows — degree ≤ 1.
+* **Theorem 5** — unbounded disjunction is coNP-complete: the exact
+  chase must exhibit exponential branch growth, gated as a fitted
+  growth base of ``chase.branches.explored`` ≥ 1.5 per added
+  disjunction (the ideal is 2).
+
+Upper bounds are *not refuted* by a PASS, not proven; Theorem 5's
+lower-bound shape is the reproducible half of a hardness theorem.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import Claim, benchmark
+from repro.bench.suites.implication import (
+    disjunctive_dtd,
+    disjunctive_sigma,
+)
+from repro.datasets.generators import scaled_university_spec
+from repro.fd.chase import chase_implies
+from repro.fd.implication import ImplicationEngine
+from repro.fd.model import FD
+from repro.xnf.check import is_in_xnf
+
+
+@benchmark("complexity.theorem3", series=(1, 2, 4, 8, 16),
+           quick=(1, 2, 4), param="k",
+           claim=Claim(statement="Theorem 3",
+                       bound="polynomial (quadratic per query)",
+                       counter="closure.iterations",
+                       kind="polynomial", max_slope=3.0))
+def theorem3(k):
+    """Implication over simple DTDs: all 3k Σ-FDs, closure engine."""
+    spec = scaled_university_spec(k)
+    dtd, sigma = spec.dtd, spec.sigma
+
+    def run():
+        oracle = ImplicationEngine(dtd, sigma, engine="closure")
+        for fd in sigma:
+            oracle.implies(fd)
+
+    return run
+
+
+@benchmark("complexity.corollary1", series=(1, 2, 4, 8, 16),
+           quick=(1, 2, 4), param="k",
+           claim=Claim(statement="Corollary 1", bound="cubic",
+                       counter="closure.iterations",
+                       kind="polynomial", max_slope=3.5))
+def corollary1(k):
+    """The XNF test over the same growing simple schemas."""
+    spec = scaled_university_spec(k)
+    return lambda: is_in_xnf(spec.dtd, spec.sigma)
+
+
+@benchmark("complexity.theorem4", series=(0, 4, 8, 16, 32),
+           quick=(0, 4, 8), param="padding",
+           x=lambda padding: float(padding + 2),
+           claim=Claim(statement="Theorem 4",
+                       bound="polynomial (N_D <= k log |D|)",
+                       counter="chase.branches.explored",
+                       kind="polynomial", max_slope=1.0))
+def theorem4(padding):
+    """One bounded disjunction, growing |D|: the branch count must
+    stay flat (the single disjunction is a constant factor)."""
+    dtd = disjunctive_dtd(1, padding)
+    sigma = disjunctive_sigma(1)
+    query = FD.parse("r -> r.c.@x")
+    return lambda: chase_implies(dtd, sigma, query)
+
+
+@benchmark("complexity.theorem5", series=(1, 2, 3, 4, 5, 6),
+           quick=(1, 2, 3), param="disjunctions", repeat=1,
+           claim=Claim(statement="Theorem 5",
+                       bound="exponential (~2x per disjunction)",
+                       counter="chase.branches.explored",
+                       kind="exponential", min_base=1.5))
+def theorem5(disjunctions):
+    """Independent binary disjunctions: N_D = 2^m, exact chase."""
+    dtd = disjunctive_dtd(disjunctions, 0)
+    sigma = disjunctive_sigma(disjunctions)
+    query = FD.parse("r -> r.c.@x")
+    return lambda: chase_implies(dtd, sigma, query)

@@ -9,6 +9,7 @@ Subcommands::
     xnf classify   DTD_FILE                  # simple / disjunctive / N_D
     xnf explain    DTD_FILE FD_FILE "S -> p" # derivation of an implication
     xnf analyze    DTD_FILE FD_FILE [XML...] # design + redundancy report
+    xnf bench      {run,compare,report} ...  # benchmark observatory
 
 Observability (see ``docs/OBSERVABILITY.md``): every subcommand accepts
 ``--stats`` (print a metrics table — cache hit rate, chase steps,
@@ -145,6 +146,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return EXIT_OK if report.in_xnf else EXIT_NEGATIVE
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import cli as bench_cli
+    return bench_cli.dispatch(args)
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.dtd.classify import (
         disjunction_measure, is_disjunctive_dtd, is_simple_dtd)
@@ -253,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("fds")
     ana.add_argument("xml", nargs="*", help="documents to measure")
     ana.set_defaults(func=_cmd_analyze)
+
+    from repro.bench.cli import configure_parser as _configure_bench
+    ben = sub.add_parser("bench",
+                         help="benchmark observatory "
+                         "(docs/BENCHMARKS.md)")
+    _configure_bench(ben)
+    ben.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -36,6 +36,7 @@ authoritative by a later (or warmer) query.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Literal, NamedTuple
 
 from repro.errors import ResourceExhausted, UnsupportedFeatureError
@@ -93,6 +94,12 @@ class CacheInfo(NamedTuple):
     currsize: int
 
 
+#: Every live engine, tracked weakly so :meth:`ImplicationEngine.
+#: clear_all_caches` can reach instances held by long-lived owners
+#: (``XMLSpec`` caches its oracle, benchmark closures capture theirs).
+_live_engines: "weakref.WeakSet[ImplicationEngine]" = weakref.WeakSet()
+
+
 class ImplicationEngine:
     """A cached implication oracle for a fixed ``(D, Σ)``."""
 
@@ -105,6 +112,7 @@ class ImplicationEngine:
         self._cache: dict[CacheKey, bool] = {}
         self._hits = 0
         self._misses = 0
+        _live_engines.add(self)
 
     @staticmethod
     def cache_key(fd: FD) -> CacheKey:
@@ -205,6 +213,22 @@ class ImplicationEngine:
         self._cache.clear()
         self._hits = 0
         self._misses = 0
+
+    @classmethod
+    def clear_all_caches(cls) -> int:
+        """:meth:`cache_clear` on every live engine; returns how many
+        engines were cleared.
+
+        This is the benchmark runner's isolation hook
+        (:func:`repro.bench.runner.isolate`): a workload that re-uses a
+        spec (whose oracle is cached on the instance) must start every
+        run cold, or the first run's counters would differ from every
+        later one.
+        """
+        engines = list(_live_engines)
+        for engine in engines:
+            engine.cache_clear()
+        return len(engines)
 
     def query_count(self) -> int:
         """Total single-RHS queries answered (cached or decided)."""

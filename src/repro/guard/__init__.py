@@ -19,6 +19,7 @@ from-import would freeze the value.
 from __future__ import annotations
 
 from repro.errors import ResourceExhausted
-from repro.guard.budget import Budget, current, limits, use
+from repro.guard.budget import Budget, current, limits, teardown, use
 
-__all__ = ["Budget", "ResourceExhausted", "current", "limits", "use"]
+__all__ = ["Budget", "ResourceExhausted", "current", "limits",
+           "teardown", "use"]

@@ -217,7 +217,10 @@ def use(budget: Budget) -> Iterator[Budget]:
     try:
         yield budget
     finally:
-        _stack.pop()
+        # Remove *this* budget, tolerating a :func:`teardown` that
+        # already swept the stack while the context was suspended.
+        if budget in _stack:
+            _stack.remove(budget)
         active = bool(_stack)
         if _obs.enabled:
             for name, headroom in budget.remaining().items():
@@ -225,6 +228,23 @@ def use(budget: Budget) -> Iterator[Budget]:
                     _obs.observe(f"guard.remaining.{name}", headroom)
             if budget.tripped is None:
                 _obs.inc("guard.completed")
+
+
+def teardown() -> int:
+    """Forcibly uninstall every ambient budget; returns how many were
+    removed.
+
+    Normal code never needs this — :func:`use` restores the stack on
+    exit.  It exists for run isolation (the benchmark runner clears
+    leftover budgets between runs so one workload's limits can never
+    govern the next) and for test harnesses recovering from a body
+    that escaped a ``with use(...)`` block abnormally.
+    """
+    global active
+    removed = len(_stack)
+    _stack.clear()
+    active = False
+    return removed
 
 
 @contextmanager

@@ -15,7 +15,8 @@ Metric kinds:
 * **gauge** — a point-in-time value (:func:`set_gauge`), e.g. the
   current chase frontier size;
 * **histogram** — a stream of plain-value observations summarized as
-  count/total/min/max/mean (:func:`observe`), e.g. tableau sizes;
+  count/total/min/max/mean plus p50/p95/p99 percentiles
+  (:func:`observe`), e.g. tableau sizes;
 * **timer** — a histogram of wall-clock durations in seconds, fed by
   the :func:`timer` context manager and kept in its own snapshot
   section so renderers can scale to milliseconds.
@@ -28,6 +29,7 @@ state.  The metric name vocabulary is documented in
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -45,16 +47,38 @@ _histograms: dict[str, "_Histogram"] = {}
 _timers: dict[str, "_Histogram"] = {}
 
 
-class _Histogram:
-    """Streaming summary of a series of observations."""
+#: Per-histogram sample retention cap.  When a histogram exceeds it,
+#: the sample is decimated (every second value kept) and the keep
+#: stride doubles — deterministic, bounded, and still uniform over the
+#: observation sequence, unlike a random reservoir.
+_SAMPLE_CAP = 8192
 
-    __slots__ = ("count", "total", "min", "max")
+
+def _percentile(ordered: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    rank = max(0, min(len(ordered) - 1,
+                      int(math.ceil(quantile * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class _Histogram:
+    """Streaming summary of a series of observations.
+
+    Exact ``count``/``total``/``min``/``max``/``mean``; the
+    ``p50``/``p95``/``p99`` percentiles are computed from a retained
+    sample that is exact up to :data:`_SAMPLE_CAP` observations and a
+    deterministic every-``stride``-th subsample beyond it.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "stride")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
+        self.stride = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -63,13 +87,22 @@ class _Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if (self.count - 1) % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > _SAMPLE_CAP:
+                del self.samples[1::2]
+                self.stride *= 2
 
     def as_dict(self) -> dict[str, float]:
         mean = self.total / self.count if self.count else 0.0
+        ordered = sorted(self.samples)
         return {"count": self.count, "total": self.total,
                 "min": self.min if self.count else 0.0,
                 "max": self.max if self.count else 0.0,
-                "mean": mean}
+                "mean": mean,
+                "p50": _percentile(ordered, 0.50) if ordered else 0.0,
+                "p95": _percentile(ordered, 0.95) if ordered else 0.0,
+                "p99": _percentile(ordered, 0.99) if ordered else 0.0}
 
 
 def enable() -> None:

@@ -37,7 +37,10 @@ def _derived(counters: dict[str, int]) -> list[tuple[str, str]]:
     found = counters.get("xnf.violations.found", 0)
     if examined:
         rows.append(("xnf.violation_rate", _ratio(found, examined)))
-    return rows
+    # Sorted like every other section: --stats output is diffed in
+    # tests and bench logs, so row order must never depend on which
+    # ratios happened to be computable.
+    return sorted(rows)
 
 
 def metrics_table(snapshot: dict[str, dict], *,
@@ -61,21 +64,28 @@ def metrics_table(snapshot: dict[str, dict], *,
     if histograms:
         rows = []
         for name, stats in sorted(histograms.items()):
-            rows.append((name,
-                         f"n={stats['count']}  "
-                         f"mean={stats['mean']:.1f}  "
-                         f"min={stats['min']:g}  max={stats['max']:g}"))
+            row = (f"n={stats['count']}  "
+                   f"mean={stats['mean']:.1f}  "
+                   f"min={stats['min']:g}  max={stats['max']:g}")
+            if "p50" in stats:
+                row += (f"  p50={stats['p50']:g}  "
+                        f"p95={stats['p95']:g}  p99={stats['p99']:g}")
+            rows.append((name, row))
         sections.append(("histograms", rows))
 
     timers = snapshot.get("timers", {})
     if timers:
         rows = []
         for name, stats in sorted(timers.items()):
-            rows.append((name,
-                         f"n={stats['count']}  "
-                         f"total={stats['total'] * 1e3:.2f} ms  "
-                         f"mean={stats['mean'] * 1e3:.3f} ms  "
-                         f"max={stats['max'] * 1e3:.3f} ms"))
+            row = (f"n={stats['count']}  "
+                   f"total={stats['total'] * 1e3:.2f} ms  "
+                   f"mean={stats['mean'] * 1e3:.3f} ms  "
+                   f"max={stats['max'] * 1e3:.3f} ms")
+            if "p50" in stats:
+                row += (f"  p50={stats['p50'] * 1e3:.3f} ms  "
+                        f"p95={stats['p95'] * 1e3:.3f} ms  "
+                        f"p99={stats['p99'] * 1e3:.3f} ms")
+            rows.append((name, row))
         sections.append(("timers", rows))
 
     derived = _derived(counters)

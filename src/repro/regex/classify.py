@@ -145,6 +145,12 @@ def _factorize(regex: Regex) -> Factorization | None:
             # coordinates never yields a product: (a, b)? and friends.
             return None
         only = non_nullable[0]
+        if any(cls.max_count > 0
+               for symbol, cls in base.items() if symbol != only):
+            # One non-nullable coordinate, but another coordinate can
+            # still be non-zero: the zero vector brings no companions
+            # for it, so (a, b*)? and friends are not products either.
+            return None
         merged = union_multiplicity(base[only], Multiplicity.ZERO)
         assert merged is not None
         result = dict(base)

@@ -1,0 +1,100 @@
+"""Unit tests for the benchmark registry (repro.bench.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.registry import Benchmark, Claim, benchmark
+from repro.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def private_registry():
+    """Run each test against an empty registry, then restore the real
+    one (suite modules register at import, which only happens once per
+    process — clearing without restoring would lose them for good)."""
+    saved = dict(registry._registry)
+    registry._registry.clear()
+    yield
+    registry._registry.clear()
+    registry._registry.update(saved)
+
+
+def _noop_factory(value=None):
+    return lambda: None
+
+
+class TestDecorator:
+    def test_registers_with_defaults(self):
+        decorated = benchmark("grp.one", series=(1, 2, 4))(_noop_factory)
+        assert decorated is _noop_factory
+        bench = registry.get("grp.one")
+        assert bench.series == (1, 2, 4)
+        assert bench.quick == (1,)          # first series point
+        assert bench.group == "grp"         # dotted prefix
+        assert bench.param == "n"
+        assert bench.repeat == 3
+
+    def test_unparameterized_benchmark_has_single_none_point(self):
+        benchmark("grp.single")(_noop_factory)
+        bench = registry.get("grp.single")
+        assert bench.series == (None,)
+        assert bench.points(quick=True) == (None,)
+        assert bench.points(quick=False) == (None,)
+
+    def test_duplicate_name_rejected(self):
+        benchmark("grp.dup", series=(1,))(_noop_factory)
+        with pytest.raises(ValueError, match="registered twice"):
+            benchmark("grp.dup", series=(1,))(_noop_factory)
+
+    def test_quick_must_be_series_subset(self):
+        with pytest.raises(ValueError, match="subset"):
+            benchmark("grp.bad", series=(1, 2), quick=(3,))
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeat"):
+            benchmark("grp.bad", series=(1,), repeat=0)
+
+
+class TestSelection:
+    def setup_benchmarks(self):
+        benchmark("alpha.a", series=(1,))(_noop_factory)
+        benchmark("alpha.b", series=(1,))(_noop_factory)
+        benchmark("beta.c", series=(1,))(_noop_factory)
+
+    def test_all_benchmarks_name_sorted(self):
+        self.setup_benchmarks()
+        names = [b.name for b in registry.all_benchmarks()]
+        assert names == ["alpha.a", "alpha.b", "beta.c"]
+
+    def test_select_by_substring(self):
+        self.setup_benchmarks()
+        names = [b.name for b in registry.select(["alpha."])]
+        assert names == ["alpha.a", "alpha.b"]
+
+    def test_select_no_match_is_an_error(self):
+        self.setup_benchmarks()
+        with pytest.raises(ReproError, match="no benchmark matches"):
+            registry.select(["gamma"])
+
+    def test_get_unknown_is_an_error(self):
+        with pytest.raises(ReproError, match="no benchmark named"):
+            registry.get("missing")
+
+
+class TestClaim:
+    def test_polynomial_needs_max_slope(self):
+        with pytest.raises(ValueError, match="max_slope"):
+            Claim(statement="T", bound="b", counter="c",
+                  kind="polynomial")
+
+    def test_exponential_needs_min_base(self):
+        with pytest.raises(ValueError, match="min_base"):
+            Claim(statement="T", bound="b", counter="c",
+                  kind="exponential")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown claim kind"):
+            Claim(statement="T", bound="b", counter="c",
+                  kind="logarithmic", max_slope=1.0)

@@ -100,6 +100,35 @@ class TestGaugesAndHistograms:
         assert stats["count"] == 1
         assert stats["total"] >= 0.0
 
+    def test_histogram_percentiles_exact_when_small(self):
+        obs.enable()
+        for value in range(1, 101):
+            obs.observe("h", value)
+        stats = obs.snapshot()["histograms"]["h"]
+        assert stats["p50"] == 50
+        assert stats["p95"] == 95
+        assert stats["p99"] == 99
+
+    def test_single_observation_percentiles(self):
+        obs.enable()
+        obs.observe("h", 7.0)
+        stats = obs.snapshot()["histograms"]["h"]
+        assert stats["p50"] == stats["p95"] == stats["p99"] == 7.0
+
+    def test_percentiles_survive_decimation(self):
+        # Push well past the sample cap; the decimated reservoir must
+        # still put the percentiles in the right region.
+        obs.enable()
+        n = 40_000
+        for value in range(n):
+            obs.observe("big", value)
+        stats = obs.snapshot()["histograms"]["big"]
+        assert stats["count"] == n
+        assert stats["min"] == 0
+        assert stats["max"] == n - 1
+        assert abs(stats["p50"] - n / 2) < n * 0.05
+        assert abs(stats["p95"] - n * 0.95) < n * 0.05
+
 
 class TestSnapshotReset:
     def test_snapshot_is_a_copy(self):
