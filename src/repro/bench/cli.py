@@ -12,7 +12,8 @@ Exit codes follow the repository-wide contract: 0 success (claims
 consistent / no regression), 1 negative answer (a claim failed or a
 counter regressed beyond tolerance), 2 usage or report-file error
 (bad flags, unreadable file, schema-version mismatch — a message, not
-a traceback).
+a traceback), 4 resource limit reached (a ``run`` limit such as
+``--timeout`` or ``--max-steps`` tripped inside a measured workload).
 """
 
 from __future__ import annotations
@@ -25,10 +26,12 @@ import sys
 from repro.bench import compare as _compare
 from repro.bench import runner as _runner
 from repro.bench.schema import BenchReportError
+from repro.errors import ResourceExhausted
 
 EXIT_OK = 0
 EXIT_NEGATIVE = 1
 EXIT_USAGE = 2
+EXIT_RESOURCE = 4
 
 #: The default report path at the repo root: the persistent bench
 #: trajectory (committed baselines live under ``benchmarks/baselines``).
@@ -42,11 +45,20 @@ def cmd_run(args: argparse.Namespace) -> int:
               "between processes; baselines are recorded with "
               "PYTHONHASHSEED=0 (see docs/BENCHMARKS.md)",
               file=sys.stderr)
-    payload = _runner.run_suite(
-        quick=args.quick, only=args.only or None, repeat=args.repeat,
-        memory=not args.no_memory,
-        progress=None if args.quiet else
-        lambda line: print(line, file=sys.stderr))
+    limits = {"deadline": getattr(args, "timeout", None),
+              "max_steps": getattr(args, "max_steps", None),
+              "max_branches": getattr(args, "max_branches", None),
+              "max_nodes": getattr(args, "max_nodes", None)}
+    try:
+        payload = _runner.run_suite(
+            quick=args.quick, only=args.only or None, repeat=args.repeat,
+            memory=not args.no_memory,
+            progress=None if args.quiet else
+            lambda line: print(line, file=sys.stderr),
+            limits=limits)
+    except ResourceExhausted as error:
+        print(f"error: resource limit reached: {error}", file=sys.stderr)
+        return EXIT_RESOURCE
     with open(args.out, "w") as stream:
         json.dump(payload, stream, indent=2, sort_keys=True)
         stream.write("\n")
@@ -161,6 +173,18 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                      help="skip the tracemalloc pass")
     run.add_argument("--quiet", action="store_true",
                      help="no per-benchmark progress on stderr")
+    run.add_argument("--timeout", type=float, metavar="SECONDS",
+                     help="wall-clock deadline per measured run; "
+                     "exit 4 when reached")
+    run.add_argument("--max-steps", type=int, metavar="N",
+                     help="engine work-unit budget per measured run; "
+                     "exit 4 when exhausted")
+    run.add_argument("--max-branches", type=int, metavar="N",
+                     help="branch budget per measured run; exit 4 "
+                     "when exhausted")
+    run.add_argument("--max-nodes", type=int, metavar="N",
+                     help="node budget per measured run; exit 4 "
+                     "when exhausted")
     run.set_defaults(bench_func=cmd_run)
 
     comp = sub.add_parser(

@@ -32,6 +32,7 @@ from repro.bench import registry as _registry
 from repro.bench.registry import Benchmark
 from repro.bench.schema import envelope
 from repro.bench.slopes import evaluate_claim
+from repro.faults import plan as _faults
 from repro.fd.implication import ImplicationEngine
 
 
@@ -52,13 +53,15 @@ def isolate() -> None:
     """Reset every piece of cross-run mutable state (see module docs)."""
     obs.reset()
     guard.teardown()
+    _faults.teardown()
     ImplicationEngine.clear_all_caches()
     for cache in _module_caches():
         cache.cache_clear()
 
 
 def _measure_point(bench: Benchmark, value, *, repeat: int | None,
-                   memory: bool) -> dict:
+                   memory: bool,
+                   limits: dict | None = None) -> dict:
     workload: Callable[[], object]
     if value is None:
         workload = bench.factory()
@@ -69,9 +72,13 @@ def _measure_point(bench: Benchmark, value, *, repeat: int | None,
     counters: dict[str, int] = {}
     for _ in range(runs):
         isolate()
-        started = time.perf_counter()
-        workload()
-        best = min(best, time.perf_counter() - started)
+        # The per-run budget is installed *after* isolation (which
+        # tears down every ambient budget), so ``bench run --timeout``
+        # limits each measured run individually.
+        with guard.limits(**(limits or {})):
+            started = time.perf_counter()
+            workload()
+            best = min(best, time.perf_counter() - started)
         counters = obs.snapshot()["counters"]
     point = {"value": value, "time_s": best,
              "counters": dict(sorted(counters.items()))}
@@ -79,7 +86,8 @@ def _measure_point(bench: Benchmark, value, *, repeat: int | None,
         isolate()
         tracemalloc.start()
         try:
-            workload()
+            with guard.limits(**(limits or {})):
+                workload()
             _, peak = tracemalloc.get_traced_memory()
         finally:
             tracemalloc.stop()
@@ -89,12 +97,13 @@ def _measure_point(bench: Benchmark, value, *, repeat: int | None,
 
 def run_benchmark(bench: Benchmark, *, quick: bool = False,
                   repeat: int | None = None, memory: bool = True,
-                  progress: Callable[[str], None] | None = None) -> dict:
+                  progress: Callable[[str], None] | None = None,
+                  limits: dict | None = None) -> dict:
     """Run one benchmark's series; returns its report entry."""
     points = []
     for value in bench.points(quick):
         point = _measure_point(bench, value, repeat=repeat,
-                               memory=memory)
+                               memory=memory, limits=limits)
         points.append(point)
         if progress is not None:
             label = "" if value is None else f" {bench.param}={value}"
@@ -115,12 +124,15 @@ def run_benchmark(bench: Benchmark, *, quick: bool = False,
 def run_suite(*, quick: bool = False, only: Iterable[str] | None = None,
               repeat: int | None = None, memory: bool = True,
               progress: Callable[[str], None] | None = None,
-              load_default: bool = True) -> dict:
+              load_default: bool = True,
+              limits: dict | None = None) -> dict:
     """Run the selected benchmarks; returns the full report payload.
 
     Runs with obs enabled for the duration (restoring the caller's
     state afterwards) and leaves no ambient budget, warm cache, or
-    recorded metric behind.
+    recorded metric behind.  ``limits`` (``deadline``/``max_steps``/
+    ``max_branches``/``max_nodes``) bound each measured run; a tripped
+    limit raises :class:`~repro.errors.ResourceExhausted`.
     """
     if load_default:
         _registry.load_default_suites()
@@ -136,7 +148,7 @@ def run_suite(*, quick: bool = False, only: Iterable[str] | None = None,
                          f"({len(bench.points(quick))} point(s))")
             payload["benchmarks"][bench.name] = run_benchmark(
                 bench, quick=quick, repeat=repeat, memory=memory,
-                progress=progress)
+                progress=progress, limits=limits)
     finally:
         isolate()
         if not was_enabled:

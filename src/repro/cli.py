@@ -24,11 +24,22 @@ coNP-hard engines degrade instead of hanging: ``implies`` prints
 ``unknown`` with the tripped limit, every other subcommand aborts with
 a diagnostic, and the process exits with code 4.
 
+Resumability (see ``docs/ROBUSTNESS.md``): ``xnf normalize
+--checkpoint FILE`` snapshots the run after every applied transform;
+adding ``--resume`` restarts from the snapshot and produces output
+identical to an uninterrupted run.  A checkpoint with the wrong schema
+version or a different (D, Σ) fingerprint exits with code 2.
+
+Fault injection (testing only): setting ``REPRO_FAULTS`` to a
+``site[:kind[:after]],...`` spec (``REPRO_FAULTS_SEED`` seeds it)
+installs a deterministic fault plan around the whole run — see
+``repro.faults``.
+
 Exit codes (uniform across subcommands)::
 
     0  success / positive answer (implied, in XNF, ...)
     1  negative answer (not implied, not in XNF, violations found)
-    2  usage error (bad flags or arguments; argparse)
+    2  usage error (bad flags or arguments; argparse, bad checkpoint)
     3  input or pipeline error (any ReproError: parse failure,
        invalid FD, unsupported feature, ...) — message on stderr
     4  resource limit reached (--timeout / --max-steps / ... tripped
@@ -49,7 +60,7 @@ import sys
 from pathlib import Path as FilePath
 
 from repro import guard, obs
-from repro.errors import ReproError, ResourceExhausted
+from repro.errors import CheckpointError, ReproError, ResourceExhausted
 from repro.dtd.parser import parse_dtd
 from repro.dtd.serializer import serialize_dtd
 from repro.fd.implication import UNKNOWN, YES
@@ -85,8 +96,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_normalize(args: argparse.Namespace) -> int:
+    from repro.normalize import checkpoint as ckpt
     spec = _load_spec(args.dtd, args.fds, args.root)
-    result = spec.normalize()
+    checkpoint_path = getattr(args, "checkpoint", None)
+    resume = None
+    if getattr(args, "resume", False):
+        if not checkpoint_path:
+            raise CheckpointError("--resume requires --checkpoint FILE")
+        resume = ckpt.load(checkpoint_path)
+        print(f"resuming from {checkpoint_path} "
+              f"({resume.rounds_completed} step(s) already applied)",
+              file=sys.stderr)
+    on_step = None
+    if checkpoint_path:
+        on_step = lambda cp: ckpt.save(checkpoint_path, cp)  # noqa: E731
+    result = spec.normalize(resume=resume, on_step=on_step)
+    if checkpoint_path and os.path.exists(checkpoint_path):
+        # The run converged; the checkpoint has served its purpose.
+        os.unlink(checkpoint_path)
     for index, step in enumerate(result.steps, start=1):
         print(f"step {index}: {step.description}", file=sys.stderr)
     print(serialize_dtd(result.dtd), end="")
@@ -226,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
     norm.add_argument("dtd")
     norm.add_argument("fds")
     norm.add_argument("-o", "--output", help="directory for the results")
+    norm.add_argument("--checkpoint", metavar="FILE",
+                      help="snapshot the run to FILE after every applied "
+                      "transform (deleted on success)")
+    norm.add_argument("--resume", action="store_true",
+                      help="restart from the checkpoint in --checkpoint "
+                      "FILE instead of from scratch")
     norm.set_defaults(func=_cmd_normalize)
 
     imp = sub.add_parser("implies", parents=[common],
@@ -306,9 +339,25 @@ def main(argv: list[str] | None = None) -> int:
                 return EXIT_ERROR
             sink = obs.JsonLinesSink(trace_stream)
             obs.add_sink(sink)
+    fault_plan = None
+    fault_spec = os.environ.get("REPRO_FAULTS", "")
+    if fault_spec:
+        from repro import faults
+        try:
+            fault_plan = faults.plan_from_spec(
+                fault_spec,
+                seed=int(os.environ.get("REPRO_FAULTS_SEED", "0")))
+        except (ReproError, ValueError) as error:
+            print(f"error: bad REPRO_FAULTS spec: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
     try:
         with obs.span(f"cli.{args.command}"):
             with guard.limits(**budget_kwargs):
+                if fault_plan is not None:
+                    from repro import faults
+                    with faults.use(fault_plan):
+                        return args.func(args)
                 return args.func(args)
     except ResourceExhausted as error:
         print(f"error: resource limit reached: {error}", file=sys.stderr)
@@ -317,6 +366,11 @@ def main(argv: list[str] | None = None) -> int:
                                in sorted(error.partial.items()))
             print(f"partial progress: {detail}", file=sys.stderr)
         return EXIT_RESOURCE
+    except CheckpointError as error:
+        # A bad/mismatched checkpoint is a usage problem, not a
+        # pipeline failure: the inputs themselves are fine.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

@@ -12,6 +12,11 @@ Supports the fragment used throughout the paper:
 
 By default the root element type is the first declared element; pass
 ``root=`` to override.
+
+Every :class:`~repro.errors.DTDSyntaxError` carries the 1-based line
+and column of the offending construct in the *original* input
+(comments are blanked out offset-preservingly, never collapsed), so
+CLI diagnostics point at real source positions.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import re
 
 from repro.errors import DTDSyntaxError, RegexSyntaxError
 from repro.dtd.model import DTD
+from repro.faults import plan as _faults
 from repro.regex.parser import parse_content_model
 
 _COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
@@ -29,6 +35,27 @@ _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.:-]*")
 _ATT_TYPES = {"CDATA", "ID", "IDREF", "IDREFS", "NMTOKEN", "NMTOKENS",
               "ENTITY", "ENTITIES", "NOTATION"}
 _ATT_DEFAULTS = {"#REQUIRED", "#IMPLIED", "#FIXED"}
+
+_SITE_INPUT = _faults.register_site(
+    "dtd.parser.input", "dtd",
+    "DTD text entering parse_dtd (truncatable)",
+    kinds=_faults.INPUT_KINDS)
+_SITE_DECL = _faults.register_site(
+    "dtd.parser.decl", "dtd",
+    "each <!ELEMENT>/<!ATTLIST> declaration being processed")
+
+
+def _blank(match: re.Match[str]) -> str:
+    """Replace a span with spaces, keeping newlines (offsets survive)."""
+    return re.sub(r"[^\n]", " ", match.group())
+
+
+def _position(text: str, offset: int) -> tuple[int, int]:
+    """1-based ``(line, column)`` of ``offset`` in ``text``."""
+    offset = max(0, min(offset, len(text)))
+    line = text.count("\n", 0, offset) + 1
+    column = offset - (text.rfind("\n", 0, offset) + 1) + 1
+    return line, column
 
 
 def parse_dtd(text: str, *, root: str | None = None) -> DTD:
@@ -42,35 +69,58 @@ def parse_dtd(text: str, *, root: str | None = None) -> DTD:
     >>> sorted(dtd.attrs("G"))
     ['@A', '@B']
     """
-    cleaned = _COMMENT_RE.sub(" ", text)
-    remainder = _DECL_RE.sub(" ", cleaned).strip()
-    if remainder:
-        snippet = remainder.split("\n")[0][:60]
-        raise DTDSyntaxError(
-            f"unrecognized content outside declarations: {snippet!r}")
+    if _faults.active:
+        text = _faults.mangle(_SITE_INPUT, text)
+    cleaned = _COMMENT_RE.sub(_blank, text)
 
-    elements: dict[str, str] = {}
+    def fail(message: str, offset: int) -> DTDSyntaxError:
+        line, column = _position(cleaned, offset)
+        return DTDSyntaxError(message, line=line, column=column)
+
+    blanked = _DECL_RE.sub(_blank, cleaned)
+    stray = next((i for i, ch in enumerate(blanked) if not ch.isspace()),
+                 None)
+    if stray is not None:
+        snippet = blanked[stray:].split("\n")[0][:60].rstrip()
+        raise fail(
+            f"unrecognized content outside declarations: {snippet!r}",
+            stray)
+
+    elements: dict[str, tuple[str, int]] = {}   # name -> (model, offset)
     attlists: dict[str, list[str]] = {}
     order: list[str] = []
 
     for match in _DECL_RE.finditer(cleaned):
-        kind, body = match.group(1), match.group(2).strip()
+        if _faults.active:
+            _faults.fire(_SITE_DECL)
+        kind, body = match.group(1), match.group(2)
+        body_start = match.start(2)
+        lead = len(body) - len(body.lstrip())
+        body = body.strip()
+        body_start += lead
         name_match = _NAME_RE.match(body)
         if name_match is None:
-            raise DTDSyntaxError(f"missing element name in <!{kind} ...>")
+            raise fail(f"missing element name in <!{kind} ...>",
+                       body_start)
         name = name_match.group()
-        rest = body[name_match.end():].strip()
+        rest_raw = body[name_match.end():]
+        rest_lead = len(rest_raw) - len(rest_raw.lstrip())
+        rest = rest_raw.strip()
+        rest_start = body_start + name_match.end() + rest_lead
         if kind == "ELEMENT":
             if name in elements:
-                raise DTDSyntaxError(
-                    f"duplicate <!ELEMENT> declaration for {name!r}")
+                raise fail(
+                    f"duplicate <!ELEMENT> declaration for {name!r}",
+                    body_start)
             if not rest:
-                raise DTDSyntaxError(
-                    f"<!ELEMENT {name}> is missing a content model")
-            elements[name] = rest
+                raise fail(
+                    f"<!ELEMENT {name}> is missing a content model",
+                    body_start)
+            elements[name] = (rest, rest_start)
             order.append(name)
         else:
-            attlists.setdefault(name, []).extend(_parse_attlist(name, rest))
+            attlists.setdefault(name, []).extend(
+                _parse_attlist(name, rest, rest_start, fail))
 
     if not elements:
         raise DTDSyntaxError("no <!ELEMENT> declarations found")
@@ -79,49 +129,58 @@ def parse_dtd(text: str, *, root: str | None = None) -> DTD:
         raise DTDSyntaxError(f"root element type {root_name!r} not declared")
 
     productions = {}
-    for name, model in elements.items():
+    for name, (model, model_start) in elements.items():
         try:
             productions[name] = parse_content_model(model)
         except RegexSyntaxError as error:
-            # Re-raise with the owning element named; the depth cap in
-            # the content-model parser guarantees deeply nested inputs
-            # land here as a ParseError, never as a raw RecursionError.
+            # Re-raise with the owning element named and the position
+            # mapped into the full DTD text; the depth cap in the
+            # content-model parser guarantees deeply nested inputs land
+            # here as a ParseError, never as a raw RecursionError.
+            offset = model_start + (error.column - 1
+                                    if error.column is not None else 0)
+            line, column = _position(cleaned, offset)
             raise DTDSyntaxError(
-                f"in content model of <!ELEMENT {name}>: {error}") \
-                from error
+                f"in content model of <!ELEMENT {name}>: {error}",
+                line=line, column=column) from error
     return DTD(root=root_name, productions=productions,
                attributes={name: frozenset("@" + a for a in attrs)
                            for name, attrs in attlists.items()})
 
 
-def _parse_attlist(element: str, body: str) -> list[str]:
+def _parse_attlist(element: str, body: str, body_start: int,
+                   fail) -> list[str]:
     """Parse the attribute definitions of one ``<!ATTLIST>`` body."""
-    tokens = body.split()
+    tokens = [(m.group(), body_start + m.start())
+              for m in re.finditer(r"\S+", body)]
     attrs: list[str] = []
     index = 0
     while index < len(tokens):
-        name = tokens[index]
+        name, name_at = tokens[index]
         if not _NAME_RE.fullmatch(name):
-            raise DTDSyntaxError(
-                f"invalid attribute name {name!r} in ATTLIST of {element!r}")
+            raise fail(
+                f"invalid attribute name {name!r} in ATTLIST of "
+                f"{element!r}", name_at)
         index += 1
-        if index >= len(tokens) or tokens[index] not in _ATT_TYPES:
-            found = tokens[index] if index < len(tokens) else "<end>"
-            raise DTDSyntaxError(
+        if index >= len(tokens) or tokens[index][0] not in _ATT_TYPES:
+            found, at = (tokens[index] if index < len(tokens)
+                         else ("<end>", name_at))
+            raise fail(
                 f"expected attribute type after {name!r} in ATTLIST of "
-                f"{element!r}, found {found!r}")
+                f"{element!r}, found {found!r}", at)
         index += 1
-        if index >= len(tokens) or tokens[index] not in _ATT_DEFAULTS:
-            found = tokens[index] if index < len(tokens) else "<end>"
-            raise DTDSyntaxError(
-                f"expected attribute default after {name!r} in ATTLIST of "
-                f"{element!r}, found {found!r}")
-        if tokens[index] == "#FIXED":
+        if index >= len(tokens) or tokens[index][0] not in _ATT_DEFAULTS:
+            found, at = (tokens[index] if index < len(tokens)
+                         else ("<end>", name_at))
+            raise fail(
+                f"expected attribute default after {name!r} in ATTLIST "
+                f"of {element!r}, found {found!r}", at)
+        if tokens[index][0] == "#FIXED":
             index += 1  # skip the fixed value token
             if index >= len(tokens):
-                raise DTDSyntaxError(
+                raise fail(
                     f"#FIXED attribute {name!r} of {element!r} "
-                    "is missing its value")
+                    "is missing its value", name_at)
         index += 1
         attrs.append(name)
     return attrs

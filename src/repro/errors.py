@@ -15,7 +15,10 @@ class ReproError(Exception):
 class ParseError(ReproError):
     """Raised when textual input (DTD, XML, FD, regex) cannot be parsed.
 
-    Carries optional position information to make diagnostics useful.
+    Carries optional position information to make diagnostics useful:
+    ``line`` and ``column`` are 1-based; either may be ``None`` when
+    unknown (a column without a line renders as an offset into a
+    single-line input, e.g. a content-model expression).
     """
 
     def __init__(self, message: str, *, line: int | None = None,
@@ -25,6 +28,8 @@ class ParseError(ReproError):
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
+        elif column is not None:
+            location = f" at column {column}"
         super().__init__(message + location)
         self.line = line
         self.column = column
@@ -102,6 +107,43 @@ class ResourceExhausted(ReproError):
         self.spent = spent
         self.allowed = allowed
         self.partial: dict = dict(partial) if partial else {}
+
+
+class FaultError(ReproError):
+    """Base class for faults raised by the :mod:`repro.faults` injection
+    layer.
+
+    Injected faults are *library* errors by design: the exception-safety
+    contract (``docs/ROBUSTNESS.md``) demands that no public entry point
+    ever leaks a non-:class:`ReproError` exception, and that includes
+    the faults the chaos harness plants inside the engines.
+    """
+
+    def __init__(self, site: str, kind: str) -> None:
+        super().__init__(f"injected {kind} fault at site {site!r}")
+        self.site = site
+        self.kind = kind
+
+
+class InjectedFault(FaultError):
+    """A generic injected exception (fault kind ``"exception"``)."""
+
+
+class InjectedAllocationFailure(FaultError, MemoryError):
+    """A simulated allocation failure (fault kind ``"allocation"``).
+
+    Deliberately inherits :class:`MemoryError` as well, so code that
+    special-cases allocation failure sees one, while the library-wide
+    ``except ReproError`` contract still holds.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised for unusable normalization checkpoints: malformed JSON,
+    a schema-version mismatch, or a checkpoint recorded for a different
+    ``(D, Σ)`` than the one being resumed.  The CLI maps this to exit
+    code 2 (usage error): the flags named a checkpoint that cannot
+    apply to this invocation."""
 
 
 class NormalizationError(ReproError):

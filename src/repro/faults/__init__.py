@@ -1,0 +1,64 @@
+"""Deterministic fault injection for the whole pipeline.
+
+See :mod:`repro.faults.plan` for the design and
+``docs/ROBUSTNESS.md`` for the site registry and the exception-safety
+contract the injected faults enforce.
+
+Usage::
+
+    from repro import faults
+
+    with faults.inject("fd.chase.step", kind="allocation", after=2):
+        spec.normalize()          # raises InjectedAllocationFailure
+
+    for site in faults.all_sites():
+        ...                       # sweep the registry (chaos suite)
+"""
+
+from __future__ import annotations
+
+from repro.faults import plan
+from repro.faults.plan import (
+    FaultArm,
+    FaultPlan,
+    FaultSite,
+    INPUT_KINDS,
+    RAISE_KINDS,
+    all_sites,
+    current,
+    fire,
+    inject,
+    mangle,
+    plan_from_spec,
+    register_site,
+    registered_sites,
+    teardown,
+    use,
+)
+
+__all__ = [
+    "plan",
+    "FaultArm",
+    "FaultPlan",
+    "FaultSite",
+    "INPUT_KINDS",
+    "RAISE_KINDS",
+    "all_sites",
+    "current",
+    "fire",
+    "inject",
+    "mangle",
+    "plan_from_spec",
+    "register_site",
+    "registered_sites",
+    "teardown",
+    "use",
+]
+
+
+def __getattr__(name: str):
+    # ``faults.active`` must always reflect the live module flag (it is
+    # rebound on install/teardown), so forward instead of re-exporting.
+    if name == "active":
+        return plan.active
+    raise AttributeError(name)

@@ -46,6 +46,7 @@ from typing import Iterable, Iterator
 from repro.errors import RecursionLimitError, ReproError, ResourceExhausted
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
+from repro.faults import plan as _faults
 from repro.fd.model import FD
 from repro.guard import budget as _guard
 from repro.obs import metrics as _obs
@@ -60,6 +61,13 @@ from repro.xmltree.model import XMLTree
 MAX_BRANCHES = 4096
 MAX_CHASE_STEPS = 20000
 MAX_COMPLETION_EXTRA = 6
+
+_SITE_BRANCH = _faults.register_site(
+    "fd.chase.branch", "fd",
+    "each tableau branch popped from the chase worklist")
+_SITE_STEP = _faults.register_site(
+    "fd.chase.step", "fd",
+    "each repair/violation pass of the per-branch chase loop")
 
 
 class _Contradiction(Exception):
@@ -100,6 +108,8 @@ def _implies_single(dtd: DTD, sigma: list[FD], fd: FD, *,
                     "the DTD's N_D is too large for exact implication")
             if budget is not None:
                 budget.tick_branches()
+            if _faults.active:
+                _faults.fire(_SITE_BRANCH)
             if _obs.enabled:
                 _obs.inc("chase.branches.explored")
             tableau = pending.pop()
@@ -400,6 +410,8 @@ def _chase_branch(dtd: DTD, sigma: list[FD], tableau: _Tableau,
     for _step in range(MAX_CHASE_STEPS):
         if budget is not None:
             budget.tick_steps()
+        if _faults.active:
+            _faults.fire(_SITE_STEP)
         forks = _repair(dtd, tableau, budget)
         if forks is not None:
             return forks

@@ -54,6 +54,7 @@ from typing import Iterable
 from repro.errors import ResourceExhausted
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
+from repro.faults import plan as _faults
 from repro.fd.model import FD
 from repro.guard import budget as _guard
 from repro.obs import metrics as _obs
@@ -61,6 +62,10 @@ from repro.regex.ast import PCData
 
 #: Nesting depth of null-correlation case splits.
 SPLIT_DEPTH = 2
+
+_SITE_ITERATION = _faults.register_site(
+    "fd.closure.iteration", "fd",
+    "each pass of the closure's monotone fixpoint loop")
 
 
 def closure_implies(dtd: DTD, sigma: Iterable[FD], fd: FD) -> bool:
@@ -184,6 +189,8 @@ class _Solver:
         while changed:
             if self._budget is not None:
                 self._budget.tick_steps()
+            if _faults.active:
+                _faults.fire(_SITE_ITERATION)
             if _obs.enabled:
                 _obs.inc("closure.iterations")
             changed = False

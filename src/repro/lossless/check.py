@@ -81,13 +81,16 @@ def _reconstruct_move(step: TransformStep, old_dtd: DTD,
 
 def _reconstruct_create(step: TransformStep, old_dtd: DTD,
                         migrated: XMLTree) -> set[Row]:
-    # Recover the step's path vocabulary from its renaming map.
+    # Recover the step's path vocabulary from its renaming map.  Keys
+    # are *every* renamed value path but the stored one — attribute or
+    # text (a ``tau`` group may be keyed by an ``.S`` path).
     old_value = step.fd.single_rhs
     new_value = step.renaming[old_value]
     key_pairs = [
         (old, new) for old, new in step.renaming.items()
-        if old.is_attribute and old != old_value]
+        if not old.is_element and old != old_value]
     keep = [p for p in _old_value_paths(old_dtd) if p != old_value]
+    owner = old_value.parent
 
     bases: dict[Row, set[str]] = {}
     for tuple_ in tuples_of(migrated, step.dtd):
@@ -95,7 +98,14 @@ def _reconstruct_create(step: TransformStep, old_dtd: DTD,
             (str(p), tuple_.get(p)) for p in keep
             if tuple_.get(p) is not None)
         candidates = bases.setdefault(base, set())
-        joined = all(
+        # The old value existed only where its owner node did; without
+        # this gate a tuple that never visited the owner would borrow
+        # a value from the new tau group (which hangs off the root and
+        # is therefore visible to every tuple).
+        present = (tuple_.get(owner) is not None
+                   if step.dtd.is_path(owner)
+                   else tuple_.get(owner.parent) is not None)
+        joined = present and all(
             tuple_.get(old_key) is not None
             and tuple_.get(old_key) == tuple_.get(new_key)
             for old_key, new_key in key_pairs)

@@ -22,15 +22,19 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import (
+    CheckpointError,
     NormalizationError,
+    ReproError,
     ResourceExhausted,
     UnsupportedFeatureError,
 )
 from repro.dtd.model import DTD
 from repro.dtd.paths import Path
+from repro.faults import plan as _faults
 from repro.fd.implication import EngineName, ImplicationEngine
 from repro.fd.model import FD
 from repro.guard import budget as _guard
+from repro.normalize import checkpoint as _checkpoint
 from repro.normalize.transforms import (
     NewElementNames,
     TransformStep,
@@ -49,6 +53,13 @@ from repro.xmltree.model import XMLTree
 #: Generous cap: Proposition 6 guarantees far fewer steps, one per
 #: anomalous path at most.
 DEFAULT_MAX_STEPS = 100
+
+_SITE_ROUND = _faults.register_site(
+    "normalize.round", "normalize",
+    "the top of each Figure 4 fixpoint round")
+_SITE_CHECKPOINT = _faults.register_site(
+    "normalize.checkpoint", "normalize",
+    "after each applied transform, once the checkpoint is snapshotted")
 
 
 @dataclass
@@ -75,22 +86,50 @@ def normalize(dtd: DTD, sigma: Iterable[FD], *,
               engine: EngineName = "auto",
               naming: Callable[[int, FD], NewElementNames] | None = None,
               max_steps: int = DEFAULT_MAX_STEPS,
-              check_progress: bool = True) -> NormalizationResult:
+              check_progress: bool = True,
+              resume: "_checkpoint.NormalizationCheckpoint | None" = None,
+              on_step: Callable[
+                  ["_checkpoint.NormalizationCheckpoint"], None,
+              ] | None = None) -> NormalizationResult:
     """Run the XNF decomposition algorithm to completion.
 
     ``naming`` may supply element names for each *create* step (called
     with the step index and the minimal anomalous FD); by default names
     derive from the involved attributes (``info``, attribute stems).
+
+    ``on_step`` receives a :class:`NormalizationCheckpoint` after every
+    applied transform; ``resume`` restarts from one (the checkpoint must
+    fingerprint-match the *original* ``(dtd, sigma)`` passed here).  A
+    resumed run is deterministic: it yields the same final DTD and Σ as
+    the uninterrupted run, with pre-checkpoint steps represented by
+    description-only records that cannot migrate documents.
     """
+    original_sigma = [fd.validate(dtd) for fd in sigma]
+    origin = ""
+    if resume is not None or on_step is not None:
+        origin = _checkpoint.fingerprint(dtd, original_sigma)
     current_dtd = dtd
-    current_sigma = [fd.validate(dtd) for fd in sigma]
-    current_sigma = _preprocess(current_dtd, current_sigma)
+    current_sigma = original_sigma
     steps: list[TransformStep] = []
+    if resume is not None:
+        resume.matches(origin)
+        current_dtd, restored_sigma, recorded = resume.restore()
+        try:
+            current_sigma = [fd.validate(current_dtd)
+                             for fd in restored_sigma]
+        except ReproError as error:
+            raise CheckpointError(
+                "checkpoint Sigma is inconsistent with its DTD: "
+                f"{error}") from error
+        steps = list(recorded)
+    current_sigma = _preprocess(current_dtd, current_sigma)
 
     budget = _guard.current() if _guard.active else None
     try:
         with _obs.timer("normalize.total"), _span("normalize"):
             for _round in range(max_steps):
+                if _faults.active:
+                    _faults.fire(_SITE_ROUND)
                 if budget is not None:
                     # One step per round on top of whatever the round's
                     # implication queries spend; keeps a degenerate
@@ -115,6 +154,16 @@ def normalize(dtd: DTD, sigma: Iterable[FD], *,
                     steps.append(step)
                     current_dtd = step.dtd
                     current_sigma = _preprocess(current_dtd, step.sigma)
+                    if on_step is not None:
+                        on_step(
+                            _checkpoint.NormalizationCheckpoint.capture(
+                                origin, current_dtd, current_sigma,
+                                steps))
+                    if _faults.active:
+                        # Fires *after* the snapshot is handed out, so
+                        # an injected fault here models "killed right
+                        # after saving" — the resume path's best case.
+                        _faults.fire(_SITE_CHECKPOINT)
                     if _obs.enabled:
                         _obs.inc("normalize.rounds")
                         _obs.inc(f"normalize.steps.{step.kind}")

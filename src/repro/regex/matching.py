@@ -20,6 +20,7 @@ from collections import Counter
 from functools import lru_cache
 from typing import Iterable, Mapping
 
+from repro.faults import plan as _faults
 from repro.guard import budget as _guard
 from repro.regex.ast import (
     EMPTY_SET,
@@ -39,6 +40,11 @@ from repro.regex.ast import (
     star,
     union,
 )
+
+
+_SITE_SEARCH = _faults.register_site(
+    "regex.matching.search", "regex",
+    "each state of the multiset-membership search")
 
 
 @lru_cache(maxsize=65536)
@@ -104,6 +110,8 @@ def _search(state: Regex, items: tuple[tuple[str, int], ...],
             budget: "_guard.Budget | None" = None) -> bool:
     if budget is not None:
         budget.tick_steps()
+    if _faults.active:
+        _faults.fire(_SITE_SEARCH)
     if not items:
         return state.nullable()
     key = (state, items)

@@ -133,10 +133,17 @@ class XMLSpec:
 
     def normalize(self, *, naming: Callable[[int, FD], NewElementNames]
                   | None = None,
-                  check_progress: bool = True) -> NormalizationResult:
-        """The Figure 4 decomposition algorithm."""
+                  check_progress: bool = True,
+                  resume=None, on_step=None) -> NormalizationResult:
+        """The Figure 4 decomposition algorithm.
+
+        ``resume``/``on_step`` thread through to
+        :func:`repro.normalize.algorithm.normalize` for checkpointed,
+        resumable runs.
+        """
         return normalize(self.dtd, self.sigma, engine=self.engine,
-                         naming=naming, check_progress=check_progress)
+                         naming=naming, check_progress=check_progress,
+                         resume=resume, on_step=on_step)
 
     def normalize_simple(self, *, naming: Callable[[int, FD],
                                                    NewElementNames]

@@ -25,11 +25,16 @@ from typing import Iterator
 from repro.errors import ConformanceError, ResourceExhausted
 from repro.dtd.model import DTD
 from repro.dtd.paths import TEXT_STEP, Path
+from repro.faults import plan as _faults
 from repro.guard import budget as _guard
 from repro.obs import metrics as _obs
 from repro.tuples.model import TreeTuple
 from repro.xmltree.conformance import is_compatible
 from repro.xmltree.model import XMLTree
+
+_SITE_NODE = _faults.register_site(
+    "tuples.extract.node", "tuples",
+    "each node visit of the streaming tuple enumeration")
 
 
 def tuples_of(tree: XMLTree, dtd: DTD, *,
@@ -77,6 +82,8 @@ def _subtree_tuples(tree: XMLTree, dtd: DTD, node: str, path: Path,
     """
     if budget is not None:
         budget.tick_nodes()
+    if _faults.active:
+        _faults.fire(_SITE_NODE)
     base: dict[Path, str] = {path: node}
     for name, value in tree.attrs_of(node).items():
         base[path.child(name)] = value

@@ -12,6 +12,7 @@ from __future__ import annotations
 import re
 
 from repro.errors import XMLSyntaxError
+from repro.faults import plan as _faults
 from repro.xmltree.model import XMLTree
 
 _NAME = r"[A-Za-z_:][A-Za-z0-9_.:-]*"
@@ -20,14 +21,28 @@ _ATTR_RE = re.compile(
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
 _ENTITY_RE = re.compile(r"&(#x?[0-9A-Fa-f]+|[A-Za-z]+);")
 
+_SITE_INPUT = _faults.register_site(
+    "xml.parser.input", "xmltree",
+    "XML text entering parse_xml (truncatable)",
+    kinds=_faults.INPUT_KINDS)
+_SITE_TAG = _faults.register_site(
+    "xml.parser.tag", "xmltree",
+    "each markup construct consumed by the document scanner")
+
 
 def _unescape(text: str) -> str:
     def replace(match: re.Match[str]) -> str:
         body = match.group(1)
-        if body.startswith("#x") or body.startswith("#X"):
-            return chr(int(body[2:], 16))
-        if body.startswith("#"):
-            return chr(int(body[1:]))
+        try:
+            if body.startswith("#x") or body.startswith("#X"):
+                return chr(int(body[2:], 16))
+            if body.startswith("#"):
+                return chr(int(body[1:]))
+        except (ValueError, OverflowError):
+            # Non-decimal digits after ``&#`` or a code point outside
+            # chr()'s range: a malformed reference, not a crash.
+            raise XMLSyntaxError(
+                f"invalid character reference &{body};") from None
         if body in _ENTITIES:
             return _ENTITIES[body]
         raise XMLSyntaxError(f"unknown entity &{body};")
@@ -39,7 +54,11 @@ def parse_xml(text: str, *, id_prefix: str = "v") -> XMLTree:
     """Parse an XML document into an :class:`XMLTree`.
 
     Node ids are assigned in document order (``v0``, ``v1``, ...).
+    Syntax errors carry the 1-based line and column of the offending
+    construct.
     """
+    if _faults.active:
+        text = _faults.mangle(_SITE_INPUT, text)
     tree = XMLTree()
     stack: list[str] = []           # open element node ids
     pending_text: list[tuple[str, str]] = []  # (owner node, text)
@@ -48,7 +67,8 @@ def parse_xml(text: str, *, id_prefix: str = "v") -> XMLTree:
 
     def fail(message: str) -> XMLSyntaxError:
         line = text.count("\n", 0, index) + 1
-        return XMLSyntaxError(message, line=line)
+        column = index - (text.rfind("\n", 0, index) + 1) + 1
+        return XMLSyntaxError(message, line=line, column=column)
 
     def flush_text(run: str) -> None:
         if not stack:
@@ -72,6 +92,8 @@ def parse_xml(text: str, *, id_prefix: str = "v") -> XMLTree:
         if open_pos > index:
             flush_text(text[index:open_pos])
         index = open_pos
+        if _faults.active:
+            _faults.fire(_SITE_TAG)
         if text.startswith("<!--", index):
             end = text.find("-->", index)
             if end == -1:
@@ -142,11 +164,11 @@ def parse_xml(text: str, *, id_prefix: str = "v") -> XMLTree:
             stack.append(node)
         index = end + 1
 
+    index = length
     if stack:
-        raise XMLSyntaxError(
-            f"unclosed element <{tree.label(stack[-1])}>")
+        raise fail(f"unclosed element <{tree.label(stack[-1])}>")
     if tree.root is None:
-        raise XMLSyntaxError("document has no root element")
+        raise fail("document has no root element")
     for owner, run in pending_text:
         tree.set_text(owner, run)
     return tree.freeze()

@@ -1,0 +1,140 @@
+"""Fuzzing the DTD/XML/content-model parsers with arbitrary input.
+
+The contract: whatever bytes arrive, a parser either returns a valid
+model or raises a :class:`~repro.errors.ReproError` subclass with a
+message — never a raw ``RecursionError``, ``IndexError``,
+``ValueError``, or ``UnicodeDecodeError`` leaking from the internals.
+Regressions found by earlier fuzz rounds are pinned as explicit
+examples.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.errors import (
+    DTDSyntaxError,
+    ParseError,
+    ReproError,
+    XMLSyntaxError,
+)
+from repro.dtd.parser import parse_dtd
+from repro.regex.parser import parse_content_model
+from repro.xmltree.parser import parse_xml
+
+
+def _assert_only_repro_errors(parser, text):
+    try:
+        parser(text)
+    except ReproError:
+        pass
+    except BaseException as error:  # noqa: BLE001 — the contract itself
+        raise AssertionError(
+            f"{parser.__name__} leaked {type(error).__name__} "
+            f"on {text!r}: {error}") from error
+
+
+# Fragments that steer the fuzzer toward the grammars' edges far more
+# often than uniform text would.
+_DTD_ATOMS = st.sampled_from([
+    "<!ELEMENT ", "<!ATTLIST ", "(#PCDATA)", "EMPTY", "ANY", "CDATA",
+    "#REQUIRED", "#IMPLIED", "<!--", "-->", "(", ")", "*", "+", "?",
+    "|", ",", ">", "<", "a", "r", " ", "\n", '"', "x1",
+])
+_XML_ATOMS = st.sampled_from([
+    "<a>", "</a>", "<a/>", "<a ", 'x="1"', "&lt;", "&#65;", "&#x41;",
+    "&amp;", "&bogus;", "<?xml?>", "<!--", "-->", "<![CDATA[", "]]>",
+    "text", ">", "<", "=", '"', "'", " ", "\n",
+])
+_REGEX_ATOMS = st.sampled_from([
+    "#PCDATA", "(", ")", "*", "+", "?", "|", ",", "a", "b", "EMPTY",
+    "ANY", " ", "#", "x",
+])
+
+
+def _soup(atoms):
+    return st.lists(atoms, max_size=30).map("".join)
+
+
+#: Fuzz depth: CI runs the default; the nightly workflow raises it
+#: for the full sweep (see .github/workflows/nightly-bench.yml).
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "150"))
+
+
+@settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+@given(st.one_of(st.text(max_size=80), _soup(_DTD_ATOMS)))
+@example("<!ELEMENT r (a,>")
+@example("<!ELEMENT r (a*)><!ATTLIST r")
+@example("<!-- unterminated")
+@example("<!ELEMENT r ((((((((((a))))))))))>")
+def test_dtd_parser_never_leaks(text):
+    _assert_only_repro_errors(parse_dtd, text)
+
+
+@settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+@given(st.one_of(st.text(max_size=80), _soup(_XML_ATOMS)))
+@example("<a>&#99999999999;</a>")
+@example("<a>&#xFFFFFFFFFF;</a>")
+@example("<a>&#ABC;</a>")  # hex digits without the 'x' prefix
+@example("<a><b></a></b>")
+@example("<a" + " " * 5)
+@example("<![CDATA[")
+def test_xml_parser_never_leaks(text):
+    _assert_only_repro_errors(parse_xml, text)
+
+
+@settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+@given(st.one_of(st.text(max_size=60), _soup(_REGEX_ATOMS)))
+@example("((a|b)")
+@example("a||b")
+@example("*")
+@example("(" * 40)
+def test_content_model_parser_never_leaks(text):
+    _assert_only_repro_errors(parse_content_model, text)
+
+
+@settings(max_examples=max(60, FUZZ_EXAMPLES // 2), deadline=None)
+@given(st.binary(max_size=60))
+def test_parsers_survive_arbitrary_bytes(blob):
+    """Garbage decoded as latin-1 (every byte sequence is valid) must
+    still respect the errors contract."""
+    text = blob.decode("latin-1")
+    _assert_only_repro_errors(parse_dtd, text)
+    _assert_only_repro_errors(parse_xml, text)
+    _assert_only_repro_errors(parse_content_model, text)
+
+
+def test_deep_nesting_raises_parse_error_not_recursion_error():
+    # Far beyond any real content model; must degrade to a ReproError.
+    _assert_only_repro_errors(parse_content_model, "(" * 50_000)
+    _assert_only_repro_errors(
+        parse_xml, "<a>" * 50_000)
+
+
+class TestPinnedRegressions:
+    """Failures found by fuzzing, kept as exact regressions."""
+
+    def test_huge_character_reference(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml("<a>&#99999999999;</a>")
+
+    def test_hex_digits_without_x_prefix(self):
+        # The reference regex admits hex digits after '#' without the
+        # 'x' marker; int(..., 10) used to raise a raw ValueError.
+        with pytest.raises(XMLSyntaxError):
+            parse_xml("<a>&#ABC;</a>")
+
+    def test_errors_carry_messages(self):
+        for parser, text in ((parse_dtd, "<!ELEMENT r (a,>"),
+                             (parse_xml, "<a><b></a>"),
+                             (parse_content_model, "((a")):
+            with pytest.raises(ParseError) as excinfo:
+                parser(text)
+            assert str(excinfo.value)
+
+    def test_dtd_error_type(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT r (a,>")

@@ -136,3 +136,48 @@ class TestNestingDepthLimit:
         message = str(excinfo.value)
         assert "<!ELEMENT r>" in message
         assert "nested deeper than" in message
+
+
+class TestErrorPositions:
+    """DTD parse errors carry 1-based (line, column) source positions
+    mapped against the *original* text (comments are blanked
+    offset-preservingly, never collapsed)."""
+
+    def test_bad_decl_position(self):
+        text = "<!ELEMENT r (a*)>\n<!ELEMENT a (b,>\n"
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd(text)
+        assert excinfo.value.line == 2
+        assert excinfo.value.column is not None
+        assert "line 2" in str(excinfo.value)
+
+    def test_content_model_column_is_absolute(self):
+        # The regex error is rewrapped with a position relative to the
+        # whole document, not to the content-model substring.
+        text = "<!ELEMENT r (a*)>\n<!ELEMENT a (b,,c)>\n"
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd(text)
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == text.splitlines()[1].index(",,") + 2
+
+    def test_attlist_position(self):
+        text = ("<!ELEMENT r EMPTY>\n\n"
+                "<!ATTLIST r x CDATA #BOGUS>\n")
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd(text)
+        assert excinfo.value.line == 3
+
+    def test_stray_content_position(self):
+        text = "<!ELEMENT r EMPTY>\nnonsense\n"
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd(text)
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 1
+
+    def test_comment_does_not_shift_positions(self):
+        text = ("<!-- a comment\nspanning lines -->\n"
+                "<!ELEMENT r EMPTY>\n"
+                "<!ATTLIST r x CDATA #BOGUS>\n")
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd(text)
+        assert excinfo.value.line == 4

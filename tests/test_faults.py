@@ -1,0 +1,161 @@
+"""Unit tests for the fault-injection substrate (plans, arms, specs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    InjectedAllocationFailure,
+    InjectedFault,
+    ReproError,
+    ResourceExhausted,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    yield
+    faults.teardown()
+
+
+class TestArms:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            faults.FaultArm(site="x", kind="meteor")
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError, match="after"):
+            faults.FaultArm(site="x", after=-1)
+
+    def test_arm_fires_once(self):
+        plan = faults.FaultPlan([faults.FaultArm(site="s")])
+        with faults.use(plan):
+            with pytest.raises(InjectedFault):
+                faults.fire("s")
+            faults.fire("s")  # already fired: no second fault
+        assert plan.fired == [("s", "exception")]
+        assert plan.hits["s"] == 2
+
+    def test_after_counts_hits(self):
+        plan = faults.FaultPlan([faults.FaultArm(site="s", after=2)])
+        with faults.use(plan):
+            faults.fire("s")
+            faults.fire("s")
+            with pytest.raises(InjectedFault):
+                faults.fire("s")
+
+    def test_fnmatch_patterns(self):
+        plan = faults.FaultPlan([faults.FaultArm(site="fd.*")])
+        with faults.use(plan):
+            faults.fire("xml.parser.tag")
+            with pytest.raises(InjectedFault):
+                faults.fire("fd.chase.step")
+
+    def test_kinds_map_to_error_types(self):
+        cases = [("exception", InjectedFault),
+                 ("allocation", InjectedAllocationFailure),
+                 ("exhaustion", ResourceExhausted)]
+        for kind, error_type in cases:
+            with faults.inject("s", kind=kind):
+                with pytest.raises(error_type):
+                    faults.fire("s")
+
+    def test_truncate_degrades_to_exception_at_raise_site(self):
+        with faults.inject("s", kind="truncate") as plan:
+            with pytest.raises(InjectedFault):
+                faults.fire("s")
+        assert plan.fired == [("s", "exception")]
+
+
+class TestMangle:
+    def test_no_plan_returns_text(self):
+        assert faults.mangle("s", "hello") == "hello"
+
+    def test_truncation_is_deterministic(self):
+        def run(seed):
+            with faults.inject("s", kind="truncate", seed=seed):
+                return faults.mangle("s", "abcdefghij")
+        assert run(3) == run(3)
+
+    def test_truncation_is_a_prefix(self):
+        text = "abcdefghij"
+        for seed in range(10):
+            with faults.inject("s", kind="truncate", seed=seed):
+                mangled = faults.mangle("s", text)
+            assert text.startswith(mangled)
+            assert len(mangled) < len(text)
+
+    def test_raise_kinds_raise_from_input_site(self):
+        with faults.inject("s", kind="allocation"):
+            with pytest.raises(InjectedAllocationFailure):
+                faults.mangle("s", "abc")
+
+
+class TestInstallation:
+    def test_inactive_without_plan(self):
+        assert not faults.active
+        faults.fire("anything")  # no-op
+
+    def test_active_flag_tracks_stack(self):
+        with faults.inject("a"):
+            assert faults.active
+            with faults.inject("b"):
+                assert faults.active
+            assert faults.active
+        assert not faults.active
+
+    def test_teardown_clears_everything(self):
+        plan = faults.FaultPlan([faults.FaultArm(site="s")])
+        leaked = faults.use(plan)
+        leaked.__enter__()  # deliberately unbalanced
+        assert faults.active
+        assert faults.teardown() == 1
+        assert not faults.active
+        assert faults.current() is None
+
+
+class TestPlanFromSpec:
+    def test_full_spec(self):
+        plan = faults.plan_from_spec(
+            "fd.chase.step:exception:3, xml.parser.input:truncate",
+            seed=9)
+        assert [(a.site, a.kind, a.after) for a in plan.arms] == [
+            ("fd.chase.step", "exception", 3),
+            ("xml.parser.input", "truncate", 0)]
+        assert plan.seed == 9
+
+    def test_defaults(self):
+        arm, = faults.plan_from_spec("some.site").arms
+        assert (arm.kind, arm.after) == ("exception", 0)
+
+    def test_bad_kind(self):
+        with pytest.raises(ReproError, match="bad fault spec"):
+            faults.plan_from_spec("s:meteor")
+
+    def test_bad_after(self):
+        with pytest.raises(ReproError, match="integer"):
+            faults.plan_from_spec("s:exception:soon")
+
+    def test_too_many_fields(self):
+        with pytest.raises(ReproError, match="site\\[:kind"):
+            faults.plan_from_spec("s:exception:1:2")
+
+    def test_empty_spec(self):
+        with pytest.raises(ReproError, match="empty"):
+            faults.plan_from_spec(" , ")
+
+
+class TestRegistrySurface:
+    def test_register_is_idempotent(self):
+        before = len(faults.registered_sites())
+        name = faults.register_site("fd.chase.step", "fd", "dupe")
+        assert name == "fd.chase.step"
+        assert len(faults.registered_sites()) == before
+
+    def test_sites_sorted_and_described(self):
+        sites = faults.all_sites()
+        names = [s.name for s in sites]
+        assert names == sorted(names)
+        assert all(s.description for s in sites)
+        assert all(s.subsystem for s in sites)

@@ -103,3 +103,24 @@ class TestRoundTrip:
         second = parse_xml("<a><c/><b i=\"1\"/></a>")
         assert serialize_xml(first, sort_children=True) == \
             serialize_xml(second, sort_children=True)
+
+
+class TestErrorPositions:
+    def test_error_carries_column(self):
+        try:
+            parse_xml("<a>\n  <b></a>\n</a>")
+        except XMLSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 6
+            assert "line 2" in str(error)
+            assert "column 6" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected XMLSyntaxError")
+
+    def test_unclosed_element_points_at_end(self):
+        try:
+            parse_xml("<a>\n<b>\n")
+        except XMLSyntaxError as error:
+            assert error.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected XMLSyntaxError")
