@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Overhead gate for the batch runtime (:mod:`repro.runtime`).
+
+The layer's design contract (``docs/ROBUSTNESS.md``): with no fault
+plan installed and the ensemble ``off``, pushing a manifest through
+:class:`~repro.runtime.batch.BatchRunner` — per-task span, budget
+scope, ensemble session, retry loop, outcome records — must cost
+within 1 % of executing the same specs directly.  This script measures
+exactly that, timing the shared corpus workload both ways, and fails
+when the runtime wrapper taxes the happy path.
+
+The workload definition is shared with the observatory's
+``runtime.direct`` / ``runtime.batch`` benchmarks
+(:mod:`repro.bench.suites.runtime`), which track the same two
+trajectories — with operation counters — in ``BENCH_core.json``.
+
+Run:  python benchmarks/bench_runtime.py [--repeats N] [--tasks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.suites.runtime import (
+    make_direct,
+    make_manifest,
+    make_runner,
+)
+
+
+def _best_of(repeats: int, body) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--tasks", type=int, default=30)
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="allowed batch-over-direct overhead "
+                             "fraction (default 1%%)")
+    args = parser.parse_args(argv)
+
+    manifest = make_manifest(args.tasks)
+    direct_body = make_direct(manifest)
+    batch_body = lambda: make_runner(manifest).run()  # noqa: E731
+
+    # Warm both paths once so neither benefits from allocator or
+    # import-time warm-up order.
+    direct_body()
+    batch_body()
+    direct = _best_of(args.repeats, direct_body)
+    batch = _best_of(args.repeats, batch_body)
+
+    overhead = (batch - direct) / direct
+    print(f"direct: {direct * 1e3:8.2f} ms  ({args.tasks} tasks, "
+          f"best of {args.repeats})")
+    print(f"batch:  {batch * 1e3:8.2f} ms  (runner, ensemble off, "
+          f"no faults)")
+    print(f"batch vs direct: {overhead:+.2%} "
+          f"(tolerance +{args.tolerance:.0%})")
+
+    if overhead > args.tolerance:
+        print("FAIL: the disabled runtime layer is taxing the happy "
+              "path", file=sys.stderr)
+        return 1
+    print("OK: disabled-runtime overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ module                measures
 ``pipeline``          end-to-end paper figures incl. migration
 ``mvd``               the Section 8 MVD extension
 ``guard``             resource-governor overhead (guarded vs not)
+``runtime``           batch-runner overhead (direct vs batch) and
+                      the ensemble-oracle trajectory
 ``complexity``        Theorems 3/4/5 + Corollary 1 as asserted
                       scaling claims with fitted slopes
 ====================  =============================================
@@ -25,7 +27,7 @@ from __future__ import annotations
 import importlib
 
 _GROUPS = ("implication", "xnf", "normalize", "tuples", "pipeline",
-           "mvd", "guard", "complexity")
+           "mvd", "guard", "runtime", "complexity")
 
 
 def load_all() -> None:

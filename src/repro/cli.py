@@ -10,6 +10,7 @@ Subcommands::
     xnf explain    DTD_FILE FD_FILE "S -> p" # derivation of an implication
     xnf analyze    DTD_FILE FD_FILE [XML...] # design + redundancy report
     xnf bench      {run,compare,report} ...  # benchmark observatory
+    xnf batch      MANIFEST.json             # crash-tolerant batch runs
 
 Observability (see ``docs/OBSERVABILITY.md``): every subcommand accepts
 ``--stats`` (print a metrics table — cache hit rate, chase steps,
@@ -35,15 +36,30 @@ Fault injection (testing only): setting ``REPRO_FAULTS`` to a
 installs a deterministic fault plan around the whole run — see
 ``repro.faults``.
 
-Exit codes (uniform across subcommands)::
+Batch execution (see ``docs/ROBUSTNESS.md``): ``xnf batch
+MANIFEST.json`` runs every task of a manifest under per-task isolation
+with deterministic retry/backoff (``--retries`` / ``--backoff-base``),
+per-failure-signature circuit breakers (``--breaker-threshold``), and
+an optional differential engine ensemble (``--ensemble
+{off,check,strict}``).  The machine-readable JSON summary — including
+the dead-letter report accounting for every unrecoverable task — goes
+to **stdout**; human-facing progress and ``--stats`` tables go to
+stderr, so ``xnf batch m.json | jq .`` always parses.
 
-    0  success / positive answer (implied, in XNF, ...)
-    1  negative answer (not implied, not in XNF, violations found)
-    2  usage error (bad flags or arguments; argparse, bad checkpoint)
+Exit codes (uniform across subcommands; the full table is pinned by
+``tests/test_exit_codes.py``)::
+
+    0  success / positive answer (implied, in XNF, batch all ok)
+    1  negative answer (not implied, not in XNF, violations found,
+       every batch task dead-lettered)
+    2  usage error (bad flags or arguments; argparse, bad checkpoint,
+       bad batch manifest)
     3  input or pipeline error (any ReproError: parse failure,
        invalid FD, unsupported feature, ...) — message on stderr
     4  resource limit reached (--timeout / --max-steps / ... tripped
        before the answer was decided) — message on stderr
+    5  partial batch failure (some tasks succeeded, some were
+       dead-lettered; details in the JSON summary on stdout)
 
 FD files contain one FD per line (``#`` comments allowed), e.g.::
 
@@ -60,7 +76,12 @@ import sys
 from pathlib import Path as FilePath
 
 from repro import guard, obs
-from repro.errors import CheckpointError, ReproError, ResourceExhausted
+from repro.errors import (
+    CheckpointError,
+    ManifestError,
+    ReproError,
+    ResourceExhausted,
+)
 from repro.dtd.parser import parse_dtd
 from repro.dtd.serializer import serialize_dtd
 from repro.fd.implication import UNKNOWN, YES
@@ -74,6 +95,7 @@ EXIT_NEGATIVE = 1
 EXIT_USAGE = 2
 EXIT_ERROR = 3
 EXIT_RESOURCE = 4
+EXIT_PARTIAL = 5
 
 
 def _load_spec(dtd_file: str, fd_file: str | None,
@@ -176,6 +198,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import cli as bench_cli
     return bench_cli.dispatch(args)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import batch as batch_mod
+    from repro.runtime import manifest as manifest_mod
+    from repro.runtime.breaker import BreakerBoard
+    from repro.runtime.retry import RetryPolicy
+
+    manifest = manifest_mod.load(args.manifest)
+    seed = args.seed if args.seed is not None else manifest.seed
+    policy = RetryPolicy(retries=args.retries,
+                         backoff_base_ms=args.backoff_base, seed=seed)
+    board = BreakerBoard(threshold=args.breaker_threshold,
+                         probe_interval=args.breaker_probe_interval)
+    summary = batch_mod.run_batch(manifest, policy=policy, board=board,
+                                  ensemble_mode=args.ensemble)
+    # Machine-readable summary on stdout, human account on stderr —
+    # ``xnf batch m.json | jq .`` must always parse.
+    json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    counts = summary["counts"]
+    print(f"batch: {counts['ok']}/{counts['total']} ok, "
+          f"{counts['failed']} dead-lettered, {counts['lost']} lost"
+          + (f"; {summary['ensemble_disagreements']} ensemble "
+             "disagreement(s)" if args.ensemble != "off" else ""),
+          file=sys.stderr)
+    if counts["failed"] == 0:
+        return EXIT_OK
+    if counts["ok"] == 0:
+        return EXIT_NEGATIVE
+    return EXIT_PARTIAL
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -299,6 +354,54 @@ def build_parser() -> argparse.ArgumentParser:
                          "(docs/BENCHMARKS.md)")
     _configure_bench(ben)
     ben.set_defaults(func=_cmd_bench)
+
+    def _nonneg_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
+    def _nonneg_float(text: str) -> float:
+        value = float(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
+    def _pos_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    bat = sub.add_parser("batch", parents=[common],
+                         help="run a task manifest crash-tolerantly "
+                         "(JSON summary on stdout)")
+    bat.add_argument("manifest", help="batch manifest JSON file")
+    bat.add_argument("--retries", type=_nonneg_int, default=2,
+                     metavar="N",
+                     help="re-attempts per task for transient failures "
+                     "(default 2)")
+    bat.add_argument("--backoff-base", type=_nonneg_float, default=100.0,
+                     metavar="MS",
+                     help="exponential-backoff base in milliseconds; "
+                     "0 disables waiting (default 100)")
+    bat.add_argument("--ensemble", choices=("off", "check", "strict"),
+                     default="off",
+                     help="differential engine ensemble: cross-check "
+                     "every implication decision (check records "
+                     "disagreements, strict dead-letters them)")
+    bat.add_argument("--seed", type=int, default=None,
+                     help="backoff-jitter seed (default: the "
+                     "manifest's defaults.seed)")
+    bat.add_argument("--breaker-threshold", type=_pos_int, default=5,
+                     metavar="N",
+                     help="consecutive same-signature failures that "
+                     "open a circuit breaker (default 5)")
+    bat.add_argument("--breaker-probe-interval", type=_pos_int,
+                     default=8, metavar="N",
+                     help="admit every N-th task as a probe while a "
+                     "breaker is open (default 8)")
+    bat.set_defaults(func=_cmd_batch)
     return parser
 
 
@@ -366,9 +469,10 @@ def main(argv: list[str] | None = None) -> int:
                                in sorted(error.partial.items()))
             print(f"partial progress: {detail}", file=sys.stderr)
         return EXIT_RESOURCE
-    except CheckpointError as error:
-        # A bad/mismatched checkpoint is a usage problem, not a
-        # pipeline failure: the inputs themselves are fine.
+    except (CheckpointError, ManifestError) as error:
+        # A bad/mismatched checkpoint or an unusable batch manifest is
+        # a usage problem, not a pipeline failure: the flags/arguments
+        # named something that cannot apply to this invocation.
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except ReproError as error:

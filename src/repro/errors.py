@@ -138,6 +138,31 @@ class InjectedAllocationFailure(FaultError, MemoryError):
     """
 
 
+class ManifestError(ReproError):
+    """Raised for unusable batch manifests: malformed JSON, a
+    schema-version mismatch, duplicate task ids, an unknown operation,
+    or a task missing required fields.  The CLI maps this to exit code
+    2 (usage error): the manifest itself — not the specs it names — is
+    what cannot be used."""
+
+
+class EnsembleDisagreementError(ReproError):
+    """Raised when the differential engine ensemble observes two engines
+    returning contradictory verdicts for the same implication query
+    (see ``repro.runtime.ensemble``).
+
+    A disagreement is never resolved silently: in ``strict`` mode it
+    surfaces as this error (the batch runtime dead-letters the task);
+    in ``check`` mode it is recorded as a first-class
+    ``EnsembleDisagreement`` in the batch summary.  ``record`` carries
+    the structured disagreement (query, per-engine verdicts).
+    """
+
+    def __init__(self, message: str, *, record=None) -> None:
+        super().__init__(message)
+        self.record = record
+
+
 class CheckpointError(ReproError):
     """Raised for unusable normalization checkpoints: malformed JSON,
     a schema-version mismatch, or a checkpoint recorded for a different

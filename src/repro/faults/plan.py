@@ -99,6 +99,7 @@ _INSTRUMENTED_MODULES = (
     "repro.fd.closure",
     "repro.tuples.extract",
     "repro.normalize.algorithm",
+    "repro.normalize.checkpoint",
 )
 
 

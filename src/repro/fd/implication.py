@@ -10,7 +10,11 @@ Engine selection (``engine="auto"``):
   DTD's disjunction choices (polynomial when ``N_D`` is logarithmic —
   Theorem 4 — and exponential in general, matching the
   coNP-completeness of Theorem 5);
-* ``engine="closure" | "chase" | "brute"`` forces a specific engine.
+* ``engine="closure" | "chase" | "brute"`` forces a specific engine;
+* ``engine="ensemble"`` runs the differential oracle
+  (:mod:`repro.runtime.ensemble`): every applicable engine decides
+  every query, verdicts are cross-checked, and contradictions are
+  escalated instead of silently resolved.
 
 :class:`ImplicationEngine` caches query results, which the XNF test and
 the normalization algorithm exploit heavily.  The cache is keyed by the
@@ -48,7 +52,7 @@ from repro.fd.closure import closure_implies
 from repro.fd.model import FD
 from repro.obs import metrics as _obs
 
-EngineName = Literal["auto", "closure", "chase", "brute"]
+EngineName = Literal["auto", "closure", "chase", "brute", "ensemble"]
 
 #: The three verdict values of :meth:`ImplicationEngine.decide`.
 YES = "YES"
@@ -251,6 +255,16 @@ class ImplicationEngine:
             if _obs.enabled:
                 _obs.inc("implication.engine.brute")
             return brute_implies(self.dtd, self.sigma, fd)
+        if self.engine == "ensemble":
+            # Imported lazily: repro.runtime.ensemble imports the
+            # individual engines, not this facade, so there is no
+            # cycle — but the runtime package should stay optional
+            # for plain implication users.
+            from repro.runtime.ensemble import differential_implies
+            if _obs.enabled:
+                _obs.inc("implication.engine.ensemble")
+            return differential_implies(self.dtd, self.sigma, fd,
+                                        simple=self._simple)
         # auto: closure first (sound everywhere, complete for simple
         # DTDs), then the chase for the general case.
         if _obs.enabled:

@@ -41,7 +41,13 @@ from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.dtd.serializer import serialize_dtd
 from repro.fd.model import FD
+from repro.faults import plan as _faults
 from repro.obs import metrics as _obs
+
+_SITE_SAVE = _faults.register_site(
+    "checkpoint.save", "normalize",
+    "between writing a checkpoint's temp file and renaming it into "
+    "place (the atomic-save crash window)")
 
 #: Bump on any incompatible change to the JSON layout.
 CHECKPOINT_VERSION = 1
@@ -194,6 +200,12 @@ def save(path: str | FilePath,
     try:
         with os.fdopen(handle, "w") as stream:
             stream.write(checkpoint.to_json())
+        # The crash window of the atomic-save protocol: the temp file
+        # is fully written but not yet renamed into place.  A failure
+        # here must reach the cleanup below, or every crashed save
+        # leaks one ``*.tmp`` next to the checkpoint.
+        if _faults.active:
+            _faults.fire(_SITE_SAVE)
         os.replace(temp_name, path)
     except BaseException:
         try:

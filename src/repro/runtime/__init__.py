@@ -1,0 +1,30 @@
+"""``repro.runtime`` — the crash-tolerant batch execution layer.
+
+Built in this order, each piece usable on its own:
+
+* :mod:`~repro.runtime.manifest` — declarative batch manifests
+  (validated strictly; :class:`~repro.errors.ManifestError` → exit 2);
+* :mod:`~repro.runtime.retry` — transient/permanent classification and
+  seeded exponential-backoff jitter (deterministic, replayable);
+* :mod:`~repro.runtime.breaker` — per-failure-signature circuit
+  breakers with count-based probing;
+* :mod:`~repro.runtime.ensemble` — the differential engine oracle
+  (``engine="ensemble"``), escalating contradictions as first-class
+  records;
+* :mod:`~repro.runtime.batch` — the runner tying them together under
+  the zero-task-loss invariant, with dead-letter reports;
+* :mod:`~repro.runtime.corpus` — seeded spec-corpus generation for
+  chaos and acceptance runs.
+
+The CLI front door is ``xnf batch MANIFEST`` (see ``repro.cli``).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.batch import BatchRunner, run_batch
+from repro.runtime.breaker import BreakerBoard
+from repro.runtime.manifest import Manifest, Task, load
+from repro.runtime.retry import RetryPolicy
+
+__all__ = ["BatchRunner", "BreakerBoard", "Manifest", "RetryPolicy",
+           "Task", "load", "run_batch"]

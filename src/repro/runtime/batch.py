@@ -1,0 +1,305 @@
+"""The crash-tolerant batch runner: no task is ever lost silently.
+
+:class:`BatchRunner` executes every task of a
+:class:`~repro.runtime.manifest.Manifest` under per-task isolation —
+its own :func:`repro.guard.limits` budget, its own
+:func:`repro.obs.trace.span`, its own :mod:`~repro.runtime.ensemble`
+session, a fresh :class:`~repro.spec.XMLSpec` per attempt — so one
+pathological spec can neither corrupt nor starve its neighbours.
+
+The failure path is layered:
+
+1. **Retry** (:class:`~repro.runtime.retry.RetryPolicy`): transient
+   failures (injected faults, deadline trips) are re-attempted with
+   seeded exponential backoff; permanent ones (parse errors, counted
+   budget trips, ensemble disagreements) go straight to step 3.
+2. **Circuit breaker** (:class:`~repro.runtime.breaker.BreakerBoard`):
+   when one failure signature keeps exhausting retry budgets, its
+   breaker opens and later tasks failing the same way are
+   dead-lettered on first failure (``breaker_open``) instead of
+   burning their retries — with periodic probes to detect recovery.
+3. **Dead-letter report**: every unrecoverable task lands in the
+   summary's ``dead_letters`` with its complete error chain (each
+   exception's type, message, fault site / tripped limit, walked via
+   ``__cause__``/``__context__``), the per-attempt failure history,
+   and the reason class.  The zero-task-loss invariant is explicit:
+   ``counts.lost`` is computed as ``total - ok - failed`` and the
+   chaos suite asserts it is 0 under every fault plan.
+
+Only :class:`~repro.errors.ReproError` is handled: any other
+exception escaping a task is a breach of the library's
+exception-safety contract (``docs/ROBUSTNESS.md``) and is allowed to
+crash the batch loudly.
+
+The summary (:meth:`BatchRunner.run`) is a JSON-ready dict that is
+**deterministic**: no wall-clock values, collections sorted, backoff
+delays planned from ``(seed, task id, attempt)`` — two runs of the
+same manifest under the same fault plan are byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    FaultError,
+    ReproError,
+    ResourceExhausted,
+)
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro import guard
+from repro.runtime import ensemble as _ensemble
+from repro.runtime.breaker import BreakerBoard, failure_signature
+from repro.runtime.manifest import Manifest, Task
+from repro.runtime.retry import RetryPolicy, is_transient
+from repro.spec import XMLSpec
+
+#: Bump on any incompatible change to the summary JSON layout.
+SUMMARY_VERSION = 1
+
+#: The ``schema`` discriminator stamped on every batch summary.
+SUMMARY_SCHEMA = "repro.runtime.batch"
+
+#: Dead-letter reason classes.
+REASON_PERMANENT = "permanent"
+REASON_RETRIES_EXHAUSTED = "retries_exhausted"
+REASON_BREAKER_OPEN = "breaker_open"
+
+
+def error_chain(error: BaseException) -> list[dict]:
+    """The full causal chain of one failure, outermost first.
+
+    Walks ``__cause__`` (explicit ``raise ... from``) falling back to
+    ``__context__`` (implicit chaining), with an identity-based cycle
+    guard.  Each link carries the exception type and message plus the
+    structured fields that matter for triage: the fault site and kind
+    of a :class:`~repro.errors.FaultError`, the tripped limit and
+    progress annotations of a :class:`~repro.errors.ResourceExhausted`.
+    """
+    chain: list[dict] = []
+    seen: set[int] = set()
+    current: BaseException | None = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        entry: dict = {"type": type(current).__name__,
+                       "message": str(current)}
+        if isinstance(current, FaultError):
+            entry["site"] = current.site
+            entry["kind"] = current.kind
+        if isinstance(current, ResourceExhausted):
+            entry["limit"] = current.limit
+            if current.partial:
+                entry["partial"] = {key: current.partial[key]
+                                    for key in sorted(current.partial)}
+        chain.append(entry)
+        current = current.__cause__ or current.__context__
+    return chain
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task, JSON-ready via :meth:`to_json`."""
+
+    task: Task
+    status: str = "ok"                      # "ok" | "dead-letter"
+    attempts: int = 0
+    delays_ms: list[float] = field(default_factory=list)
+    failures: list[dict] = field(default_factory=list)
+    result: dict | None = None
+    reason: str | None = None
+    signature: str | None = None
+    disagreements: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        payload: dict = {"id": self.task.id, "op": self.task.op,
+                         "status": self.status,
+                         "attempts": self.attempts,
+                         "retried": self.attempts > 1,
+                         "delays_ms": list(self.delays_ms)}
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.failures:
+            payload["failures"] = list(self.failures)
+        if self.disagreements:
+            payload["disagreements"] = list(self.disagreements)
+        return payload
+
+    def dead_letter(self) -> dict:
+        """The dead-letter report entry for a failed task."""
+        assert self.status == "dead-letter" and self.failures
+        return {"id": self.task.id, "op": self.task.op,
+                "reason": self.reason, "signature": self.signature,
+                "attempts": self.attempts,
+                "failures": list(self.failures),
+                "error_chain": self.failures[-1]["chain"]}
+
+
+class BatchRunner:
+    """Run a manifest to completion, losing nothing (see module doc).
+
+    ``sleeper`` receives each planned backoff delay in milliseconds;
+    the default really sleeps, tests pass a recorder.  The *planned*
+    delays always land in the summary either way, so sleeping is pure
+    side effect and never affects the report bytes.
+    """
+
+    def __init__(self, manifest: Manifest, *,
+                 policy: RetryPolicy | None = None,
+                 board: BreakerBoard | None = None,
+                 ensemble_mode: str = "off",
+                 sleeper: Callable[[float], None] | None = None) -> None:
+        if ensemble_mode not in _ensemble.MODES:
+            raise ValueError(
+                f"unknown ensemble mode {ensemble_mode!r}; expected "
+                f"one of {list(_ensemble.MODES)}")
+        self.manifest = manifest
+        self.policy = policy if policy is not None \
+            else RetryPolicy(seed=manifest.seed)
+        self.board = board if board is not None else BreakerBoard()
+        self.ensemble_mode = ensemble_mode
+        self._sleep = sleeper if sleeper is not None \
+            else (lambda ms: time.sleep(ms / 1000.0))
+
+    # -- one task ------------------------------------------------------
+
+    def _execute(self, task: Task) -> dict:
+        """One attempt of one task; raises :class:`ReproError` on any
+        failure (spec-file reads included)."""
+        try:
+            dtd_text = task.load_dtd_text()
+            fds_text = task.load_fds_text()
+        except OSError as error:
+            # A per-task input problem, not a manifest problem: the
+            # manifest validated, this file is unreadable *now*.
+            raise ReproError(
+                f"cannot read spec file for task {task.id!r}: "
+                f"{error}") from error
+        engine = task.engine if self.ensemble_mode == "off" \
+            else "ensemble"
+        spec = XMLSpec.parse(dtd_text, fds_text, root=task.root,
+                             engine=engine)
+        if task.op == "implies":
+            assert task.fd is not None
+            return {"implied": spec.implies(task.fd)}
+        if task.op == "check":
+            violations = spec.xnf_violations()
+            return {"in_xnf": not violations,
+                    "violations": sorted(str(fd) for fd in violations)}
+        assert task.op == "normalize"
+        result = spec.normalize()
+        return {"steps": len(result.steps),
+                "final_in_xnf": XMLSpec(
+                    dtd=result.dtd, sigma=list(result.sigma),
+                    engine=engine).is_in_xnf()}
+
+    def _attempt(self, task: Task, outcome: TaskOutcome) -> dict:
+        """One isolated attempt: own budget, span, ensemble session."""
+        with _trace.span("runtime.task", task=task.id, op=task.op,
+                         attempt=outcome.attempts):
+            with guard.limits(**task.budget_kwargs()):
+                with _ensemble.session(self.ensemble_mode) as sess:
+                    try:
+                        return self._execute(task)
+                    finally:
+                        outcome.disagreements.extend(
+                            record.to_json()
+                            for record in sess.disagreements)
+
+    def _run_task(self, task: Task) -> TaskOutcome:
+        outcome = TaskOutcome(task=task)
+        if _obs.enabled:
+            _obs.inc("runtime.tasks")
+        last_signature: str | None = None
+        while True:
+            attempt = outcome.attempts  # 0-based index of this attempt
+            outcome.attempts += 1
+            if _obs.enabled:
+                _obs.inc("runtime.attempts")
+            try:
+                outcome.result = self._attempt(task, outcome)
+            except ReproError as error:
+                signature = failure_signature(error)
+                breaker = self.board.get(signature)
+                last_signature = signature
+                outcome.failures.append(
+                    {"attempt": attempt, "signature": signature,
+                     "transient": is_transient(error),
+                     "chain": error_chain(error)})
+                if self.policy.should_retry(error, attempt):
+                    if breaker.allows_retries():
+                        delay = self.policy.delay_ms(task.id, attempt)
+                        outcome.delays_ms.append(delay)
+                        if _obs.enabled:
+                            _obs.inc("runtime.retries")
+                        if delay > 0:
+                            self._sleep(delay)
+                        continue
+                    # Known-bad signature: degrade — skip the retry
+                    # budget, record, and move on to the next task.
+                    breaker.record_skip()
+                    outcome.reason = REASON_BREAKER_OPEN
+                else:
+                    breaker.record_failure()
+                    outcome.reason = REASON_RETRIES_EXHAUSTED \
+                        if is_transient(error) else REASON_PERMANENT
+                outcome.status = "dead-letter"
+                outcome.signature = signature
+                if _obs.enabled:
+                    _obs.inc("runtime.tasks.deadletter")
+                return outcome
+            if last_signature is not None:
+                # Success after failures: close that breaker.
+                self.board.get(last_signature).record_success()
+            if _obs.enabled:
+                _obs.inc("runtime.tasks.ok")
+                if outcome.attempts > 1:
+                    _obs.inc("runtime.tasks.retried")
+            return outcome
+
+    # -- the batch -----------------------------------------------------
+
+    def run(self) -> dict:
+        """Execute every task; return the JSON-ready batch summary."""
+        outcomes = [self._run_task(task) for task in self.manifest.tasks]
+        ok = sum(1 for outcome in outcomes if outcome.ok)
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
+        total = len(outcomes)
+        disagreements = sum(len(outcome.disagreements)
+                            for outcome in outcomes)
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "version": SUMMARY_VERSION,
+            "manifest": self.manifest.source,
+            "seed": self.manifest.seed,
+            "ensemble": self.ensemble_mode,
+            "policy": {"retries": self.policy.retries,
+                       "backoff_base_ms": self.policy.backoff_base_ms,
+                       "multiplier": self.policy.multiplier,
+                       "seed": self.policy.seed},
+            # The zero-task-loss invariant, stated in the report
+            # itself: every task is accounted for as ok or failed.
+            "counts": {"total": total, "ok": ok, "failed": failed,
+                       "lost": total - ok - failed},
+            "tasks": [outcome.to_json() for outcome in outcomes],
+            "dead_letters": [outcome.dead_letter()
+                             for outcome in outcomes if not outcome.ok],
+            "breakers": self.board.snapshot(),
+            "ensemble_disagreements": disagreements,
+        }
+
+
+def run_batch(manifest: Manifest, *, policy: RetryPolicy | None = None,
+              board: BreakerBoard | None = None,
+              ensemble_mode: str = "off",
+              sleeper: Callable[[float], None] | None = None) -> dict:
+    """One-shot :class:`BatchRunner` convenience."""
+    return BatchRunner(manifest, policy=policy, board=board,
+                       ensemble_mode=ensemble_mode,
+                       sleeper=sleeper).run()

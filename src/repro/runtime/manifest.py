@@ -1,0 +1,260 @@
+"""Batch manifests: many ``(D, Σ)`` tasks in one declarative file.
+
+A manifest is a JSON document naming the tasks of one batch run::
+
+    {
+      "schema": "repro.runtime.manifest",
+      "version": 1,
+      "defaults": {"engine": "auto", "max_steps": 200000, "seed": 0},
+      "tasks": [
+        {"id": "u-implies", "op": "implies",
+         "dtd": "specs/university.dtd", "fds": "specs/university.fds",
+         "fd": "courses.course.@cno -> courses.course"},
+        {"id": "u-check", "op": "check",
+         "dtd_text": "<!ELEMENT db (a*)> ...", "fds_text": "db.a.@x -> db.a"}
+      ]
+    }
+
+Each task runs one of the paper's three central decision procedures:
+
+* ``"implies"`` — the FD implication query ``(D, Σ) |- fd`` (Section 7);
+* ``"check"``   — the XNF test (Definition 8 / Proposition 10);
+* ``"normalize"`` — the Figure 4 decomposition algorithm.
+
+DTD and FD inputs come either inline (``dtd_text`` / ``fds_text``) or
+from files (``dtd`` / ``fds``, resolved relative to the manifest's own
+directory so a manifest travels with its spec corpus).  ``defaults``
+supplies per-task fallbacks: the implication ``engine``, the
+:mod:`repro.guard` budget limits (``timeout`` / ``max_steps`` /
+``max_branches`` / ``max_nodes``), and the batch ``seed`` feeding the
+retry policy's deterministic backoff jitter.
+
+Validation is strict and fails whole-manifest (a typo'd operation in
+task 37 should stop the batch before task 1 runs): every problem
+raises :class:`~repro.errors.ManifestError`, which the CLI maps to
+exit code 2 — the manifest, not the specs it names, is what cannot be
+used.  Reading a *named spec file* lazily at execution time, by
+contrast, is a per-task failure handled by the batch runner.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from typing import Iterable, Mapping
+
+from repro.errors import ManifestError
+
+#: Bump on any incompatible change to the JSON layout.
+MANIFEST_VERSION = 1
+
+#: The ``schema`` discriminator expected in every manifest file.
+MANIFEST_SCHEMA = "repro.runtime.manifest"
+
+#: The operations a task may request.
+OPERATIONS = ("implies", "check", "normalize")
+
+#: Per-task guard-budget knobs accepted in ``defaults`` and per task.
+_BUDGET_KEYS = ("timeout", "max_steps", "max_branches", "max_nodes")
+
+_ENGINES = ("auto", "closure", "chase", "brute", "ensemble")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of batch work, fully resolved against the defaults."""
+
+    id: str
+    op: str
+    dtd_text: str | None = None
+    dtd_path: str | None = None
+    fds_text: str | None = None
+    fds_path: str | None = None
+    fd: str | None = None
+    root: str | None = None
+    engine: str = "auto"
+    timeout: float | None = None
+    max_steps: int | None = None
+    max_branches: int | None = None
+    max_nodes: int | None = None
+
+    def budget_kwargs(self) -> dict:
+        """The :func:`repro.guard.limits` kwargs for this task."""
+        return {"deadline": self.timeout, "max_steps": self.max_steps,
+                "max_branches": self.max_branches,
+                "max_nodes": self.max_nodes}
+
+    def load_dtd_text(self) -> str:
+        """The DTD source (inline, or read from the named file)."""
+        if self.dtd_text is not None:
+            return self.dtd_text
+        assert self.dtd_path is not None
+        return FilePath(self.dtd_path).read_text()
+
+    def load_fds_text(self) -> str:
+        """The FD lines (inline, from the named file, or empty)."""
+        if self.fds_text is not None:
+            return self.fds_text
+        if self.fds_path is not None:
+            return FilePath(self.fds_path).read_text()
+        return ""
+
+
+@dataclass
+class Manifest:
+    """A validated batch manifest."""
+
+    tasks: list[Task]
+    seed: int = 0
+    source: str = "<inline>"
+    defaults: dict = field(default_factory=dict)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ManifestError(message)
+
+
+def _check_budget(raw: Mapping, where: str) -> dict:
+    """Extract and type-check the budget knobs of one mapping."""
+    budget: dict = {}
+    for key in _BUDGET_KEYS:
+        value = raw.get(key)
+        if value is None:
+            continue
+        _require(isinstance(value, (int, float))
+                 and not isinstance(value, bool) and value > 0,
+                 f"{where}: {key} must be a positive number, "
+                 f"got {value!r}")
+        budget[key] = float(value) if key == "timeout" else int(value)
+    return budget
+
+
+def _build_task(raw: object, index: int, defaults: Mapping,
+                base_dir: FilePath) -> Task:
+    where = f"task #{index}"
+    _require(isinstance(raw, dict), f"{where}: must be an object")
+    assert isinstance(raw, dict)
+    task_id = raw.get("id", f"task-{index:04d}")
+    _require(isinstance(task_id, str) and task_id.strip() != "",
+             f"{where}: id must be a non-empty string")
+    where = f"task {task_id!r}"
+    op = raw.get("op")
+    _require(op in OPERATIONS,
+             f"{where}: op must be one of {list(OPERATIONS)}, "
+             f"got {op!r}")
+
+    dtd_text = raw.get("dtd_text")
+    dtd_file = raw.get("dtd")
+    _require((dtd_text is None) != (dtd_file is None),
+             f"{where}: exactly one of dtd / dtd_text is required")
+    if dtd_text is not None:
+        _require(isinstance(dtd_text, str),
+                 f"{where}: dtd_text must be a string")
+    dtd_path = None
+    if dtd_file is not None:
+        _require(isinstance(dtd_file, str),
+                 f"{where}: dtd must be a path string")
+        dtd_path = str(base_dir / dtd_file)
+
+    fds_text = raw.get("fds_text")
+    fds_file = raw.get("fds")
+    _require(fds_text is None or fds_file is None,
+             f"{where}: at most one of fds / fds_text is allowed")
+    if fds_text is not None:
+        _require(isinstance(fds_text, str),
+                 f"{where}: fds_text must be a string")
+    fds_path = None
+    if fds_file is not None:
+        _require(isinstance(fds_file, str),
+                 f"{where}: fds must be a path string")
+        fds_path = str(base_dir / fds_file)
+
+    fd = raw.get("fd")
+    if op == "implies":
+        _require(isinstance(fd, str) and fd.strip() != "",
+                 f"{where}: op \"implies\" requires a non-empty fd "
+                 "query string")
+    else:
+        _require(fd is None,
+                 f"{where}: fd is only meaningful for op \"implies\"")
+
+    root = raw.get("root", defaults.get("root"))
+    _require(root is None or isinstance(root, str),
+             f"{where}: root must be a string")
+    engine = raw.get("engine", defaults.get("engine", "auto"))
+    _require(engine in _ENGINES,
+             f"{where}: engine must be one of {list(_ENGINES)}, "
+             f"got {engine!r}")
+
+    budget = dict(_check_budget(defaults, "defaults"))
+    budget.update(_check_budget(raw, where))
+    return Task(id=task_id, op=op, dtd_text=dtd_text, dtd_path=dtd_path,
+                fds_text=fds_text, fds_path=fds_path, fd=fd, root=root,
+                engine=engine, timeout=budget.get("timeout"),
+                max_steps=budget.get("max_steps"),
+                max_branches=budget.get("max_branches"),
+                max_nodes=budget.get("max_nodes"))
+
+
+def from_payload(payload: object, *, source: str = "<inline>",
+                 base_dir: str | FilePath = ".") -> Manifest:
+    """Validate a decoded manifest object into a :class:`Manifest`."""
+    _require(isinstance(payload, dict),
+             f"{source}: manifest must be a JSON object")
+    assert isinstance(payload, dict)
+    _require(payload.get("schema") == MANIFEST_SCHEMA,
+             f"{source}: not a batch manifest (missing "
+             f"schema={MANIFEST_SCHEMA!r} discriminator)")
+    version = payload.get("version")
+    _require(version == MANIFEST_VERSION,
+             f"{source}: manifest schema version {version!r} is not "
+             f"supported (expected {MANIFEST_VERSION})")
+    defaults = payload.get("defaults", {})
+    _require(isinstance(defaults, dict),
+             f"{source}: defaults must be an object")
+    seed = defaults.get("seed", 0)
+    _require(isinstance(seed, int) and not isinstance(seed, bool),
+             f"{source}: defaults.seed must be an integer")
+    raw_tasks = payload.get("tasks")
+    _require(isinstance(raw_tasks, list),
+             f"{source}: tasks must be an array")
+    assert isinstance(raw_tasks, list)
+    base = FilePath(base_dir)
+    tasks = [_build_task(raw, index, defaults, base)
+             for index, raw in enumerate(raw_tasks)]
+    seen: set[str] = set()
+    for task in tasks:
+        _require(task.id not in seen, f"duplicate task id {task.id!r}")
+        seen.add(task.id)
+    return Manifest(tasks=tasks, seed=seed, source=source,
+                    defaults=dict(defaults))
+
+
+def load(path: str | FilePath) -> Manifest:
+    """Read and validate a manifest file.
+
+    Relative ``dtd`` / ``fds`` paths inside the manifest resolve
+    against the manifest's own directory.
+    """
+    path = FilePath(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ManifestError(
+            f"cannot read manifest {path}: {error}") from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ManifestError(
+            f"manifest {path} is not valid JSON: {error}") from error
+    return from_payload(payload, source=str(path), base_dir=path.parent)
+
+
+def build(tasks: Iterable[Mapping], *, defaults: Mapping | None = None,
+          base_dir: str | FilePath = ".") -> Manifest:
+    """An in-memory manifest from plain dicts (tests, corpus tools)."""
+    payload = {"schema": MANIFEST_SCHEMA, "version": MANIFEST_VERSION,
+               "defaults": dict(defaults or {}), "tasks": list(tasks)}
+    return from_payload(payload, base_dir=base_dir)

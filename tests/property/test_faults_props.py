@@ -16,6 +16,7 @@ All plans are seeded, so every failing example here replays exactly.
 from __future__ import annotations
 
 import os
+import tempfile
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -31,6 +32,7 @@ from repro.dtd.parser import parse_dtd
 from repro.fd.chase import chase_implies
 from repro.fd.implication import ImplicationEngine
 from repro.fd.model import FD, parse_fds
+from repro.normalize import checkpoint as ckpt
 from repro.normalize.algorithm import normalize
 from repro.tuples.extract import tuples_of
 from repro.xmltree.conformance import conforms, conforms_unordered
@@ -68,7 +70,8 @@ def _no_leaked_plans():
 def _drive_pipeline() -> None:
     """One end-to-end run visiting every registered fault site:
     both parsers, ordered + multiset conformance, the closure and
-    chase implication engines, tuple extraction, and normalization."""
+    chase implication engines, tuple extraction, normalization, and a
+    checkpoint save (the atomic-write crash window)."""
     dtd = parse_dtd(UNIVERSITY_DTD)
     sigma = parse_fds(UNIVERSITY_FDS)
     doc = parse_xml(UNIVERSITY_DOCUMENT)
@@ -78,6 +81,10 @@ def _drive_pipeline() -> None:
     engine = ImplicationEngine(dtd, sigma)
     engine.implies(FD.parse(TRUE_QUERY))
     normalize(dtd, sigma)
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = ckpt.NormalizationCheckpoint.capture(
+            ckpt.fingerprint(dtd, sigma), dtd, sigma, [])
+        ckpt.save(os.path.join(tmp, "drive.ckpt"), snapshot)
     chase_implies(parse_dtd(DISJUNCTIVE_DTD),
                   [FD.parse("r.a -> r.c.@x"), FD.parse("r.b -> r.c.@x")],
                   FD.parse("r -> r.c.@x"))
@@ -105,6 +112,7 @@ class TestRegistry:
             "fd.closure.iteration",
             "tuples.extract.node",
             "normalize.round", "normalize.checkpoint",
+            "checkpoint.save",
         }
 
     def test_every_site_reachable_by_the_driver(self):

@@ -1,0 +1,163 @@
+"""Chaos acceptance for the batch runtime: zero task loss, ever.
+
+The invariant the whole ``repro.runtime`` layer exists for
+(docs/ROBUSTNESS.md): whatever faults fire inside the engines, every
+manifest task is accounted for in the batch summary as ``ok`` or
+``failed`` — ``counts.lost`` is 0, every dead letter carries a full
+error chain, and the report is valid JSON.  The second acceptance
+criterion rides along: across a seeded random spec corpus the
+differential engine ensemble records **zero** disagreements — the
+three implication engines really do implement the same relation.
+
+Scale knobs (CI raises both; see .github/workflows/ci.yml):
+
+* ``REPRO_BATCH_CHAOS_TASKS`` — tasks in the big chaos batch (CI: 200)
+* ``REPRO_ENSEMBLE_SPECS`` — specs in the agreement sweep (CI: 200)
+
+All fault plans and corpora are seeded, so every failure replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import faults
+from repro.runtime import corpus
+from repro.runtime import manifest as mf
+from repro.runtime.batch import run_batch
+from repro.runtime.breaker import BreakerBoard
+from repro.runtime.retry import RetryPolicy
+
+BATCH_CHAOS_TASKS = int(os.environ.get("REPRO_BATCH_CHAOS_TASKS", "40"))
+ENSEMBLE_SPECS = int(os.environ.get("REPRO_ENSEMBLE_SPECS", "40"))
+
+#: Sites inside the engines a batch task actually drives, from parse
+#: through implication to normalization.
+TASK_SITES = (
+    "dtd.parser.input", "dtd.parser.decl",
+    "fd.closure.iteration", "fd.chase.branch", "fd.chase.step",
+    "normalize.round", "normalize.checkpoint",
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plans():
+    yield
+    faults.teardown()
+
+
+def _manifest(count: int, seed: int) -> mf.Manifest:
+    return mf.from_payload(corpus.generate_manifest(count, seed=seed))
+
+
+def _assert_nothing_lost(summary: dict, total: int) -> None:
+    counts = summary["counts"]
+    assert counts["lost"] == 0
+    assert counts["total"] == total
+    assert counts["ok"] + counts["failed"] == total
+    assert len(summary["tasks"]) == total
+    assert len(summary["dead_letters"]) == counts["failed"]
+    for letter in summary["dead_letters"]:
+        assert letter["error_chain"], letter["id"]
+        assert letter["reason"] in ("permanent", "retries_exhausted",
+                                    "breaker_open")
+    json.dumps(summary)       # the report itself must serialize
+
+
+def test_clean_corpus_batch_is_all_ok():
+    """The baseline: without faults the corpus is fully green, so any
+    dead letter in the chaos runs below is injection, not corpus."""
+    total = max(10, BATCH_CHAOS_TASKS // 4)
+    summary = run_batch(_manifest(total, seed=1),
+                        policy=RetryPolicy(backoff_base_ms=0, seed=1))
+    assert summary["counts"] == {"total": total, "ok": total,
+                                 "failed": 0, "lost": 0}
+
+
+def test_big_batch_under_sustained_fault_storm_loses_nothing():
+    """The headline acceptance run: a storm of transient faults across
+    every engine site, enough arms to outlast retry budgets and trip
+    breakers — and still every task is accounted for."""
+    total = BATCH_CHAOS_TASKS
+    arms = []
+    for site in TASK_SITES:
+        arms.extend([f"{site}:exception"] * (total // 2))
+    plan = faults.plan_from_spec(",".join(arms), seed=17)
+    with faults.use(plan):
+        summary = run_batch(
+            _manifest(total, seed=17),
+            policy=RetryPolicy(retries=2, backoff_base_ms=0, seed=17),
+            board=BreakerBoard(threshold=3, probe_interval=5))
+    _assert_nothing_lost(summary, total)
+    # The storm really happened: faults fired and the runner retried.
+    assert plan.fired
+    assert any(task["retried"] for task in summary["tasks"])
+
+
+def test_chaos_batches_are_replay_identical():
+    """Same manifest, same fault plan, same seed: byte-identical
+    summaries — a failing chaos run is always reproducible."""
+    def one_run():
+        with faults.use(faults.plan_from_spec(
+                "fd.closure.iteration:exception:1,"
+                "fd.chase.step:allocation,"
+                "normalize.round:exhaustion", seed=23)):
+            return json.dumps(run_batch(
+                _manifest(12, seed=23),
+                policy=RetryPolicy(retries=2, backoff_base_ms=50,
+                                   seed=23),
+                sleeper=lambda ms: None), sort_keys=True)
+    assert one_run() == one_run()
+
+
+@settings(max_examples=25, deadline=None)
+@given(site=st.sampled_from(TASK_SITES),
+       kind=st.sampled_from(sorted(faults.RAISE_KINDS)),
+       after=st.integers(0, 6),
+       arms=st.integers(1, 30),
+       seed=st.integers(0, 1_000))
+def test_chaos_sweep_any_plan_loses_nothing(site, kind, after, arms,
+                                            seed):
+    """Property form: any single-site plan — any kind, any delay, any
+    arm count — against a small corpus batch keeps the invariant."""
+    spec = ",".join([f"{site}:{kind}:{after}"] * arms)
+    with faults.use(faults.plan_from_spec(spec, seed=seed)):
+        summary = run_batch(
+            _manifest(6, seed=seed),
+            policy=RetryPolicy(retries=1, backoff_base_ms=0, seed=seed),
+            board=BreakerBoard(threshold=2, probe_interval=3))
+    _assert_nothing_lost(summary, 6)
+
+
+def test_ensemble_agreement_over_random_spec_corpus():
+    """Acceptance: the three engines agree on every corpus spec.  Run
+    in ``check`` mode so a disagreement would be *recorded* (and the
+    assertion message would carry it) rather than crash the sweep."""
+    summary = run_batch(
+        _manifest(ENSEMBLE_SPECS, seed=5),
+        policy=RetryPolicy(backoff_base_ms=0, seed=5),
+        ensemble_mode="check")
+    _assert_nothing_lost(summary, ENSEMBLE_SPECS)
+    assert summary["counts"]["failed"] == 0
+    disagreements = [task.get("disagreements")
+                     for task in summary["tasks"]
+                     if task.get("disagreements")]
+    assert summary["ensemble_disagreements"] == 0, disagreements
+
+
+def test_ensemble_batch_under_faults_still_loses_nothing():
+    """Chaos and the oracle composed: injected faults inside ensemble
+    members degrade or dead-letter, never lose tasks or fabricate
+    disagreements."""
+    with faults.use(faults.plan_from_spec(
+            ",".join(["fd.chase.step:exception"] * 20), seed=9)):
+        summary = run_batch(
+            _manifest(10, seed=9),
+            policy=RetryPolicy(retries=1, backoff_base_ms=0, seed=9),
+            ensemble_mode="check")
+    _assert_nothing_lost(summary, 10)
+    assert summary["ensemble_disagreements"] == 0

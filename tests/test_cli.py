@@ -422,3 +422,102 @@ class TestRobustnessCounters:
         assert faults.active
         runner.isolate()
         assert not faults.active
+
+
+SIMPLE_BATCH_DTD = ("<!ELEMENT db (r*)>\n<!ELEMENT r EMPTY>\n"
+                    "<!ATTLIST r a CDATA #REQUIRED b CDATA #REQUIRED>")
+
+
+class TestBatchCLI:
+    """The crash-tolerant batch runner's CLI front door."""
+
+    @staticmethod
+    def _write_manifest(tmp_path, tasks, defaults=None):
+        import json
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({
+            "schema": "repro.runtime.manifest", "version": 1,
+            "defaults": defaults or {}, "tasks": tasks}))
+        return str(path)
+
+    @classmethod
+    def _tasks(cls, count=3):
+        return [{"id": f"t{i}", "op": "check",
+                 "dtd_text": SIMPLE_BATCH_DTD,
+                 "fds_text": "db.r.@a -> db.r.@b"}
+                for i in range(count)]
+
+    def test_summary_json_on_stdout(self, tmp_path, capsys):
+        import json
+        manifest = self._write_manifest(tmp_path, self._tasks())
+        assert main(["batch", manifest, "--backoff-base", "0"]) == 0
+        out, err = capsys.readouterr()
+        summary = json.loads(out)       # stdout is pure JSON
+        assert summary["schema"] == "repro.runtime.batch"
+        assert summary["counts"]["ok"] == 3
+        assert "batch: 3/3 ok" in err   # human account on stderr
+
+    def test_stats_never_corrupt_the_json_stream(self, tmp_path):
+        """Satellite pin: ``--stats`` (and REPRO_OBS=1) tables go to
+        stderr; ``xnf batch m.json | jq .`` must always parse."""
+        import json, os, subprocess, sys
+        manifest = self._write_manifest(tmp_path, self._tasks())
+        env = dict(os.environ, REPRO_OBS="1",
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "batch", manifest,
+             "--backoff-base", "0", "--stats"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0
+        summary = json.loads(proc.stdout)   # would raise if corrupted
+        assert summary["counts"]["lost"] == 0
+        assert "runtime.tasks" in proc.stderr   # the table went here
+
+    def test_runtime_counters_in_stats(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "fd.closure.iteration")
+        manifest = self._write_manifest(tmp_path, self._tasks(2))
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "runtime.tasks" in err
+        assert "runtime.retries" in err
+
+    def test_ensemble_mode_reports_disagreement_count(self, tmp_path,
+                                                      capsys):
+        manifest = self._write_manifest(tmp_path, self._tasks(2))
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--ensemble", "check"]) == 0
+        import json
+        out, err = capsys.readouterr()
+        summary = json.loads(out)
+        assert summary["ensemble"] == "check"
+        assert summary["ensemble_disagreements"] == 0
+        assert "0 ensemble disagreement(s)" in err
+
+    def test_injected_fault_is_retried_transparently(self, tmp_path,
+                                                     capsys,
+                                                     monkeypatch):
+        import json
+        monkeypatch.setenv("REPRO_FAULTS", "fd.closure.iteration")
+        manifest = self._write_manifest(tmp_path, self._tasks(2))
+        assert main(["batch", manifest, "--backoff-base", "0"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["counts"]["ok"] == 2
+        assert any(task["retried"] for task in summary["tasks"])
+
+    def test_seed_flag_overrides_manifest_seed(self, tmp_path, capsys,
+                                               monkeypatch):
+        import json
+        monkeypatch.setenv("REPRO_FAULTS", "fd.closure.iteration")
+        manifest = self._write_manifest(tmp_path, self._tasks(1),
+                                        defaults={"seed": 1})
+
+        def delays(extra):
+            capsys.readouterr()
+            assert main(["batch", manifest, *extra]) == 0
+            return json.loads(
+                capsys.readouterr().out)["tasks"][0]["delays_ms"]
+
+        monkeypatch.setattr("time.sleep", lambda seconds: None)
+        assert delays(["--seed", "7"]) != delays(["--seed", "8"])

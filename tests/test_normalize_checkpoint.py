@@ -199,3 +199,50 @@ class TestCheckpointFormat:
         finally:
             obs.reset()
             obs.disable()
+
+
+class TestAtomicSaveCrashWindow:
+    """The ``checkpoint.save`` fault site sits between writing the
+    temp file and renaming it into place — the window where a naive
+    implementation leaks ``*.tmp`` files on every crashed save."""
+
+    def _one(self):
+        spec = university_spec()
+        boundaries = []
+        normalize(spec.dtd, list(spec.sigma), on_step=boundaries.append)
+        return boundaries[-1]
+
+    @pytest.mark.parametrize("kind", ["exception", "allocation"])
+    def test_failed_save_leaves_no_temp_files(self, tmp_path, kind):
+        checkpoint = self._one()
+        path = tmp_path / "c.ckpt"
+        with faults.use(faults.plan_from_spec(f"checkpoint.save:{kind}")):
+            with pytest.raises(Exception) as info:
+                ck.save(path, checkpoint)
+        from repro.errors import ReproError
+        assert isinstance(info.value, ReproError)
+        # Neither a torn checkpoint nor a leaked temp file survives.
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_save_preserves_previous_checkpoint(self, tmp_path):
+        checkpoint = self._one()
+        path = tmp_path / "c.ckpt"
+        ck.save(path, checkpoint)
+        before = path.read_text()
+        with faults.use(faults.plan_from_spec("checkpoint.save")):
+            with pytest.raises(InjectedFault):
+                ck.save(path, checkpoint)
+        # The atomic protocol never tears the existing file.
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_succeeds_after_the_transient_fault(self, tmp_path):
+        """The transient model: the arm fires once; a retry lands."""
+        checkpoint = self._one()
+        path = tmp_path / "c.ckpt"
+        with faults.use(faults.plan_from_spec("checkpoint.save")):
+            with pytest.raises(InjectedFault):
+                ck.save(path, checkpoint)
+            ck.save(path, checkpoint)     # same plan, arm spent
+        assert ck.load(path).fingerprint == checkpoint.fingerprint

@@ -1,0 +1,129 @@
+"""Unit tests for batch manifests (repro.runtime.manifest)."""
+
+import json
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.runtime import manifest as mf
+
+DTD = ("<!ELEMENT db (r*)>\n<!ELEMENT r EMPTY>\n"
+       "<!ATTLIST r a CDATA #REQUIRED>")
+
+
+def _task(**overrides):
+    base = {"op": "check", "dtd_text": DTD, "fds_text": "db.r.@a -> db.r"}
+    base.update(overrides)
+    return base
+
+
+class TestValidation:
+    def test_minimal_manifest_builds(self):
+        manifest = mf.build([_task()])
+        assert len(manifest.tasks) == 1
+        task = manifest.tasks[0]
+        assert task.id == "task-0000"        # auto-assigned
+        assert task.op == "check"
+        assert task.engine == "auto"
+
+    def test_schema_discriminator_required(self):
+        with pytest.raises(ManifestError, match="discriminator"):
+            mf.from_payload({"version": 1, "tasks": []})
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ManifestError, match="version"):
+            mf.from_payload({"schema": mf.MANIFEST_SCHEMA,
+                             "version": 99, "tasks": []})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ManifestError, match="op must be one of"):
+            mf.build([_task(op="frobnicate")])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ManifestError, match="duplicate task id"):
+            mf.build([_task(id="t"), _task(id="t")])
+
+    def test_exactly_one_dtd_source(self):
+        with pytest.raises(ManifestError, match="exactly one"):
+            mf.build([_task(dtd="d.dtd")])          # both
+        task = _task()
+        del task["dtd_text"]
+        with pytest.raises(ManifestError, match="exactly one"):
+            mf.build([task])                        # neither
+
+    def test_implies_requires_fd_and_others_forbid_it(self):
+        with pytest.raises(ManifestError, match="requires"):
+            mf.build([_task(op="implies")])
+        with pytest.raises(ManifestError, match="only meaningful"):
+            mf.build([_task(op="normalize", fd="db.r.@a -> db.r")])
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ManifestError, match="engine"):
+            mf.build([_task(engine="quantum")])
+
+    def test_ensemble_engine_accepted(self):
+        manifest = mf.build([_task(engine="ensemble")])
+        assert manifest.tasks[0].engine == "ensemble"
+
+    def test_budget_knobs_must_be_positive(self):
+        with pytest.raises(ManifestError, match="max_steps"):
+            mf.build([_task(max_steps=-1)])
+        with pytest.raises(ManifestError, match="timeout"):
+            mf.build([_task(timeout=0)])
+
+    def test_whole_manifest_fails_on_one_bad_task(self):
+        """A typo'd task 2 stops the batch before task 1 could run."""
+        with pytest.raises(ManifestError):
+            mf.build([_task(), _task(op="nope")])
+
+
+class TestDefaults:
+    def test_defaults_flow_into_tasks(self):
+        manifest = mf.build([_task()],
+                            defaults={"engine": "closure",
+                                      "max_steps": 500, "seed": 9})
+        task = manifest.tasks[0]
+        assert task.engine == "closure"
+        assert task.max_steps == 500
+        assert manifest.seed == 9
+
+    def test_task_overrides_defaults(self):
+        manifest = mf.build([_task(engine="chase", max_steps=7)],
+                            defaults={"engine": "closure",
+                                      "max_steps": 500})
+        task = manifest.tasks[0]
+        assert task.engine == "chase"
+        assert task.max_steps == 7
+
+    def test_budget_kwargs_shape(self):
+        manifest = mf.build([_task(timeout=1.5, max_nodes=10)])
+        assert manifest.tasks[0].budget_kwargs() == {
+            "deadline": 1.5, "max_steps": None,
+            "max_branches": None, "max_nodes": 10}
+
+
+class TestFiles:
+    def test_load_resolves_paths_against_manifest_dir(self, tmp_path):
+        (tmp_path / "specs").mkdir()
+        (tmp_path / "specs" / "d.dtd").write_text(DTD)
+        (tmp_path / "specs" / "d.fds").write_text("db.r.@a -> db.r\n")
+        payload = {"schema": mf.MANIFEST_SCHEMA,
+                   "version": mf.MANIFEST_VERSION,
+                   "tasks": [{"op": "check", "dtd": "specs/d.dtd",
+                              "fds": "specs/d.fds"}]}
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(payload))
+        manifest = mf.load(path)
+        task = manifest.tasks[0]
+        assert task.load_dtd_text() == DTD
+        assert task.load_fds_text().strip() == "db.r.@a -> db.r"
+
+    def test_missing_file_is_manifest_error(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            mf.load(tmp_path / "absent.json")
+
+    def test_invalid_json_is_manifest_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            mf.load(path)
