@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Overhead gate for the live-telemetry hooks (exporter + heartbeat).
+
+The observability contract (``docs/OBSERVABILITY.md``): exporting and
+heartbeating are strictly *opt-in*, and the hooks that enable them —
+the ``on_task_done`` callback seam on :class:`BatchRunner` and the
+boundary counter snapshots on :func:`repro.obs.trace.span` — must cost
+within 1 % of the pre-hook happy path when nothing is attached and
+observability is disabled.  This script times the shared corpus
+workload through the batch runner twice:
+
+* **bare** — ``on_task_done=None`` (the default), obs disabled;
+* **hooked** — a no-op ``on_task_done`` callback attached, which is
+  *more* than the disabled configuration ever pays, making the gate
+  conservative.
+
+It fails when the hooked run exceeds the bare run by more than the
+tolerance — i.e. when someone makes the disabled path pay for live
+telemetry.
+
+Run:  python benchmarks/bench_obs_export.py [--repeats N] [--tasks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.bench.suites.runtime import make_manifest, make_runner
+
+
+def _best_of(repeats: int, body) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--tasks", type=int, default=30)
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="allowed hooked-over-bare overhead "
+                             "fraction (default 1%%)")
+    args = parser.parse_args(argv)
+
+    obs.disable()
+    manifest = make_manifest(args.tasks)
+    bare_body = lambda: make_runner(manifest).run()  # noqa: E731
+
+    def hooked_body() -> None:
+        make_runner(manifest,
+                    on_task_done=lambda outcome: None).run()
+
+    # Warm both paths once so neither benefits from allocator or
+    # import-time warm-up order.
+    bare_body()
+    hooked_body()
+    bare = _best_of(args.repeats, bare_body)
+    hooked = _best_of(args.repeats, hooked_body)
+
+    overhead = (hooked - bare) / bare
+    print(f"bare:   {bare * 1e3:8.2f} ms  ({args.tasks} tasks, "
+          f"best of {args.repeats}, obs disabled)")
+    print(f"hooked: {hooked * 1e3:8.2f} ms  (no-op on_task_done "
+          f"attached)")
+    print(f"hooked vs bare: {overhead:+.2%} "
+          f"(tolerance +{args.tolerance:.0%})")
+
+    if overhead > args.tolerance:
+        print("FAIL: the disabled telemetry hooks are taxing the "
+              "happy path", file=sys.stderr)
+        return 1
+    print("OK: disabled-telemetry overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,8 +36,12 @@ time and peak memory are recorded for trend reading but never fail a
 gate (``docs/BENCHMARKS.md`` has the rationale).
 
 The version number covers the whole shape: any structural change bumps
-:data:`SCHEMA_VERSION`, and the comparator refuses to diff files whose
-versions disagree with its own rather than guessing.
+:data:`SCHEMA_VERSION`, and the comparator refuses files whose version
+it does not know rather than guessing.  Versions listed in
+:data:`COMPAT_VERSIONS` are read-compatible: v2 (the PR-6 obs-snapshot
+vintage — per-summary ``unit`` fields upstream of the point counters)
+changed nothing in the report shape itself, so v1 baselines still
+validate and gate against v2 reports.
 """
 
 from __future__ import annotations
@@ -47,7 +51,12 @@ from typing import Any
 from repro.errors import ReproError
 
 SCHEMA_NAME = "repro.bench"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate` accepts.  Reports are only ever *written*
+#: at :data:`SCHEMA_VERSION`; older listed versions remain readable so
+#: committed baselines survive compatible bumps.
+COMPAT_VERSIONS = frozenset({1, 2})
 
 
 class BenchReportError(ReproError):
@@ -82,10 +91,10 @@ def validate(payload: Any, *, source: str = "report") -> dict[str, Any]:
             f"{source}: not a {SCHEMA_NAME} report "
             f"(schema={payload.get('schema')!r})")
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in COMPAT_VERSIONS:
         raise BenchReportError(
-            f"{source}: schema version {version!r} does not match "
-            f"this tool's version {SCHEMA_VERSION}; regenerate the "
+            f"{source}: schema version {version!r} is not one this "
+            f"tool reads ({sorted(COMPAT_VERSIONS)}); regenerate the "
             f"file with `python -m repro.bench run` from the same "
             f"checkout")
     benchmarks = payload.get("benchmarks")

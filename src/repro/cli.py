@@ -11,12 +11,18 @@ Subcommands::
     xnf analyze    DTD_FILE FD_FILE [XML...] # design + redundancy report
     xnf bench      {run,compare,report} ...  # benchmark observatory
     xnf batch      MANIFEST.json             # crash-tolerant batch runs
+    xnf obs        {report,flame,diff} ...   # profiling observatory
 
 Observability (see ``docs/OBSERVABILITY.md``): every subcommand accepts
 ``--stats`` (print a metrics table — cache hit rate, chase steps,
-per-phase timings — to stderr when done) and ``--trace FILE`` (write a
-JSON-lines span log).  Setting ``REPRO_OBS=1`` in the environment is
-equivalent to ``--stats``.
+per-phase timings — to stderr when done), ``--trace FILE`` (write a
+JSON-lines span log), and ``--metrics-port N`` (serve live Prometheus
+``/metrics`` + ``/healthz`` on localhost:N for the duration of the
+run; 0 picks a free port, announced on stderr).  Setting
+``REPRO_OBS=1`` in the environment is equivalent to ``--stats``.
+``xnf obs report/flame/diff`` folds a ``--trace`` file into a
+deterministic profile tree, flamegraph folded stacks, or a
+counter-gated comparison of two runs.
 
 Resource governance (see ``docs/ROBUSTNESS.md``): every subcommand
 accepts ``--timeout SECONDS`` (wall-clock deadline), ``--max-steps N``,
@@ -44,7 +50,12 @@ an optional differential engine ensemble (``--ensemble
 {off,check,strict}``).  The machine-readable JSON summary — including
 the dead-letter report accounting for every unrecoverable task — goes
 to **stdout**; human-facing progress and ``--stats`` tables go to
-stderr, so ``xnf batch m.json | jq .`` always parses.
+stderr, so ``xnf batch m.json | jq .`` always parses.  ``--heartbeat
+FILE`` appends one schema-versioned JSON-lines progress record (tasks
+done/ok/dead-lettered, retries, breaker states, throughput, ETA) at
+most every ``--heartbeat-interval`` seconds (``-`` writes them to
+stderr, keeping stdout parseable), and publishes the same numbers as
+``runtime.batch.*`` gauges for a concurrent ``--metrics-port`` scrape.
 
 Exit codes (uniform across subcommands; the full table is pinned by
 ``tests/test_exit_codes.py``)::
@@ -100,9 +111,12 @@ EXIT_PARTIAL = 5
 
 def _load_spec(dtd_file: str, fd_file: str | None,
                root: str | None) -> XMLSpec:
-    dtd_text = FilePath(dtd_file).read_text()
-    fd_text = FilePath(fd_file).read_text() if fd_file else ""
-    return XMLSpec.parse(dtd_text, fd_text, root=root)
+    # A named child span keeps the root CLI span's wall time almost
+    # fully attributed when profiled (`xnf obs report`).
+    with obs.span("spec.parse", dtd=dtd_file):
+        dtd_text = FilePath(dtd_file).read_text()
+        fd_text = FilePath(fd_file).read_text() if fd_file else ""
+        return XMLSpec.parse(dtd_text, fd_text, root=root)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -200,6 +214,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_cli.dispatch(args)
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import cli as obs_cli
+    return obs_cli.dispatch(args)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
@@ -214,8 +233,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                          backoff_base_ms=args.backoff_base, seed=seed)
     board = BreakerBoard(threshold=args.breaker_threshold,
                          probe_interval=args.breaker_probe_interval)
-    summary = batch_mod.run_batch(manifest, policy=policy, board=board,
-                                  ensemble_mode=args.ensemble)
+    heartbeat_file = getattr(args, "heartbeat", None)
+    writer = None
+    heartbeat_stream = None
+    if heartbeat_file:
+        from repro.runtime.heartbeat import HeartbeatWriter
+        if heartbeat_file == "-":
+            # stdout is reserved for the JSON summary; "-" streams the
+            # heartbeats to stderr so `xnf batch m.json | jq .` parses.
+            heartbeat_stream = sys.stderr
+        else:
+            try:
+                heartbeat_stream = open(heartbeat_file, "w")
+            except OSError as error:
+                print(f"error: cannot open heartbeat file: {error}",
+                      file=sys.stderr)
+                return EXIT_ERROR
+        writer = HeartbeatWriter(
+            heartbeat_stream, total=len(manifest.tasks), board=board,
+            interval_s=args.heartbeat_interval)
+    try:
+        summary = batch_mod.run_batch(
+            manifest, policy=policy, board=board,
+            ensemble_mode=args.ensemble,
+            on_task_done=writer.task_done if writer else None)
+    finally:
+        if writer is not None:
+            writer.close()
+        if heartbeat_stream not in (None, sys.stderr):
+            heartbeat_stream.close()
     # Machine-readable summary on stdout, human account on stderr —
     # ``xnf batch m.json | jq .`` must always parse.
     json.dump(summary, sys.stdout, indent=2, sort_keys=True)
@@ -259,6 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a metrics table to stderr when done")
     parser.add_argument("--trace", metavar="FILE",
                         help="write a JSON-lines span trace to FILE")
+    parser.add_argument("--metrics-port", type=int, metavar="N",
+                        help="serve Prometheus /metrics and /healthz "
+                        "on localhost:N while the command runs "
+                        "(0 picks a free port, announced on stderr)")
     parser.add_argument("--timeout", type=float, metavar="SECONDS",
                         help="wall-clock deadline; exit 4 when reached")
     parser.add_argument("--max-steps", type=int, metavar="N",
@@ -280,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default=argparse.SUPPRESS,
                         help=argparse.SUPPRESS)
     common.add_argument("--trace", metavar="FILE",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    common.add_argument("--metrics-port", type=int, metavar="N",
                         default=argparse.SUPPRESS,
                         help=argparse.SUPPRESS)
     common.add_argument("--timeout", type=float, metavar="SECONDS",
@@ -355,6 +408,14 @@ def build_parser() -> argparse.ArgumentParser:
     _configure_bench(ben)
     ben.set_defaults(func=_cmd_bench)
 
+    from repro.obs.cli import configure_parser as _configure_obs
+    obs_parser = sub.add_parser("obs",
+                                help="profiling observatory: fold "
+                                "--trace logs into profiles "
+                                "(docs/OBSERVABILITY.md)")
+    _configure_obs(obs_parser)
+    obs_parser.set_defaults(func=_cmd_obs)
+
     def _nonneg_int(text: str) -> int:
         value = int(text)
         if value < 0:
@@ -401,6 +462,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default=8, metavar="N",
                      help="admit every N-th task as a probe while a "
                      "breaker is open (default 8)")
+    bat.add_argument("--heartbeat", metavar="FILE",
+                     help="append JSON-lines progress heartbeats to "
+                     "FILE while the batch runs ('-' streams them to "
+                     "stderr)")
+    bat.add_argument("--heartbeat-interval", type=_nonneg_float,
+                     default=1.0, metavar="SECONDS",
+                     help="minimum seconds between heartbeat records; "
+                     "0 emits one per completed task (default 1)")
     bat.set_defaults(func=_cmd_batch)
     return parser
 
@@ -424,19 +493,38 @@ def main(argv: list[str] | None = None) -> int:
         if value is not None and value <= 0:
             parser.error(f"{flag_names[key]} must be positive")
 
+    metrics_port = getattr(args, "metrics_port", None)
+    if metrics_port is not None and not 0 <= metrics_port <= 65535:
+        parser.error("--metrics-port must be between 0 and 65535")
+
     was_enabled = obs.is_enabled()
     sink = None
     trace_stream = None
-    if want_stats or trace_file:
+    exporter = None
+    want_obs = want_stats or bool(trace_file) or metrics_port is not None
+    if want_obs:
         obs.enable()
         if not was_enabled:
             obs.reset()  # the table should cover this run only
+        if metrics_port is not None:
+            try:
+                exporter = obs.start_exporter(metrics_port)
+            except OSError as error:
+                print(f"error: cannot start metrics exporter: {error}",
+                      file=sys.stderr)
+                if not was_enabled:
+                    obs.disable()
+                return EXIT_ERROR
+            print(f"metrics: serving on {exporter.url('/metrics')} "
+                  f"(and /healthz)", file=sys.stderr)
         if trace_file:
             try:
                 trace_stream = open(trace_file, "w")
             except OSError as error:
                 print(f"error: cannot open trace file: {error}",
                       file=sys.stderr)
+                if exporter is not None:
+                    exporter.stop()
                 if not was_enabled:
                     obs.disable()
                 return EXIT_ERROR
@@ -479,6 +567,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
     finally:
+        if exporter is not None:
+            exporter.stop()
         if sink is not None:
             obs.remove_sink(sink)
             assert trace_stream is not None
@@ -486,7 +576,7 @@ def main(argv: list[str] | None = None) -> int:
         if want_stats:
             print(obs.render.metrics_table(obs.snapshot()),
                   file=sys.stderr, end="")
-        if not was_enabled and (want_stats or trace_file):
+        if not was_enabled and want_obs:
             obs.disable()
 
 

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import metrics, render, trace
+from repro.obs import export, metrics, render, trace
+from repro.obs.export import MetricsExporter, prometheus_text, start_exporter
 from repro.obs.metrics import (
     counter_value,
     disable,
@@ -57,13 +58,25 @@ from repro.obs.trace import (
 )
 
 __all__ = [
-    "metrics", "trace", "render",
+    "metrics", "trace", "render", "export", "profile",
     "enable", "disable", "is_enabled", "reset",
     "inc", "set_gauge", "observe", "timer", "counter_value",
     "snapshot",
     "span", "current_span", "add_sink", "remove_sink", "clear_sinks",
     "Span", "JsonLinesSink", "InMemorySink", "render_tree",
+    "MetricsExporter", "prometheus_text", "start_exporter",
 ]
+
+
+def __getattr__(name: str):
+    # ``obs.profile`` (and its CLI) import the benchmark comparator,
+    # which itself imports ``repro.obs`` — loading them lazily keeps
+    # the package import acyclic for every consumer that only wants
+    # metrics/spans.
+    if name in ("profile", "cli"):
+        import importlib
+        return importlib.import_module(f"repro.obs.{name}")
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
 
 if os.environ.get("REPRO_OBS", "") not in ("", "0"):  # pragma: no cover
     enable()

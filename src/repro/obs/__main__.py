@@ -1,0 +1,7 @@
+"""``python -m repro.obs``: the profiling-observatory CLI."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

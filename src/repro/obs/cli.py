@@ -1,0 +1,116 @@
+"""The observability command line: ``xnf obs {report,flame,diff}``.
+
+Reachable two ways (identical behaviour)::
+
+    python -m repro.obs  report TRACE            # profile tree + counters
+    python -m repro.obs  flame  TRACE [-o FILE]  # folded stacks
+    python -m repro.obs  diff   A B [--tolerance PCT]
+
+    xnf obs report / flame / diff ...            # the main CLI
+
+``report`` folds a ``--trace FILE`` JSON-lines log into the
+deterministic profile of :mod:`repro.obs.profile`; ``flame`` emits
+folded stacks for flamegraph tools; ``diff`` compares two traces or
+two ``--stats``-style snapshot JSON files under the benchmark
+comparator's conventions.
+
+Exit codes follow the repository-wide contract: 0 success / no
+regression, 1 counter regression beyond tolerance (``diff`` only), 2
+usage or file error (unreadable/malformed trace — a message, never a
+traceback).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import profile as _profile
+from repro.obs.profile import TraceError
+
+EXIT_OK = 0
+EXIT_NEGATIVE = 1
+EXIT_USAGE = 2
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    profile = _profile.load_profile(args.trace_path)
+    print(_profile.render_report(
+        profile, counters=not args.no_counters), end="")
+    return EXIT_OK
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    profile = _profile.load_profile(args.trace_path)
+    folded = _profile.folded_stacks(profile)
+    if args.out and args.out != "-":
+        with open(args.out, "w") as stream:
+            stream.write(folded)
+        print(f"wrote {args.out} ({len(profile.by_stack)} stack(s))",
+              file=sys.stderr)
+    else:
+        print(folded, end="")
+    return EXIT_OK
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    report, code = _profile.diff(args.baseline, args.current,
+                                 tolerance=args.tolerance / 100.0)
+    print(report, end="")
+    return code
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the report/flame/diff subcommands to ``parser`` (used
+    both by ``python -m repro.obs`` and the main CLI's ``obs``
+    subcommand)."""
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    # dest is "trace_path", not "trace": in the main CLI the global
+    # --trace FILE option owns the "trace" dest, and colliding with it
+    # would make `xnf obs report T` truncate T before reading it.
+    rep = sub.add_parser(
+        "report", help="fold a --trace log into a profile report")
+    rep.add_argument("trace_path", metavar="TRACE",
+                     help="JSON-lines span trace file")
+    rep.add_argument("--no-counters", action="store_true",
+                     help="omit the self-attributed counter-delta "
+                     "section")
+    rep.set_defaults(obs_func=cmd_report)
+
+    fla = sub.add_parser(
+        "flame", help="emit folded stacks for flamegraph tools")
+    fla.add_argument("trace_path", metavar="TRACE",
+                     help="JSON-lines span trace file")
+    fla.add_argument("-o", "--out", metavar="FILE",
+                     help="write to FILE instead of stdout")
+    fla.set_defaults(obs_func=cmd_flame)
+
+    dif = sub.add_parser(
+        "diff", help="gate two traces (or stats snapshots) on "
+        "counter deltas")
+    dif.add_argument("baseline", help="baseline trace or snapshot JSON")
+    dif.add_argument("current", help="current trace or snapshot JSON")
+    dif.add_argument("--tolerance", type=float, metavar="PCT",
+                     default=5.0,
+                     help="allowed counter growth in percent "
+                     "(default: %(default)s)")
+    dif.set_defaults(obs_func=cmd_diff)
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Run the selected obs subcommand (shared with the main CLI)."""
+    try:
+        return args.obs_func(args)
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="profiling observatory: report, flame, diff")
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return dispatch(args)

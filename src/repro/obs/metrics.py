@@ -23,7 +23,12 @@ Metric kinds:
 
 :func:`snapshot` returns a plain-``dict`` copy (safe to mutate, JSON
 serializable); :func:`reset` clears every metric but keeps the enabled
-state.  The metric name vocabulary is documented in
+state.  The snapshot is schema-versioned (``schema`` /
+``schema_version`` envelope keys) and every histogram/timer summary
+carries an explicit ``unit`` field (``"seconds"`` for timers, ``"1"``
+— dimensionless — for plain histograms), so downstream consumers
+(:mod:`repro.obs.render`, :mod:`repro.obs.export`) never have to guess
+seconds-vs-milliseconds.  The metric name vocabulary is documented in
 ``docs/OBSERVABILITY.md``.
 """
 
@@ -39,6 +44,20 @@ from typing import Iterator
 #: by instrumentation sites; flip only via :func:`enable` /
 #: :func:`disable` so the toggle stays in one place.
 enabled: bool = False
+
+#: The ``schema`` discriminator stamped on every snapshot.
+SNAPSHOT_SCHEMA = "repro.obs.snapshot"
+
+#: Bumped with PR 6 (v2 adds the envelope itself and the per-summary
+#: ``unit`` field).  Consumers treat a missing envelope as v1.
+SNAPSHOT_VERSION = 2
+
+#: The ``unit`` stamped on timer summaries (wall-clock seconds).
+UNIT_SECONDS = "seconds"
+
+#: The ``unit`` stamped on plain-value histogram summaries
+#: (dimensionless, OpenMetrics-style "1").
+UNIT_NONE = "1"
 
 _lock = threading.Lock()
 _counters: dict[str, int] = {}
@@ -93,7 +112,7 @@ class _Histogram:
                 del self.samples[1::2]
                 self.stride *= 2
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self, unit: str = UNIT_NONE) -> dict[str, float | str]:
         mean = self.total / self.count if self.count else 0.0
         ordered = sorted(self.samples)
         return {"count": self.count, "total": self.total,
@@ -102,7 +121,8 @@ class _Histogram:
                 "mean": mean,
                 "p50": _percentile(ordered, 0.50) if ordered else 0.0,
                 "p95": _percentile(ordered, 0.95) if ordered else 0.0,
-                "p99": _percentile(ordered, 0.99) if ordered else 0.0}
+                "p99": _percentile(ordered, 0.99) if ordered else 0.0,
+                "unit": unit}
 
 
 def enable() -> None:
@@ -181,15 +201,29 @@ def counter_value(name: str) -> int:
         return _counters.get(name, 0)
 
 
+def counters_snapshot() -> dict[str, int]:
+    """A copy of the counters section only — cheap enough for span
+    boundary snapshots (:mod:`repro.obs.trace`)."""
+    with _lock:
+        return dict(_counters)
+
+
 def snapshot() -> dict[str, dict]:
-    """A JSON-serializable copy of every recorded metric."""
+    """A JSON-serializable copy of every recorded metric.
+
+    Schema v2: the envelope names itself (``schema`` /
+    ``schema_version``) and every histogram/timer summary carries a
+    ``unit`` field (timers: ``"seconds"``; histograms: ``"1"``).
+    """
     with _lock:
         return {
+            "schema": SNAPSHOT_SCHEMA,
+            "schema_version": SNAPSHOT_VERSION,
             "counters": dict(_counters),
             "gauges": dict(_gauges),
-            "histograms": {name: h.as_dict()
+            "histograms": {name: h.as_dict(UNIT_NONE)
                            for name, h in _histograms.items()},
-            "timers": {name: h.as_dict()
+            "timers": {name: h.as_dict(UNIT_SECONDS)
                        for name, h in _timers.items()},
         }
 

@@ -70,6 +70,9 @@ def metrics_table(snapshot: dict[str, dict], *,
             if "p50" in stats:
                 row += (f"  p50={stats['p50']:g}  "
                         f"p95={stats['p95']:g}  p99={stats['p99']:g}")
+            unit = stats.get("unit", "1")
+            if unit not in ("", "1"):
+                row += f"  [unit: {unit}]"
             rows.append((name, row))
         sections.append(("histograms", rows))
 
@@ -77,16 +80,23 @@ def metrics_table(snapshot: dict[str, dict], *,
     if timers:
         rows = []
         for name, stats in sorted(timers.items()):
+            # Timers are *stored* in base units named by the summary's
+            # ``unit`` field (seconds; pre-v2 snapshots omit the field
+            # and mean seconds too) and *displayed* in ms — the scaling
+            # is driven by the declared unit, never assumed.
+            unit = stats.get("unit", "seconds")
+            scale = 1e3 if unit == "seconds" else 1.0
+            shown = "ms" if unit == "seconds" else unit
             row = (f"n={stats['count']}  "
-                   f"total={stats['total'] * 1e3:.2f} ms  "
-                   f"mean={stats['mean'] * 1e3:.3f} ms  "
-                   f"max={stats['max'] * 1e3:.3f} ms")
+                   f"total={stats['total'] * scale:.2f} {shown}  "
+                   f"mean={stats['mean'] * scale:.3f} {shown}  "
+                   f"max={stats['max'] * scale:.3f} {shown}")
             if "p50" in stats:
-                row += (f"  p50={stats['p50'] * 1e3:.3f} ms  "
-                        f"p95={stats['p95'] * 1e3:.3f} ms  "
-                        f"p99={stats['p99'] * 1e3:.3f} ms")
+                row += (f"  p50={stats['p50'] * scale:.3f} {shown}  "
+                        f"p95={stats['p95'] * scale:.3f} {shown}  "
+                        f"p99={stats['p99'] * scale:.3f} {shown}")
             rows.append((name, row))
-        sections.append(("timers", rows))
+        sections.append(("timers (stored: seconds, shown: ms)", rows))
 
     derived = _derived(counters)
     if derived:

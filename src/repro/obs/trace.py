@@ -24,10 +24,16 @@ JSON-lines schema (one line per span, children precede parents because
 they finish first)::
 
     {"id": 3, "parent": 1, "depth": 1, "name": "chase.branch",
-     "start": 0.123, "duration_ms": 4.56, "attrs": {"steps": 7}}
+     "start": 0.123, "duration_ms": 4.56, "attrs": {"steps": 7},
+     "counters": {"chase.steps": 12}}
 
 ``start`` is seconds since the process clock origin
 (``time.perf_counter``), useful for ordering, not wall-clock time.
+``counters`` (added for the profiling observatory, absent when empty)
+holds the **counter deltas** observed between span entry and exit —
+boundary snapshots of :func:`repro.obs.metrics.counters_snapshot` —
+cumulative over the span's children; :mod:`repro.obs.profile`
+subtracts child deltas to attribute *self* counter work per span.
 
 Everything is a no-op while :mod:`repro.obs.metrics` is disabled:
 :func:`span` then returns a shared null context manager and allocates
@@ -50,7 +56,8 @@ class Span:
     """One timed, attributed region; part of a tree of spans."""
 
     __slots__ = ("name", "attrs", "start", "end", "children",
-                 "span_id", "parent_id", "depth")
+                 "span_id", "parent_id", "depth",
+                 "counters_start", "counter_deltas")
 
     def __init__(self, name: str, attrs: dict[str, Any],
                  span_id: int, parent_id: int | None,
@@ -63,6 +70,8 @@ class Span:
         self.start = 0.0
         self.end = 0.0
         self.children: list[Span] = []
+        self.counters_start: dict[str, int] = {}
+        self.counter_deltas: dict[str, int] = {}
 
     def set(self, key: str, value: Any) -> None:
         """Attach (or update) an attribute mid-span."""
@@ -75,7 +84,7 @@ class Span:
 
     def as_record(self) -> dict[str, Any]:
         """The JSON-lines record for this span."""
-        return {
+        record = {
             "id": self.span_id,
             "parent": self.parent_id,
             "depth": self.depth,
@@ -84,6 +93,9 @@ class Span:
             "duration_ms": round(self.duration * 1e3, 4),
             "attrs": self.attrs,
         }
+        if self.counter_deltas:
+            record["counters"] = dict(self.counter_deltas)
+        return record
 
 
 class _NullSpan:
@@ -118,11 +130,17 @@ class _SpanContext:
         self.span = span_
 
     def __enter__(self) -> Span:
+        self.span.counters_start = _metrics.counters_snapshot()
         self.span.start = time.perf_counter()
         return self.span
 
     def __exit__(self, *exc_info: object) -> None:
         self.span.end = time.perf_counter()
+        before = self.span.counters_start
+        self.span.counter_deltas = {
+            name: value - before.get(name, 0)
+            for name, value in _metrics.counters_snapshot().items()
+            if value != before.get(name, 0)}
         stack = _stack.spans
         stack.pop()
         for sink in _sinks:

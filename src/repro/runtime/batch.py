@@ -154,7 +154,9 @@ class BatchRunner:
                  policy: RetryPolicy | None = None,
                  board: BreakerBoard | None = None,
                  ensemble_mode: str = "off",
-                 sleeper: Callable[[float], None] | None = None) -> None:
+                 sleeper: Callable[[float], None] | None = None,
+                 on_task_done: Callable[[TaskOutcome], None]
+                 | None = None) -> None:
         if ensemble_mode not in _ensemble.MODES:
             raise ValueError(
                 f"unknown ensemble mode {ensemble_mode!r}; expected "
@@ -166,6 +168,10 @@ class BatchRunner:
         self.ensemble_mode = ensemble_mode
         self._sleep = sleeper if sleeper is not None \
             else (lambda ms: time.sleep(ms / 1000.0))
+        #: Live-telemetry hook (heartbeats, progress gauges): called
+        #: with each terminal :class:`TaskOutcome`, in manifest order.
+        #: ``None`` (the default) keeps the happy path hook-free.
+        self.on_task_done = on_task_done
 
     # -- one task ------------------------------------------------------
 
@@ -267,7 +273,12 @@ class BatchRunner:
 
     def run(self) -> dict:
         """Execute every task; return the JSON-ready batch summary."""
-        outcomes = [self._run_task(task) for task in self.manifest.tasks]
+        outcomes = []
+        for task in self.manifest.tasks:
+            outcome = self._run_task(task)
+            outcomes.append(outcome)
+            if self.on_task_done is not None:
+                self.on_task_done(outcome)
         ok = sum(1 for outcome in outcomes if outcome.ok)
         failed = sum(1 for outcome in outcomes if not outcome.ok)
         total = len(outcomes)
@@ -298,8 +309,10 @@ class BatchRunner:
 def run_batch(manifest: Manifest, *, policy: RetryPolicy | None = None,
               board: BreakerBoard | None = None,
               ensemble_mode: str = "off",
-              sleeper: Callable[[float], None] | None = None) -> dict:
+              sleeper: Callable[[float], None] | None = None,
+              on_task_done: Callable[[TaskOutcome], None]
+              | None = None) -> dict:
     """One-shot :class:`BatchRunner` convenience."""
     return BatchRunner(manifest, policy=policy, board=board,
-                       ensemble_mode=ensemble_mode,
-                       sleeper=sleeper).run()
+                       ensemble_mode=ensemble_mode, sleeper=sleeper,
+                       on_task_done=on_task_done).run()

@@ -78,6 +78,29 @@ class Breaker:
     _skips_since_open: int = field(default=0, repr=False)
     trips: int = 0
     probes: int = 0
+    #: Back-reference set by :meth:`BreakerBoard.get`, so state
+    #: transitions can refresh the board-level ``runtime.breaker.open``
+    #: gauge.
+    _board: "BreakerBoard | None" = field(default=None, repr=False,
+                                          compare=False)
+
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state``, emitting the transition telemetry.
+
+        Every *change* of state increments
+        ``runtime.breaker.transitions.<state>`` (state names use
+        underscores: ``closed`` / ``open`` / ``half_open``) and
+        refreshes the board's open-breaker gauge; re-asserting the
+        current state emits nothing.
+        """
+        if new_state == self.state:
+            return
+        self.state = new_state
+        if _obs.enabled:
+            _obs.inc("runtime.breaker.transitions."
+                     + new_state.replace("-", "_"))
+            if self._board is not None:
+                self._board.publish_open_gauge()
 
     def allows_retries(self) -> bool:
         """Whether the next failing task may spend its retry budget.
@@ -89,7 +112,7 @@ class Breaker:
             return True
         if self.state == OPEN:
             if self._skips_since_open >= self.probe_interval:
-                self.state = HALF_OPEN
+                self._transition(HALF_OPEN)
                 self.probes += 1
                 if _obs.enabled:
                     _obs.inc("runtime.breaker.probes")
@@ -108,7 +131,7 @@ class Breaker:
         """A task with work at this signature ultimately succeeded."""
         if self.state == HALF_OPEN and _obs.enabled:
             _obs.inc("runtime.breaker.closes")
-        self.state = CLOSED
+        self._transition(CLOSED)
         self.consecutive_failures = 0
         self._skips_since_open = 0
 
@@ -117,12 +140,12 @@ class Breaker:
         self.consecutive_failures += 1
         if self.state == HALF_OPEN:
             # The probe failed: straight back to OPEN.
-            self.state = OPEN
+            self._transition(OPEN)
             self._skips_since_open = 0
             return
         if self.state == CLOSED \
                 and self.consecutive_failures >= self.threshold:
-            self.state = OPEN
+            self._transition(OPEN)
             self._skips_since_open = 0
             self.trips += 1
             if _obs.enabled:
@@ -154,9 +177,24 @@ class BreakerBoard:
         if breaker is None:
             breaker = Breaker(signature=signature,
                               threshold=self.threshold,
-                              probe_interval=self.probe_interval)
+                              probe_interval=self.probe_interval,
+                              _board=self)
             self._breakers[signature] = breaker
         return breaker
+
+    def state_counts(self) -> dict[str, int]:
+        """How many breakers sit in each state right now."""
+        counts = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+        for breaker in self._breakers.values():
+            counts[breaker.state] += 1
+        return counts
+
+    def publish_open_gauge(self) -> None:
+        """Refresh the ``runtime.breaker.open`` gauge (count of
+        breakers currently OPEN); called on every state transition."""
+        _obs.set_gauge("runtime.breaker.open",
+                       sum(1 for breaker in self._breakers.values()
+                           if breaker.state == OPEN))
 
     def snapshot(self) -> dict[str, dict]:
         """Only breakers that saw at least one failure, key-sorted."""

@@ -1,0 +1,118 @@
+"""Property tests: the Prometheus renderer is parse-valid, sorted,
+and insertion-order-blind for every snapshot shape."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, strategies as st
+
+from repro.obs.export import format_value, metric_name, prometheus_text
+
+VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{quantile="[0-9.]+"\})?'
+    r" (NaN|[+-]Inf|-?\d+(\.\d+)?([eE][+-]?\d+)?)$")
+COMMENT_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$")
+
+obs_names = st.text(
+    alphabet=st.characters(codec="ascii",
+                           blacklist_categories=("Cc", "Cs")),
+    min_size=1, max_size=30)
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   width=32)
+
+
+def summary_stats(values: list[float], unit: str) -> dict:
+    ordered = sorted(values)
+    return {"count": len(values), "total": sum(values),
+            "min": ordered[0], "max": ordered[-1],
+            "mean": sum(values) / len(values),
+            "p50": ordered[len(ordered) // 2],
+            "p95": ordered[-1], "p99": ordered[-1], "unit": unit}
+
+
+snapshots = st.fixed_dictionaries({
+    "counters": st.dictionaries(obs_names, st.integers(min_value=0),
+                                max_size=6),
+    "gauges": st.dictionaries(obs_names, finite, max_size=6),
+    "histograms": st.dictionaries(
+        obs_names,
+        st.lists(finite, min_size=1, max_size=8).map(
+            lambda vs: summary_stats(vs, "1")),
+        max_size=4),
+    "timers": st.dictionaries(
+        obs_names,
+        st.lists(finite.map(abs), min_size=1, max_size=8).map(
+            lambda vs: summary_stats(vs, "seconds")),
+        max_size=4),
+})
+
+
+@given(name=obs_names)
+def test_metric_names_always_valid(name):
+    assert VALID_NAME.match(metric_name(name))
+    assert VALID_NAME.match(metric_name(name, "_total"))
+
+
+@given(value=st.one_of(st.integers(), st.floats(), st.booleans()))
+def test_format_value_never_raises(value):
+    text = format_value(value)
+    assert re.match(
+        r"^(NaN|[+-]Inf|-?\d+(\.\d+)?([eE][+-]?\d+)?)$", text), text
+
+
+@given(snapshot=snapshots)
+def test_output_is_parse_valid(snapshot):
+    text = prometheus_text(snapshot)
+    for line in text.splitlines():
+        assert SAMPLE_LINE.match(line) or COMMENT_LINE.match(line), \
+            f"invalid exposition line: {line!r}"
+    assert text == "" or text.endswith("\n")
+
+
+def primary_families(text: str) -> list[str]:
+    """The family block order: every TYPE line except the ``_min`` /
+    ``_max`` companion gauges that trail their summary block."""
+    families: list[str] = []
+    last_summary = None
+    for line in text.splitlines():
+        if not line.startswith("# TYPE"):
+            continue
+        name, kind = line.split()[2:4]
+        if kind == "summary":
+            last_summary = name
+            families.append(name)
+        elif last_summary is not None and kind == "gauge" \
+                and name in (last_summary + "_min",
+                             last_summary + "_max"):
+            continue  # companion of the block, not a new family
+        else:
+            families.append(name)
+    return families
+
+
+@given(snapshot=snapshots)
+def test_family_blocks_sorted(snapshot):
+    # Blocks are emitted key-sorted by exported family name
+    # (duplicates may collapse distinct obs names onto one exported
+    # name; the order still holds).
+    families = primary_families(prometheus_text(snapshot))
+    assert families == sorted(families)
+
+
+@given(snapshot=snapshots, seed=st.randoms(use_true_random=False))
+def test_insertion_order_never_matters(snapshot, seed):
+    """Rebuilding every dict in a shuffled insertion order must render
+    the same bytes — the PYTHONHASHSEED-independence property."""
+    shuffled = {}
+    for section, mapping in snapshot.items():
+        keys = list(mapping)
+        seed.shuffle(keys)
+        shuffled[section] = {
+            key: (dict(reversed(mapping[key].items()))
+                  if isinstance(mapping[key], dict) else mapping[key])
+            for key in keys}
+    assert prometheus_text(snapshot) == prometheus_text(shuffled)

@@ -521,3 +521,46 @@ class TestBatchCLI:
 
         monkeypatch.setattr("time.sleep", lambda seconds: None)
         assert delays(["--seed", "7"]) != delays(["--seed", "8"])
+
+
+class TestObsCLI:
+    def _trace(self, tmp_path):
+        import json
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(json.dumps(
+            {"id": 1, "name": "root", "duration_ms": 5.0, "start": 0.0,
+             "counters": {"ops": 3}}) + "\n")
+        return str(trace)
+
+    def test_report(self, tmp_path, capsys):
+        assert main(["obs", "report", self._trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace profile" in out
+        assert "root" in out
+
+    def test_flame_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "folded.txt"
+        assert main(["obs", "flame", self._trace(tmp_path),
+                     "-o", str(out_file)]) == 0
+        assert out_file.read_text() == "root 5000\n"
+
+    def test_diff_self_passes(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["obs", "diff", trace, trace]) == 0
+        assert "OK: no counter regressions" in capsys.readouterr().out
+
+    def test_missing_trace_is_usage_error(self, tmp_path, capsys):
+        code = main(["obs", "report", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_port_out_of_range_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--metrics-port", "70000", "stats"])
+
+    def test_metrics_port_zero_serves_during_command(
+            self, university_files, capsys):
+        code = main(["--metrics-port", "0", "check", *university_files])
+        assert code == 1  # university schema is not in XNF
+        err = capsys.readouterr().err
+        assert "metrics: serving on http://127.0.0.1:" in err

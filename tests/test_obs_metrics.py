@@ -160,9 +160,22 @@ class TestRender:
         table = obs.render.metrics_table(obs.snapshot())
         assert "implication.cache.hit " in table
         assert "-- histograms --" in table
-        assert "-- timers --" in table
+        # The timers section names its storage unit (satellite fix for
+        # the seconds-vs-ms ambiguity).
+        assert "-- timers (stored: seconds, shown: ms) --" in table
         assert "implication.cache.hit_rate" in table
         assert "75.0%" in table
+
+    def test_snapshot_schema_and_units(self):
+        obs.enable()
+        obs.observe("h", 2.0)
+        with obs.timer("t"):
+            pass
+        snap = obs.snapshot()
+        assert snap["schema"] == "repro.obs.snapshot"
+        assert snap["schema_version"] == 2
+        assert snap["histograms"]["h"]["unit"] == "1"
+        assert snap["timers"]["t"]["unit"] == "seconds"
 
     def test_empty_table(self):
         table = obs.render.metrics_table(obs.snapshot())

@@ -1,0 +1,276 @@
+"""Unit tests for batch heartbeats and breaker state telemetry."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.runtime.breaker import BreakerBoard
+from repro.runtime.heartbeat import (
+    HEARTBEAT_SCHEMA,
+    HEARTBEAT_VERSION,
+    HeartbeatWriter,
+    validate_heartbeat,
+    validate_heartbeat_lines,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeOutcome:
+    def __init__(self, *, ok: bool = True, attempts: int = 1) -> None:
+        self.ok = ok
+        self.attempts = attempts
+
+
+def parse_lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line)
+            for line in stream.getvalue().splitlines() if line]
+
+
+class TestWriterValidation:
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError, match="total"):
+            HeartbeatWriter(io.StringIO(), total=-1)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            HeartbeatWriter(io.StringIO(), total=1, interval_s=-0.1)
+
+
+class TestEmission:
+    def test_interval_throttles(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=10, interval_s=1.0,
+                                 clock=clock)
+        for _ in range(5):
+            clock.advance(0.3)
+            writer.task_done(FakeOutcome())
+        records = parse_lines(stream)
+        # First task emits (nothing emitted yet), then throttled until
+        # a full second has passed: 0.3 (emit), 0.6, 0.9, 1.2, 1.5
+        # (emit at 1.5, 1.2s after the first emit).
+        assert len(records) == 2
+        assert records[0]["tasks"]["done"] == 1
+        assert records[1]["tasks"]["done"] == 5
+
+    def test_final_task_always_emits(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=3, interval_s=1000.0,
+                                 clock=clock)
+        for _ in range(3):
+            clock.advance(0.01)
+            writer.task_done(FakeOutcome())
+        records = parse_lines(stream)
+        assert records[-1]["tasks"]["done"] == 3
+
+    def test_zero_interval_emits_every_task(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=4, interval_s=0.0,
+                                 clock=clock)
+        for _ in range(4):
+            clock.advance(0.1)
+            writer.task_done(FakeOutcome())
+        assert len(parse_lines(stream)) == 4
+
+    def test_record_fields(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=10, interval_s=0.0,
+                                 clock=clock)
+        clock.advance(2.0)
+        writer.task_done(FakeOutcome(ok=True, attempts=3))
+        writer.task_done(FakeOutcome(ok=False, attempts=2))
+        record = parse_lines(stream)[-1]
+        assert record["schema"] == HEARTBEAT_SCHEMA
+        assert record["version"] == HEARTBEAT_VERSION
+        assert record["tasks"] == {"total": 10, "done": 2, "ok": 1,
+                                   "deadletter": 1}
+        assert record["retries"] == 3  # (3-1) + (2-1)
+        assert record["elapsed_s"] == pytest.approx(2.0)
+        assert record["throughput_tps"] == pytest.approx(1.0)
+        assert record["eta_s"] == pytest.approx(8.0)
+
+    def test_throughput_null_before_time_passes(self):
+        clock = FakeClock()
+        writer = HeartbeatWriter(io.StringIO(), total=5, clock=clock)
+        record = writer.record()
+        assert record["throughput_tps"] is None
+        assert record["eta_s"] is None
+
+    def test_breaker_states_reported(self):
+        board = BreakerBoard(threshold=1)
+        breaker = board.get("site:x")
+        breaker.record_failure()  # threshold 1: trips straight OPEN
+        clock = FakeClock()
+        writer = HeartbeatWriter(io.StringIO(), total=5, board=board,
+                                 clock=clock)
+        record = writer.record()
+        assert record["breakers"] == {"total": 1, "open": 1,
+                                      "half-open": 0, "closed": 0}
+
+    def test_close_emits_pending_mid_run_state(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=10, interval_s=1000.0,
+                                 clock=clock)
+        writer.task_done(FakeOutcome())   # emits (first)
+        clock.advance(0.1)
+        writer.task_done(FakeOutcome())   # throttled
+        writer.close()
+        records = parse_lines(stream)
+        assert records[-1]["tasks"]["done"] == 2
+        validate_heartbeat_lines(stream.getvalue())
+
+    def test_close_without_tasks_emits_nothing(self):
+        stream = io.StringIO()
+        HeartbeatWriter(stream, total=5, clock=FakeClock()).close()
+        assert stream.getvalue() == ""
+
+    def test_gauges_published_while_enabled(self):
+        obs.enable()
+        clock = FakeClock()
+        writer = HeartbeatWriter(io.StringIO(), total=2,
+                                 interval_s=0.0, clock=clock)
+        clock.advance(1.0)
+        writer.task_done(FakeOutcome())
+        snap = obs.snapshot()
+        assert snap["gauges"]["runtime.batch.tasks.total"] == 2
+        assert snap["gauges"]["runtime.batch.tasks.done"] == 1
+        assert snap["gauges"]["runtime.batch.throughput_tps"] == 1.0
+        assert snap["counters"]["runtime.heartbeats"] == 1
+
+
+class TestValidation:
+    def _valid(self, **overrides):
+        record = {
+            "schema": HEARTBEAT_SCHEMA, "version": HEARTBEAT_VERSION,
+            "seq": 1, "elapsed_s": 0.5,
+            "tasks": {"total": 10, "done": 3, "ok": 2, "deadletter": 1},
+            "retries": 0,
+            "breakers": {"total": 0, "open": 0, "half-open": 0,
+                         "closed": 0},
+            "throughput_tps": 6.0, "eta_s": 1.2,
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_record_passes(self):
+        validate_heartbeat(self._valid())
+
+    def test_nulls_allowed_for_rates(self):
+        validate_heartbeat(self._valid(throughput_tps=None, eta_s=None))
+
+    def test_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_heartbeat(self._valid(schema="nope"))
+
+    def test_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            validate_heartbeat(self._valid(version=99))
+
+    def test_done_mismatch(self):
+        bad = self._valid()
+        bad["tasks"]["ok"] = 3
+        with pytest.raises(ValueError, match="ok\\+deadletter"):
+            validate_heartbeat(bad)
+
+    def test_done_exceeds_total(self):
+        bad = self._valid()
+        bad["tasks"].update(done=11, ok=11, deadletter=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            validate_heartbeat(bad)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="throughput_tps"):
+            validate_heartbeat(self._valid(throughput_tps=-1.0))
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_heartbeat([1, 2, 3])
+
+    def test_lines_seq_must_increase(self):
+        lines = "\n".join(
+            json.dumps(self._valid(seq=seq)) for seq in (1, 1))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_heartbeat_lines(lines)
+
+    def test_lines_done_must_not_decrease(self):
+        first = self._valid(seq=1)
+        second = self._valid(seq=2)
+        second["tasks"].update(done=2, ok=1, deadletter=1)
+        lines = json.dumps(first) + "\n" + json.dumps(second)
+        with pytest.raises(ValueError, match="done decreased"):
+            validate_heartbeat_lines(lines)
+
+    def test_lines_reports_line_number(self):
+        lines = json.dumps(self._valid()) + "\n{broken\n"
+        with pytest.raises(ValueError, match="line 2"):
+            validate_heartbeat_lines(lines)
+
+
+class TestBreakerTelemetry:
+    def test_transition_counters(self):
+        obs.enable()
+        board = BreakerBoard(threshold=2, probe_interval=1)
+        breaker = board.get("site:x")
+        breaker.record_failure()
+        breaker.record_failure()  # trips: CLOSED -> OPEN
+        assert obs.counter_value(
+            "runtime.breaker.transitions.open") == 1
+        breaker.record_skip()
+        assert breaker.allows_retries()  # probe: OPEN -> HALF_OPEN
+        assert obs.counter_value(
+            "runtime.breaker.transitions.half_open") == 1
+        breaker.record_success()  # HALF_OPEN -> CLOSED
+        assert obs.counter_value(
+            "runtime.breaker.transitions.closed") == 1
+
+    def test_open_gauge_tracks_count(self):
+        obs.enable()
+        board = BreakerBoard(threshold=1)
+        board.get("site:a").record_failure()
+        assert obs.snapshot()["gauges"]["runtime.breaker.open"] == 1
+        board.get("site:b").record_failure()
+        assert obs.snapshot()["gauges"]["runtime.breaker.open"] == 2
+        board.get("site:a").record_success()
+        assert obs.snapshot()["gauges"]["runtime.breaker.open"] == 1
+
+    def test_reasserting_state_emits_nothing(self):
+        obs.enable()
+        board = BreakerBoard(threshold=1)
+        breaker = board.get("site:x")
+        breaker.record_success()  # already CLOSED: no transition
+        assert obs.counter_value(
+            "runtime.breaker.transitions.closed") == 0
+
+    def test_state_counts(self):
+        board = BreakerBoard(threshold=1)
+        board.get("site:a").record_failure()
+        board.get("site:b")
+        counts = board.state_counts()
+        assert counts == {"closed": 1, "open": 1, "half-open": 0}
