@@ -14,7 +14,15 @@ The workload definition is shared with the observatory's
 (:mod:`repro.bench.suites.runtime`), which track the same two
 trajectories — with operation counters — in ``BENCH_core.json``.
 
+A second, **advisory** group times the same batch through the
+supervised process pool (``--workers``, default ``auto``) and reports
+the speedup over serial.  It never gates: wall-clock parallel gain
+depends on the core count of the machine running the gate (CI runners
+are often 1-2 cores, where fork overhead can make the "speedup"
+< 1x), so the number is recorded for trend reading, not asserted.
+
 Run:  python benchmarks/bench_runtime.py [--repeats N] [--tasks N]
+                                         [--workers N|auto|off]
 """
 
 from __future__ import annotations
@@ -46,6 +54,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.01,
                         help="allowed batch-over-direct overhead "
                              "fraction (default 1%%)")
+    parser.add_argument("--workers", default="auto",
+                        help="pool size for the advisory parallel "
+                             "group: a count, 'auto' (cores), or "
+                             "'off' to skip it (default auto)")
     args = parser.parse_args(argv)
 
     manifest = make_manifest(args.tasks)
@@ -67,12 +79,50 @@ def main(argv: list[str] | None = None) -> int:
     print(f"batch vs direct: {overhead:+.2%} "
           f"(tolerance +{args.tolerance:.0%})")
 
-    if overhead > args.tolerance:
+    gate_failed = overhead > args.tolerance
+    if gate_failed:
         print("FAIL: the disabled runtime layer is taxing the happy "
               "path", file=sys.stderr)
-        return 1
-    print("OK: disabled-runtime overhead within tolerance")
-    return 0
+    else:
+        print("OK: disabled-runtime overhead within tolerance")
+
+    _parallel_advisory(args, manifest, batch)
+    return 1 if gate_failed else 0
+
+
+def _parallel_advisory(args, manifest, serial_best: float) -> None:
+    """The advisory parallel group: pool-backed batch vs the serial
+    timing already measured.  Prints, never gates — see the module
+    docstring for why the speedup is machine-dependent."""
+    if args.workers == "off":
+        return
+    from repro.runtime.pool import (
+        PoolBackend,
+        pool_available,
+        resolve_workers,
+    )
+    if not pool_available():
+        print("parallel: skipped (no fork start method here)")
+        return
+    workers = resolve_workers(args.workers,
+                              task_count=manifest.task_count)
+    if workers < 2:
+        print(f"parallel: skipped ({workers} worker(s) resolved; "
+              "nothing to fan out)")
+        return
+
+    def pool_body():
+        summary = make_runner(
+            manifest, backend=PoolBackend(workers)).run()
+        assert summary["counts"]["lost"] == 0
+
+    pool_body()                                   # warm, as above
+    pool = _best_of(args.repeats, pool_body)
+    speedup = serial_best / pool
+    print(f"parallel: {pool * 1e3:8.2f} ms  ({workers} workers, "
+          f"best of {args.repeats})")
+    print(f"parallel speedup over serial: {speedup:.2f}x "
+          "(advisory only, never gated)")
 
 
 if __name__ == "__main__":

@@ -225,6 +225,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.runtime import batch as batch_mod
     from repro.runtime import manifest as manifest_mod
     from repro.runtime.breaker import BreakerBoard
+    from repro.runtime.pool import (
+        PoolBackend,
+        pool_available,
+        resolve_workers,
+    )
     from repro.runtime.retry import RetryPolicy
 
     manifest = manifest_mod.load(args.manifest)
@@ -233,6 +238,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                          backoff_base_ms=args.backoff_base, seed=seed)
     board = BreakerBoard(threshold=args.breaker_threshold,
                          probe_interval=args.breaker_probe_interval)
+    try:
+        workers = resolve_workers(args.workers,
+                                  task_count=manifest.task_count)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    pool = None
+    if workers > 1 and os.environ.get("REPRO_FAULTS"):
+        # Fault-plan arms are process-global fire-once state; forked
+        # workers would each inherit an unfired copy and the batch
+        # would stop being replayable.  Degrade to serial, loudly.
+        print("note: REPRO_FAULTS is active; running serially "
+              "(fault plans are per-process)", file=sys.stderr)
+        workers = 1
+    if workers > 1 and not pool_available():
+        print("note: fork start method unavailable; running serially",
+              file=sys.stderr)
+        workers = 1
+    if workers > 1:
+        pool = PoolBackend(workers, crash_retries=args.crash_retries,
+                           stall_timeout=args.stall_timeout)
     heartbeat_file = getattr(args, "heartbeat", None)
     writer = None
     heartbeat_stream = None
@@ -250,13 +276,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return EXIT_ERROR
         writer = HeartbeatWriter(
-            heartbeat_stream, total=len(manifest.tasks), board=board,
-            interval_s=args.heartbeat_interval)
+            heartbeat_stream, total=manifest.task_count, board=board,
+            pool=pool, interval_s=args.heartbeat_interval)
     try:
         summary = batch_mod.run_batch(
             manifest, policy=policy, board=board,
             ensemble_mode=args.ensemble,
-            on_task_done=writer.task_done if writer else None)
+            on_task_done=writer.task_done if writer else None,
+            backend=pool)
     finally:
         if writer is not None:
             writer.close()
@@ -272,6 +299,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           + (f"; {summary['ensemble_disagreements']} ensemble "
              "disagreement(s)" if args.ensemble != "off" else ""),
           file=sys.stderr)
+    if pool is not None:
+        stats = pool.stats
+        print(f"pool: {stats.workers} worker(s), "
+              f"{stats.spawned} spawned, {stats.crashed} crashed, "
+              f"{stats.requeued} requeued, {stats.stolen} stolen, "
+              f"{stats.dead_lettered} crash dead-letter(s)",
+              file=sys.stderr)
     if counts["failed"] == 0:
         return EXIT_OK
     if counts["ok"] == 0:
@@ -462,6 +496,33 @@ def build_parser() -> argparse.ArgumentParser:
                      default=8, metavar="N",
                      help="admit every N-th task as a probe while a "
                      "breaker is open (default 8)")
+    def _workers_spec(text: str) -> str:
+        if text != "auto":
+            try:
+                if int(text) < 1:
+                    raise ValueError
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    "must be 'auto' or a positive integer") from None
+        return text
+
+    bat.add_argument("--workers", type=_workers_spec, default="auto",
+                     metavar="N",
+                     help="worker processes for parallel execution: "
+                     "'auto' (one per CPU core, the default) or an "
+                     "explicit count; 1 runs serially.  The merged "
+                     "summary is byte-identical to a serial run "
+                     "(docs/ROBUSTNESS.md)")
+    bat.add_argument("--crash-retries", type=_nonneg_int, default=3,
+                     metavar="N",
+                     help="worker deaths one task may survive before "
+                     "it is dead-lettered with reason worker_crash "
+                     "(default 3)")
+    bat.add_argument("--stall-timeout", type=_nonneg_float,
+                     default=0.0, metavar="SECONDS",
+                     help="SIGKILL and requeue a worker silent for "
+                     "this long with a task in flight; 0 disables "
+                     "stall detection (default 0)")
     bat.add_argument("--heartbeat", metavar="FILE",
                      help="append JSON-lines progress heartbeats to "
                      "FILE while the batch runs ('-' streams them to "

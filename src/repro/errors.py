@@ -146,6 +146,36 @@ class ManifestError(ReproError):
     what cannot be used."""
 
 
+class WorkerCrash(ReproError):
+    """Raised (synthesized) when a batch-pool worker process dies.
+
+    The parent supervisor of :class:`repro.runtime.pool.PoolBackend`
+    never sees the original failure — the whole worker process is gone
+    (SIGKILL, OOM kill, a corrupted result stream, a heartbeat stall)
+    — so it manufactures this error to stand in for the attempt that
+    died with it.  ``detail`` names the detection source in a stable,
+    deterministic vocabulary (``signal:SIGKILL``, ``exitcode:70``,
+    ``unpicklable-result``, ``stall``); ``worker`` is the pool-local
+    id of the worker that died.  The *message* deliberately excludes
+    the worker id: which worker a task lands on is a scheduling
+    accident, and this message ends up in dead-letter reports that
+    must stay byte-deterministic — the id goes to supervisor telemetry
+    (stderr, pool stats) instead.
+
+    Classified transient by :func:`repro.runtime.retry.is_transient`
+    (the crash may be environmental), keyed ``crash:<detail>`` by
+    :func:`repro.runtime.breaker.failure_signature`, and budgeted by
+    the supervisor's own crash retry policy — a task that keeps
+    killing its workers dead-letters with reason ``worker_crash``
+    instead of looping forever.
+    """
+
+    def __init__(self, detail: str, *, worker: int | None = None) -> None:
+        super().__init__(f"worker process died: {detail}")
+        self.detail = detail
+        self.worker = worker
+
+
 class EnsembleDisagreementError(ReproError):
     """Raised when the differential engine ensemble observes two engines
     returning contradictory verdicts for the same implication query

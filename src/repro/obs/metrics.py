@@ -235,3 +235,88 @@ def reset() -> None:
         _gauges.clear()
         _histograms.clear()
         _timers.clear()
+
+
+# -- process-pool support (repro.runtime.pool) -------------------------
+#
+# A forked batch worker inherits this module's state wholesale: the
+# registry dicts, the enabled flag, and — dangerously — the lock, which
+# may have been *held* by another parent thread (the metrics exporter
+# renders a snapshot under it) at the instant of the fork, leaving the
+# child's copy locked forever.  Workers therefore call
+# :func:`reinit_after_fork` first thing, then record into their own
+# registry; the parent folds the results back with :func:`merge_raw`.
+
+def reinit_after_fork() -> None:
+    """Make this module safe to use in a freshly forked child.
+
+    Replaces the (possibly stuck) lock and clears the inherited
+    registry so the child's metrics count only its own work.  The
+    enabled flag is inherited unchanged — if the parent was recording,
+    the child records too.
+    """
+    global _lock
+    _lock = threading.Lock()
+    reset()
+
+
+def dump_raw() -> dict:
+    """The full recording state in mergeable (not summarized) form.
+
+    Unlike :func:`snapshot`, histograms and timers are dumped with
+    their retained samples and stride, so another process can merge
+    them with :func:`merge_raw` and still compute percentiles over the
+    union.  Plain data only — safe to pickle across a process
+    boundary.
+    """
+    def hist_state(histogram: _Histogram) -> dict:
+        return {"count": histogram.count, "total": histogram.total,
+                "min": histogram.min, "max": histogram.max,
+                "samples": list(histogram.samples),
+                "stride": histogram.stride}
+
+    with _lock:
+        return {"counters": dict(_counters), "gauges": dict(_gauges),
+                "histograms": {name: hist_state(h)
+                               for name, h in _histograms.items()},
+                "timers": {name: hist_state(h)
+                           for name, h in _timers.items()}}
+
+
+def _merge_histogram(histogram: _Histogram, state: dict) -> None:
+    histogram.count += state["count"]
+    histogram.total += state["total"]
+    histogram.min = min(histogram.min, state["min"])
+    histogram.max = max(histogram.max, state["max"])
+    histogram.samples.extend(state["samples"])
+    histogram.stride = max(histogram.stride, state["stride"])
+    while len(histogram.samples) > _SAMPLE_CAP:
+        del histogram.samples[1::2]
+        histogram.stride *= 2
+
+
+def merge_raw(state: dict) -> None:
+    """Fold a :func:`dump_raw` dump from another process into this
+    one's registry.
+
+    Counters and histogram counts/totals add exactly; percentiles are
+    computed over the concatenated retained samples (an approximation
+    with the same guarantees as the per-process decimation); gauges
+    take the incoming value (point-in-time semantics — last write
+    wins).  No-op while disabled.
+    """
+    if not enabled:
+        return
+    with _lock:
+        for name, value in state.get("counters", {}).items():
+            _counters[name] = _counters.get(name, 0) + value
+        for name, value in state.get("gauges", {}).items():
+            _gauges[name] = value
+        for registry, incoming in (
+                (_histograms, state.get("histograms", {})),
+                (_timers, state.get("timers", {}))):
+            for name, hist_state in incoming.items():
+                histogram = registry.get(name)
+                if histogram is None:
+                    histogram = registry[name] = _Histogram()
+                _merge_histogram(histogram, hist_state)

@@ -3,7 +3,8 @@
 Built in this order, each piece usable on its own:
 
 * :mod:`~repro.runtime.manifest` — declarative batch manifests
-  (validated strictly; :class:`~repro.errors.ManifestError` → exit 2);
+  (validated strictly; :class:`~repro.errors.ManifestError` → exit 2),
+  including the streaming ``.jsonl`` layout for 100k-task corpora;
 * :mod:`~repro.runtime.retry` — transient/permanent classification and
   seeded exponential-backoff jitter (deterministic, replayable);
 * :mod:`~repro.runtime.breaker` — per-failure-signature circuit
@@ -12,19 +13,25 @@ Built in this order, each piece usable on its own:
   (``engine="ensemble"``), escalating contradictions as first-class
   records;
 * :mod:`~repro.runtime.batch` — the runner tying them together under
-  the zero-task-loss invariant, with dead-letter reports;
+  the zero-task-loss invariant, with dead-letter reports and a
+  pluggable execution backend;
+* :mod:`~repro.runtime.pool` — the supervised process-pool backend:
+  parallel execution with crash detection, task requeue, and a merged
+  report byte-identical to the serial path;
 * :mod:`~repro.runtime.corpus` — seeded spec-corpus generation for
-  chaos and acceptance runs.
+  chaos and acceptance runs (streamable at any size).
 
 The CLI front door is ``xnf batch MANIFEST`` (see ``repro.cli``).
 """
 
 from __future__ import annotations
 
-from repro.runtime.batch import BatchRunner, run_batch
+from repro.runtime.batch import BatchRunner, SerialBackend, run_batch
 from repro.runtime.breaker import BreakerBoard
-from repro.runtime.manifest import Manifest, Task, load
+from repro.runtime.manifest import Manifest, StreamingManifest, Task, load
+from repro.runtime.pool import PoolBackend, resolve_workers
 from repro.runtime.retry import RetryPolicy
 
-__all__ = ["BatchRunner", "BreakerBoard", "Manifest", "RetryPolicy",
-           "Task", "load", "run_batch"]
+__all__ = ["BatchRunner", "BreakerBoard", "Manifest", "PoolBackend",
+           "RetryPolicy", "SerialBackend", "StreamingManifest", "Task",
+           "load", "resolve_workers", "run_batch"]

@@ -35,6 +35,16 @@ The summary (:meth:`BatchRunner.run`) is a JSON-ready dict that is
 **deterministic**: no wall-clock values, collections sorted, backoff
 delays planned from ``(seed, task id, attempt)`` — two runs of the
 same manifest under the same fault plan are byte-identical.
+
+**Backends.**  The runner core (per-task execution, retry, breaker,
+outcome bookkeeping, summary assembly) is backend-agnostic.
+:class:`SerialBackend` (the default) walks the manifest in order in
+this process; :class:`repro.runtime.pool.PoolBackend` dispatches the
+same tasks to a supervised pool of forked worker processes and merges
+their outcomes back into manifest order, so
+:meth:`BatchRunner.summarize` renders the *same bytes* for the same
+outcomes regardless of which backend produced them (the determinism
+argument is laid out in ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -67,6 +77,7 @@ SUMMARY_SCHEMA = "repro.runtime.batch"
 REASON_PERMANENT = "permanent"
 REASON_RETRIES_EXHAUSTED = "retries_exhausted"
 REASON_BREAKER_OPEN = "breaker_open"
+REASON_WORKER_CRASH = "worker_crash"
 
 
 def error_chain(error: BaseException) -> list[dict]:
@@ -141,6 +152,23 @@ class TaskOutcome:
                 "error_chain": self.failures[-1]["chain"]}
 
 
+class SerialBackend:
+    """The in-process backend: every task runs here, in manifest
+    order.  This is the reference execution the pool backend's merged
+    report is byte-compared against."""
+
+    name = "serial"
+
+    def run(self, runner: "BatchRunner") -> list[TaskOutcome]:
+        outcomes = []
+        for task in runner.manifest.iter_tasks():
+            outcome = runner._run_task(task)
+            outcomes.append(outcome)
+            if runner.on_task_done is not None:
+                runner.on_task_done(outcome)
+        return outcomes
+
+
 class BatchRunner:
     """Run a manifest to completion, losing nothing (see module doc).
 
@@ -148,6 +176,12 @@ class BatchRunner:
     the default really sleeps, tests pass a recorder.  The *planned*
     delays always land in the summary either way, so sleeping is pure
     side effect and never affects the report bytes.
+
+    ``backend`` chooses where tasks execute: ``None`` or a
+    :class:`SerialBackend` runs them here; a
+    :class:`repro.runtime.pool.PoolBackend` fans them out to
+    supervised worker processes.  Either way the summary is assembled
+    by :meth:`summarize` from the same outcome records.
     """
 
     def __init__(self, manifest: Manifest, *,
@@ -156,7 +190,8 @@ class BatchRunner:
                  ensemble_mode: str = "off",
                  sleeper: Callable[[float], None] | None = None,
                  on_task_done: Callable[[TaskOutcome], None]
-                 | None = None) -> None:
+                 | None = None,
+                 backend: "SerialBackend | None" = None) -> None:
         if ensemble_mode not in _ensemble.MODES:
             raise ValueError(
                 f"unknown ensemble mode {ensemble_mode!r}; expected "
@@ -169,9 +204,11 @@ class BatchRunner:
         self._sleep = sleeper if sleeper is not None \
             else (lambda ms: time.sleep(ms / 1000.0))
         #: Live-telemetry hook (heartbeats, progress gauges): called
-        #: with each terminal :class:`TaskOutcome`, in manifest order.
+        #: with each terminal :class:`TaskOutcome` — in manifest order
+        #: on the serial backend, in completion order on the pool.
         #: ``None`` (the default) keeps the happy path hook-free.
         self.on_task_done = on_task_done
+        self.backend = backend if backend is not None else SerialBackend()
 
     # -- one task ------------------------------------------------------
 
@@ -273,12 +310,23 @@ class BatchRunner:
 
     def run(self) -> dict:
         """Execute every task; return the JSON-ready batch summary."""
-        outcomes = []
-        for task in self.manifest.tasks:
-            outcome = self._run_task(task)
-            outcomes.append(outcome)
-            if self.on_task_done is not None:
-                self.on_task_done(outcome)
+        outcomes = self.backend.run(self)
+        # A pool backend exposes the merged worker-breaker snapshots
+        # (its parent-side board never sees in-task failures); the
+        # serial backend has no such attribute and reports its own.
+        return self.summarize(
+            outcomes,
+            breakers=getattr(self.backend, "merged_breakers", None))
+
+    def summarize(self, outcomes: list[TaskOutcome], *,
+                  breakers: dict | None = None) -> dict:
+        """Assemble the batch summary from terminal outcomes.
+
+        Backend-agnostic and purely a function of its inputs: the pool
+        backend hands the same manifest-ordered outcome list a serial
+        run would produce (plus its merged worker-breaker snapshot via
+        ``breakers``) and gets byte-identical summary JSON.
+        """
         ok = sum(1 for outcome in outcomes if outcome.ok)
         failed = sum(1 for outcome in outcomes if not outcome.ok)
         total = len(outcomes)
@@ -301,7 +349,8 @@ class BatchRunner:
             "tasks": [outcome.to_json() for outcome in outcomes],
             "dead_letters": [outcome.dead_letter()
                              for outcome in outcomes if not outcome.ok],
-            "breakers": self.board.snapshot(),
+            "breakers": breakers if breakers is not None
+            else self.board.snapshot(),
             "ensemble_disagreements": disagreements,
         }
 
@@ -311,8 +360,9 @@ def run_batch(manifest: Manifest, *, policy: RetryPolicy | None = None,
               ensemble_mode: str = "off",
               sleeper: Callable[[float], None] | None = None,
               on_task_done: Callable[[TaskOutcome], None]
-              | None = None) -> dict:
+              | None = None,
+              backend: SerialBackend | None = None) -> dict:
     """One-shot :class:`BatchRunner` convenience."""
     return BatchRunner(manifest, policy=policy, board=board,
                        ensemble_mode=ensemble_mode, sleeper=sleeper,
-                       on_task_done=on_task_done).run()
+                       on_task_done=on_task_done, backend=backend).run()

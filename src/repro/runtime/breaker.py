@@ -41,7 +41,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import FaultError, ReproError, ResourceExhausted
+from repro.errors import (
+    FaultError,
+    ReproError,
+    ResourceExhausted,
+    WorkerCrash,
+)
 from repro.obs import metrics as _obs
 
 CLOSED = "closed"
@@ -53,11 +58,15 @@ def failure_signature(error: ReproError) -> str:
     """The breaker key of one failure.
 
     Faults group by their injection site, budget trips by the tripped
-    limit, everything else by exception type — the granularity at
-    which "this keeps happening" is meaningful.
+    limit, worker crashes by their detection source (the signal name,
+    the exit code, a corrupted result pipe, a heartbeat stall),
+    everything else by exception type — the granularity at which "this
+    keeps happening" is meaningful.
     """
     if isinstance(error, FaultError):
         return f"site:{error.site}"
+    if isinstance(error, WorkerCrash):
+        return f"crash:{error.detail}"
     if isinstance(error, ResourceExhausted):
         return f"guard:{error.limit}"
     return f"error:{type(error).__name__}"

@@ -21,6 +21,17 @@ families by a :class:`random.Random` seeded from the caller's seed:
 Run as a module to write a manifest file for the CLI::
 
     python -m repro.runtime.corpus --count 200 --seed 1 --out batch.json
+
+Generation is a true stream: :func:`iter_tasks` yields one task dict
+at a time from O(1) state, so 100k-task manifests are emitted (and,
+via the ``.jsonl`` format + :class:`~repro.runtime.manifest.
+StreamingManifest`, later consumed) without ever materializing the
+whole corpus — ``--format jsonl`` writes the streaming layout, and
+:func:`stream_manifest` hands the same corpus to the batch runner
+directly::
+
+    python -m repro.runtime.corpus --count 100000 --seed 1 \
+        --format jsonl --out batch.jsonl
 """
 
 from __future__ import annotations
@@ -29,7 +40,9 @@ import argparse
 import json
 import random
 import sys
+from typing import IO, Iterator
 
+from repro.runtime import manifest as _manifest
 from repro.runtime.manifest import (
     MANIFEST_SCHEMA,
     MANIFEST_VERSION,
@@ -104,11 +117,14 @@ def _nested_spec(rng: random.Random) -> tuple[str, list[str], list[str]]:
 _FAMILIES = (_simple_spec, _disjunctive_spec, _nested_spec)
 
 
-def generate_tasks(count: int, *, seed: int = 0,
-                   ops: tuple[str, ...] = OPERATIONS) -> list[dict]:
-    """``count`` manifest task dicts, deterministic in ``seed``."""
+def iter_tasks(count: int, *, seed: int = 0,
+               ops: tuple[str, ...] = OPERATIONS) -> Iterator[dict]:
+    """Yield ``count`` manifest task dicts, deterministic in ``seed``.
+
+    O(1) generator state: the 100k-task corpora the pool backend
+    parallelizes are produced one task at a time, never as a list.
+    """
     rng = random.Random(f"repro.runtime.corpus:{seed}")
-    tasks: list[dict] = []
     for index in range(count):
         family = rng.choice(_FAMILIES)
         dtd, fds, pool = family(rng)
@@ -120,8 +136,13 @@ def generate_tasks(count: int, *, seed: int = 0,
             # one from the pool — both verdict polarities show up.
             task["fd"] = rng.choice(fds) if rng.random() < 0.5 \
                 else rng.choice(pool)
-        tasks.append(task)
-    return tasks
+        yield task
+
+
+def generate_tasks(count: int, *, seed: int = 0,
+                   ops: tuple[str, ...] = OPERATIONS) -> list[dict]:
+    """``count`` manifest task dicts, deterministic in ``seed``."""
+    return list(iter_tasks(count, seed=seed, ops=ops))
 
 
 def generate_manifest(count: int, *, seed: int = 0,
@@ -136,6 +157,39 @@ def generate_manifest(count: int, *, seed: int = 0,
             "tasks": generate_tasks(count, seed=seed, ops=ops)}
 
 
+def stream_manifest(count: int, *, seed: int = 0,
+                    ops: tuple[str, ...] = OPERATIONS,
+                    defaults: dict | None = None,
+                    ) -> "_manifest.StreamingManifest":
+    """The same corpus as :func:`generate_manifest`, as a lazy
+    re-iterable :class:`~repro.runtime.manifest.StreamingManifest` —
+    the in-process route to a 100k-task batch with O(1) manifest
+    memory."""
+    manifest_defaults = {"seed": seed}
+    if defaults:
+        manifest_defaults.update(defaults)
+    return _manifest.stream(
+        lambda: iter_tasks(count, seed=seed, ops=ops), count,
+        defaults=manifest_defaults,
+        source=f"<corpus count={count} seed={seed}>")
+
+
+def write_jsonl(stream: IO[str], count: int, *, seed: int = 0,
+                ops: tuple[str, ...] = OPERATIONS,
+                defaults: dict | None = None) -> None:
+    """Write the streaming (``.jsonl``) manifest layout: one header
+    line carrying the envelope + declared ``count``, then one task
+    object per line — O(1) memory at any corpus size."""
+    manifest_defaults = {"seed": seed}
+    if defaults:
+        manifest_defaults.update(defaults)
+    header = {"schema": MANIFEST_SCHEMA, "version": MANIFEST_VERSION,
+              "defaults": manifest_defaults, "count": count}
+    stream.write(json.dumps(header, sort_keys=True) + "\n")
+    for task in iter_tasks(count, seed=seed, ops=ops):
+        stream.write(json.dumps(task, sort_keys=True) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.corpus",
@@ -147,20 +201,37 @@ def main(argv: list[str] | None = None) -> int:
                         f"{list(OPERATIONS)}")
     parser.add_argument("--out", default="-",
                         help="output path ('-' for stdout)")
+    parser.add_argument("--format", choices=("json", "jsonl"),
+                        default=None,
+                        help="manifest layout: one JSON document, or "
+                        "the streaming header+task-per-line .jsonl "
+                        "layout (default: by --out suffix, json "
+                        "otherwise)")
     options = parser.parse_args(argv)
     ops = tuple(op.strip() for op in options.ops.split(",") if op.strip())
     unknown = [op for op in ops if op not in OPERATIONS]
     if unknown:
         parser.error(f"unknown ops {unknown}; "
                      f"choose from {list(OPERATIONS)}")
-    payload = generate_manifest(options.count, seed=options.seed,
-                                ops=ops)
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    fmt = options.format
+    if fmt is None:
+        fmt = "jsonl" if options.out.endswith(".jsonl") else "json"
+
+    def write(handle: IO[str]) -> None:
+        if fmt == "jsonl":
+            write_jsonl(handle, options.count, seed=options.seed,
+                        ops=ops)
+        else:
+            payload = generate_manifest(options.count,
+                                        seed=options.seed, ops=ops)
+            handle.write(json.dumps(payload, indent=2, sort_keys=True)
+                         + "\n")
+
     if options.out == "-":
-        sys.stdout.write(text)
+        write(sys.stdout)
     else:
         with open(options.out, "w") as handle:
-            handle.write(text)
+            write(handle)
     return 0
 
 

@@ -18,7 +18,13 @@ schema-versioned JSON line describing the run so far::
   (:meth:`repro.runtime.breaker.BreakerBoard.state_counts`);
 * ``throughput_tps`` — completed tasks per second since the run
   started; ``eta_s`` — remaining tasks at that rate (``null`` until
-  the throughput is measurable).
+  the throughput is measurable);
+* ``workers`` (optional, parallel runs only) — pool liveness from
+  :meth:`repro.runtime.pool.PoolBackend.liveness`: the target pool
+  size, how many workers are alive right now, and the cumulative
+  crash/requeue counts, so an operator tailing the heartbeat file
+  sees worker churn as it happens.  Serial runs omit the key, which
+  keeps their records byte-compatible with pre-pool consumers.
 
 The same numbers are published as ``runtime.batch.*`` gauges while
 the batch runs, so an exporter scrape (``--metrics-port``) sees live
@@ -45,6 +51,7 @@ HEARTBEAT_VERSION = 1
 
 _TASK_KEYS = ("total", "done", "ok", "deadletter")
 _BREAKER_KEYS = ("total", OPEN, HALF_OPEN, CLOSED)
+_WORKER_KEYS = ("target", "alive", "crashed", "requeued")
 
 
 class HeartbeatWriter:
@@ -58,6 +65,7 @@ class HeartbeatWriter:
 
     def __init__(self, stream: IO[str], *, total: int,
                  board: BreakerBoard | None = None,
+                 pool: object | None = None,
                  interval_s: float = 1.0,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if total < 0:
@@ -68,6 +76,10 @@ class HeartbeatWriter:
         self.stream = stream
         self.total = total
         self.board = board
+        #: Anything with a ``liveness() -> dict`` method (in practice
+        #: a :class:`repro.runtime.pool.PoolBackend`); ``None`` on
+        #: serial runs.
+        self.pool = pool
         self.interval_s = interval_s
         self._clock = clock
         self._started = clock()
@@ -107,7 +119,7 @@ class HeartbeatWriter:
         breakers = {OPEN: 0, HALF_OPEN: 0, CLOSED: 0}
         if self.board is not None:
             breakers.update(self.board.state_counts())
-        return {
+        record = {
             "schema": HEARTBEAT_SCHEMA,
             "version": HEARTBEAT_VERSION,
             "seq": self.seq + 1,
@@ -120,6 +132,9 @@ class HeartbeatWriter:
                                if throughput is not None else None),
             "eta_s": round(eta, 3) if eta is not None else None,
         }
+        if self.pool is not None:
+            record["workers"] = self.pool.liveness()
+        return record
 
     def emit(self, *, now: float | None = None) -> dict:
         """Write one heartbeat line (and refresh the live gauges)."""
@@ -216,6 +231,19 @@ def validate_heartbeat(record: object) -> dict:
                                   or value < 0):
             raise ValueError(f"{key} must be null or a non-negative "
                              f"number, got {value!r}")
+    if "workers" in record:
+        workers = record["workers"]
+        if not isinstance(workers, dict):
+            raise ValueError("'workers' must be an object when present")
+        for key in _WORKER_KEYS:
+            if not isinstance(workers.get(key), int) \
+                    or workers[key] < 0:
+                raise ValueError(f"workers.{key} must be a "
+                                 f"non-negative int, got "
+                                 f"{workers.get(key)!r}")
+        if workers["alive"] > workers["target"]:
+            raise ValueError(f"workers.alive={workers['alive']} "
+                             f"exceeds target={workers['target']}")
     return record
 
 

@@ -35,6 +35,27 @@ raises :class:`~repro.errors.ManifestError`, which the CLI maps to
 exit code 2 — the manifest, not the specs it names, is what cannot be
 used.  Reading a *named spec file* lazily at execution time, by
 contrast, is a per-task failure handled by the batch runner.
+
+**Streaming manifests** (``*.jsonl``): a 100k-task corpus manifest
+does not fit comfortably in memory as one JSON array, so ``.jsonl``
+files hold one header object on the first line — the usual ``schema``
+/ ``version`` / ``defaults`` envelope plus a mandatory ``count`` —
+followed by one task object per line::
+
+    {"schema": "repro.runtime.manifest", "version": 1,
+     "defaults": {"seed": 7}, "count": 100000}
+    {"id": "corpus-000000", "op": "check", "dtd_text": "...", ...}
+    ...
+
+:func:`load` returns a :class:`StreamingManifest` for them: tasks are
+validated and yielded one at a time on every :meth:`~Manifest.iter_tasks`
+pass, never materialized as a list.  The strict-validation contract is
+necessarily weaker here — a bad task line is only discovered when the
+iterator reaches it (still a :class:`~repro.errors.ManifestError`,
+still exit code 2; the header and ``count`` are checked eagerly).
+Consumers that can stream should prefer :meth:`~Manifest.iter_tasks`
+and :attr:`~Manifest.task_count` over the ``tasks`` list — the batch
+runner and the pool backend do.
 """
 
 from __future__ import annotations
@@ -42,7 +63,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path as FilePath
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ManifestError
 
@@ -103,12 +124,91 @@ class Task:
 
 @dataclass
 class Manifest:
-    """A validated batch manifest."""
+    """A validated batch manifest.
+
+    Consumers that can stream should use :meth:`iter_tasks` and
+    :attr:`task_count` instead of the ``tasks`` list: the eager
+    manifest satisfies both trivially, and :class:`StreamingManifest`
+    satisfies them without ever materializing the task list.
+    """
 
     tasks: list[Task]
     seed: int = 0
     source: str = "<inline>"
     defaults: dict = field(default_factory=dict)
+
+    @property
+    def task_count(self) -> int:
+        """How many tasks one :meth:`iter_tasks` pass will yield."""
+        return len(self.tasks)
+
+    def iter_tasks(self) -> Iterator[Task]:
+        """Yield every task in manifest order (re-iterable)."""
+        return iter(self.tasks)
+
+
+class StreamingManifest(Manifest):
+    """A manifest whose tasks are validated and yielded lazily.
+
+    Built from a factory returning a fresh raw-task-dict iterator per
+    pass, so the manifest is re-iterable (the serial backend walks it
+    once; a serial-vs-parallel comparison walks it twice).  Task
+    validation happens *during* iteration: an invalid task raises
+    :class:`~repro.errors.ManifestError` at the point it is reached,
+    and an iteration that ends with a different number of tasks than
+    the declared ``count`` raises as well — the zero-task-loss
+    accounting downstream depends on the total being honest.
+
+    Accessing ``.tasks`` materializes the whole list (supported for
+    small manifests and tests; the 100k-task path never touches it).
+    """
+
+    def __init__(self, raw_factory: Callable[[], Iterator[object]],
+                 count: int, *, seed: int = 0, source: str = "<inline>",
+                 defaults: Mapping | None = None,
+                 base_dir: str | FilePath = ".") -> None:
+        defaults = dict(defaults or {})
+        super().__init__(tasks=[], seed=seed, source=source,
+                         defaults=defaults)
+        _require(isinstance(count, int) and not isinstance(count, bool)
+                 and count >= 0,
+                 f"{source}: count must be a non-negative integer, "
+                 f"got {count!r}")
+        self._raw_factory = raw_factory
+        self._count = count
+        self._base_dir = FilePath(base_dir)
+
+    @property
+    def task_count(self) -> int:
+        return self._count
+
+    def iter_tasks(self) -> Iterator[Task]:
+        seen: set[str] = set()
+        yielded = 0
+        for index, raw in enumerate(self._raw_factory()):
+            task = _build_task(raw, index, self.defaults,
+                               self._base_dir)
+            _require(task.id not in seen,
+                     f"duplicate task id {task.id!r}")
+            seen.add(task.id)
+            yielded += 1
+            _require(yielded <= self._count,
+                     f"{self.source}: stream yielded more than the "
+                     f"declared count of {self._count} tasks")
+            yield task
+        _require(yielded == self._count,
+                 f"{self.source}: stream yielded {yielded} task(s), "
+                 f"header declared count={self._count}")
+
+    @property
+    def tasks(self) -> list[Task]:  # type: ignore[override]
+        return list(self.iter_tasks())
+
+    @tasks.setter
+    def tasks(self, value: list[Task]) -> None:
+        # The dataclass __init__ of the base assigns tasks=[]; a
+        # streaming manifest ignores it (tasks are derived).
+        pass
 
 
 def _require(condition: bool, message: str) -> None:
@@ -232,13 +332,82 @@ def from_payload(payload: object, *, source: str = "<inline>",
                     defaults=dict(defaults))
 
 
+def _check_header(payload: object, source: str) -> tuple[dict, int]:
+    """Validate a ``.jsonl`` header line; returns (defaults, count)."""
+    _require(isinstance(payload, dict),
+             f"{source}: header must be a JSON object")
+    assert isinstance(payload, dict)
+    _require(payload.get("schema") == MANIFEST_SCHEMA,
+             f"{source}: not a batch manifest (missing "
+             f"schema={MANIFEST_SCHEMA!r} discriminator)")
+    version = payload.get("version")
+    _require(version == MANIFEST_VERSION,
+             f"{source}: manifest schema version {version!r} is not "
+             f"supported (expected {MANIFEST_VERSION})")
+    defaults = payload.get("defaults", {})
+    _require(isinstance(defaults, dict),
+             f"{source}: defaults must be an object")
+    seed = defaults.get("seed", 0)
+    _require(isinstance(seed, int) and not isinstance(seed, bool),
+             f"{source}: defaults.seed must be an integer")
+    count = payload.get("count")
+    _require(isinstance(count, int) and not isinstance(count, bool)
+             and count >= 0,
+             f"{source}: streaming manifests must declare a "
+             f"non-negative integer task count in the header, "
+             f"got {count!r}")
+    return dict(defaults), count
+
+
+def _load_jsonl(path: FilePath) -> StreamingManifest:
+    """A lazy manifest over a ``.jsonl`` file (header validated now,
+    tasks validated as they stream)."""
+    source = str(path)
+    try:
+        with open(path) as handle:
+            header_line = handle.readline()
+    except OSError as error:
+        raise ManifestError(
+            f"cannot read manifest {path}: {error}") from error
+    _require(header_line.strip() != "",
+             f"{source}: empty manifest (expected a header line)")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as error:
+        raise ManifestError(f"{source}: header line is not valid "
+                            f"JSON: {error}") from error
+    defaults, count = _check_header(header, source)
+
+    def raw_tasks() -> "Iterator[object]":
+        with open(path) as handle:
+            handle.readline()                     # skip the header
+            for lineno, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ManifestError(
+                        f"{source}: line {lineno} is not valid JSON: "
+                        f"{error}") from error
+
+    return StreamingManifest(raw_tasks, count,
+                             seed=defaults.get("seed", 0),
+                             source=source, defaults=defaults,
+                             base_dir=path.parent)
+
+
 def load(path: str | FilePath) -> Manifest:
     """Read and validate a manifest file.
 
     Relative ``dtd`` / ``fds`` paths inside the manifest resolve
-    against the manifest's own directory.
+    against the manifest's own directory.  A ``.jsonl`` suffix selects
+    the streaming loader (see the module docstring); everything else
+    is read as one strictly validated JSON document.
     """
     path = FilePath(path)
+    if path.suffix == ".jsonl":
+        return _load_jsonl(path)
     try:
         text = path.read_text()
     except OSError as error:
@@ -250,6 +419,24 @@ def load(path: str | FilePath) -> Manifest:
         raise ManifestError(
             f"manifest {path} is not valid JSON: {error}") from error
     return from_payload(payload, source=str(path), base_dir=path.parent)
+
+
+def stream(raw_tasks: Callable[[], Iterator[Mapping]], count: int, *,
+           defaults: Mapping | None = None,
+           base_dir: str | FilePath = ".",
+           source: str = "<stream>") -> StreamingManifest:
+    """An in-memory streaming manifest from a raw-task-dict factory.
+
+    ``raw_tasks`` must return a *fresh* iterator per call (the
+    manifest is re-iterable); ``count`` is the number of tasks every
+    pass must yield.
+    """
+    defaults = dict(defaults or {})
+    seed = defaults.get("seed", 0)
+    _require(isinstance(seed, int) and not isinstance(seed, bool),
+             f"{source}: defaults.seed must be an integer")
+    return StreamingManifest(raw_tasks, count, seed=seed, source=source,
+                             defaults=defaults, base_dir=base_dir)
 
 
 def build(tasks: Iterable[Mapping], *, defaults: Mapping | None = None,

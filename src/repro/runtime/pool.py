@@ -1,0 +1,743 @@
+"""Crash-tolerant parallel batch execution over a supervised fork pool.
+
+:class:`PoolBackend` plugs into :class:`~repro.runtime.batch.
+BatchRunner` and fans manifest tasks out to ``N`` forked worker
+processes.  The design goals, in priority order:
+
+1. **No task is ever lost.**  The parent is the single source of truth
+   for what is in flight: it hands each worker exactly one task at a
+   time over a private duplex pipe and does not forget the assignment
+   until the result message arrives.  A worker that dies — non-zero
+   exit, ``SIGKILL``, a corrupted result pipe, a heartbeat stall —
+   has its in-flight task requeued at the front of the queue, where
+   the next idle worker (usually a different one — that is the
+   work-stealing) picks it up.
+2. **The merged report is byte-identical to the serial path.**  Worker
+   crashes are nondeterministic in *timing* (which attempt of which
+   task a ``SIGKILL`` lands on depends on scheduling), so any trace of
+   a *recovered* crash in the summary would break determinism.  The
+   contract is therefore: a task that eventually succeeds (or
+   dead-letters for its own in-task reasons) reports exactly what the
+   serial backend would report — crash recovery is visible only in
+   telemetry (``runtime.pool.*`` counters, :class:`PoolStats`,
+   stderr).  Only a task that exhausts its *crash budget* surfaces in
+   the summary, as a dead letter with reason ``worker_crash`` — and a
+   task that deterministically kills every worker it lands on does so
+   deterministically.  ``docs/ROBUSTNESS.md`` § "Worker supervision
+   contract" spells the argument out.
+3. **Crashes flow through the existing failure machinery.**  Each
+   crash becomes a :class:`~repro.errors.WorkerCrash` (transient, per
+   :func:`~repro.runtime.retry.is_transient`) judged by a dedicated
+   :class:`~repro.runtime.retry.RetryPolicy` crash budget and a
+   parent-side :class:`~repro.runtime.breaker.BreakerBoard` keyed by
+   crash signature (``crash:signal:SIGKILL``, ``crash:exitcode:70``,
+   ``crash:unpicklable-result``, ``crash:stall``) — so a corpus whose
+   tasks keep killing workers opens a breaker and stops burning crash
+   budgets, exactly like in-task failures do.  The crash board is
+   parent-side bookkeeping and is *not* merged into the summary's
+   ``breakers`` (determinism again).
+
+Workers are forked (``multiprocessing.get_context("fork")``): the
+manifest, spec corpus, and runner configuration are shared
+copy-on-write, so dispatch messages carry only the task.  Each worker
+re-initializes the metrics registry first thing
+(:func:`repro.obs.metrics.reinit_after_fork` — the inherited lock may
+have been held by a parent exporter thread at the instant of the
+fork) and drops inherited trace sinks; its counters ship back as
+per-result deltas and its histograms as one raw dump at shutdown, so
+the parent's merged snapshot covers the whole pool.
+
+A non-:class:`~repro.errors.ReproError` escaping a task inside a
+worker is the same exception-safety breach it is on the serial path:
+the worker reports the traceback and exits with
+:data:`BREACH_EXITCODE`, and the parent tears the pool down and
+crashes loudly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+import traceback
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import WorkerCrash
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.runtime.breaker import BreakerBoard, failure_signature
+from repro.runtime.manifest import Task
+from repro.runtime.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.batch import BatchRunner, TaskOutcome
+
+#: Exit code a worker uses to flag an exception-safety contract
+#: breach (a non-ReproError escaped a task).  Mirrors BSD
+#: ``EX_SOFTWARE``.
+BREACH_EXITCODE = 70
+
+#: Default number of worker deaths one task may survive before it is
+#: dead-lettered with reason ``worker_crash``.
+DEFAULT_CRASH_RETRIES = 3
+
+#: Chaos actions :class:`PoolBackend` can inject into workers (test
+#: hook; see ``chaos=``).
+CHAOS_ACTIONS = ("sigkill", "sigterm", "exit", "garbage", "sigstop")
+
+#: Chaos timings: before the task runs, or after it ran but before
+#: the result is sent (forcing a re-execution on requeue).
+CHAOS_TIMINGS = ("pre", "post")
+
+
+def pool_available() -> bool:
+    """Whether this platform supports the fork start method (the pool
+    requires it: forked workers share the read-only spec corpus and
+    receive unpickled runner state for free)."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def resolve_workers(value: str | int, *,
+                    task_count: int | None = None) -> int:
+    """Turn a ``--workers`` spec into a concrete worker count.
+
+    ``"auto"`` means one worker per CPU core, never more than there
+    are tasks; an explicit integer is respected as-is (still capped by
+    the task count — idle workers would only be forked to be told to
+    stop).  A resolved count of 1 is the caller's cue to use the
+    serial backend instead.
+    """
+    if isinstance(value, str):
+        if value == "auto":
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"workers must be 'auto' or a positive integer, "
+                    f"got {value!r}") from None
+    else:
+        workers = value
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if task_count is not None:
+        workers = max(1, min(workers, task_count))
+    return workers
+
+
+@dataclass
+class PoolStats:
+    """Supervision telemetry for one pool run (JSON-ready).
+
+    Deliberately *outside* the batch summary: crash counts depend on
+    nondeterministic kill timing, and the summary must stay
+    byte-identical to the serial path.
+    """
+
+    workers: int = 0
+    spawned: int = 0
+    crashed: int = 0
+    requeued: int = 0
+    stolen: int = 0
+    dead_lettered: int = 0
+    stalls: int = 0
+    #: Crash details in detection order, e.g. ``signal:SIGKILL``.
+    crash_details: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {"workers": self.workers, "spawned": self.spawned,
+                "crashed": self.crashed, "requeued": self.requeued,
+                "stolen": self.stolen,
+                "dead_lettered": self.dead_lettered,
+                "stalls": self.stalls,
+                "crash_details": list(self.crash_details)}
+
+
+# -- worker side -------------------------------------------------------
+
+def _chaos_act(action: str, conn: _mp_connection.Connection,
+               send_lock: threading.Lock) -> None:
+    """Execute one injected chaos action inside the worker (test
+    hook).  Every action ends this worker one way or another."""
+    if action == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(3600)  # pragma: no cover - SIGKILL is immediate
+    elif action == "sigterm":
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(3600)  # pragma: no cover - waiting for delivery
+    elif action == "exit":
+        os._exit(3)
+    elif action == "garbage":
+        # A complete, length-prefixed message whose payload is not a
+        # valid pickle: the parent's recv() raises UnpicklingError,
+        # which it must treat as a worker crash.  Then hang until the
+        # supervisor kills us.
+        with send_lock:
+            conn.send_bytes(b"\x80\x04this is not a pickle")
+        time.sleep(3600)
+    elif action == "sigstop":
+        # Freeze the whole process — heartbeat thread included, which
+        # is what distinguishes a wedged worker from a slow task.  The
+        # parent's stall detector must SIGKILL us.
+        os.kill(os.getpid(), signal.SIGSTOP)
+        time.sleep(3600)
+    else:  # pragma: no cover - rejected at PoolBackend construction
+        raise AssertionError(f"unknown chaos action {action!r}")
+
+
+def _heartbeat_loop(conn: _mp_connection.Connection,
+                    send_lock: threading.Lock,
+                    interval: float) -> None:  # pragma: no cover - timing
+    """Daemon thread: periodic liveness pings so the parent's stall
+    detector can tell "slow task" from "wedged worker"."""
+    while True:
+        time.sleep(interval)
+        try:
+            with send_lock:
+                conn.send(("hb",))
+        except OSError:
+            return
+
+
+def _worker_main(worker_id: int, runner: "BatchRunner",
+                 conn: _mp_connection.Connection,
+                 heartbeat_interval: float) -> None:
+    """The forked worker entrypoint: recv task, run it, send outcome.
+
+    Fork hygiene first: a fresh metrics lock + registry (the
+    inherited lock may be held by a parent thread) and no inherited
+    trace sinks (the parent owns the trace file descriptor).  The
+    worker runs tasks through the *same* ``runner._run_task`` retry
+    loop as the serial backend — that is what makes per-task records
+    backend-independent.
+    """
+    _obs.reinit_after_fork()
+    _trace.clear_sinks()
+    send_lock = threading.Lock()
+    if heartbeat_interval > 0:
+        threading.Thread(target=_heartbeat_loop,
+                         args=(conn, send_lock, heartbeat_interval),
+                         daemon=True).start()
+    last_counters: dict[str, int] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent died: nothing to do
+            os._exit(1)
+        if message[0] == "stop":
+            dump = _obs.dump_raw()
+            # Counter increments already shipped as per-result deltas;
+            # the bye carries only the unshipped remainder (plus the
+            # histograms/timers, which ship nowhere else).
+            dump["counters"] = {
+                name: value - last_counters.get(name, 0)
+                for name, value in dump["counters"].items()
+                if value != last_counters.get(name, 0)}
+            with send_lock:
+                conn.send(("bye", dump, runner.board.snapshot()))
+            conn.close()
+            os._exit(0)
+        _kind, index, task, chaos = message
+        if chaos is not None and chaos[1] == "pre":
+            _chaos_act(chaos[0], conn, send_lock)
+        try:
+            outcome = runner._run_task(task)
+        except BaseException:
+            # Exception-safety breach (non-ReproError escaped): report
+            # the traceback, then die with the breach exit code — the
+            # parent crashes the batch loudly, like the serial path.
+            try:
+                with send_lock:
+                    conn.send(("breach", traceback.format_exc()))
+            except OSError:
+                pass
+            os._exit(BREACH_EXITCODE)
+        if chaos is not None and chaos[1] == "post":
+            _chaos_act(chaos[0], conn, send_lock)
+        counters = _obs.counters_snapshot()
+        delta = {name: value - last_counters.get(name, 0)
+                 for name, value in counters.items()
+                 if value != last_counters.get(name, 0)}
+        last_counters = counters
+        with send_lock:
+            conn.send(("result", index, outcome, delta))
+
+
+# -- parent side -------------------------------------------------------
+
+@dataclass
+class _Assignment:
+    """One manifest task's journey through the pool."""
+
+    index: int
+    task: Task
+    #: Worker deaths this task has already survived.
+    crash_attempts: int = 0
+    #: Failure records (batch-summary shape) for those deaths, kept in
+    #: case the crash budget runs out and we must dead-letter.
+    crash_failures: list[dict] = field(default_factory=list)
+    #: Signature of the most recent crash (breaker bookkeeping).
+    crash_signature: str | None = None
+    #: The worker that last held this task (steal accounting).
+    last_worker: int | None = None
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("id", "proc", "conn", "assignment", "last_seen",
+                 "kill_reason", "stopping")
+
+    def __init__(self, worker_id: int, proc, conn) -> None:
+        self.id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.assignment: _Assignment | None = None
+        self.last_seen = time.monotonic()
+        #: Set by the parent before it SIGKILLs the worker, so the
+        #: death handler can report *why* (stall, corrupt pipe).
+        self.kill_reason: str | None = None
+        self.stopping = False
+
+
+class PoolBackend:
+    """Process-pool execution backend for :class:`BatchRunner`.
+
+    ``workers``
+        Target pool size (already resolved; see
+        :func:`resolve_workers`).
+    ``crash_retries``
+        Worker deaths one task may survive before dead-lettering with
+        reason ``worker_crash`` (its *crash budget*, separate from the
+        in-task retry budget).
+    ``stall_timeout``
+        Seconds without any message from a worker with a task in
+        flight before the supervisor declares it wedged and SIGKILLs
+        it (crash detail ``stall``).  ``0`` disables stall detection.
+    ``chaos``
+        Test hook: ``{task_id: {crash_attempt: (action, timing)}}``
+        injects a worker death around a specific dispatch — actions
+        from :data:`CHAOS_ACTIONS`, timings from
+        :data:`CHAOS_TIMINGS` (``post`` runs the task first, so the
+        requeued task proves re-execution).
+
+    After :meth:`run`, ``stats`` holds the :class:`PoolStats` and
+    ``merged_breakers`` the numerically merged worker breaker
+    snapshots (which :meth:`BatchRunner.summarize` receives via its
+    ``breakers`` argument).
+    """
+
+    name = "pool"
+
+    #: Supervision loop tick (seconds): upper bound on how stale the
+    #: stall detector's view can be; events wake the loop immediately.
+    _TICK = 0.2
+
+    def __init__(self, workers: int, *,
+                 crash_retries: int = DEFAULT_CRASH_RETRIES,
+                 stall_timeout: float = 0.0,
+                 chaos: dict[str, dict[int, tuple[str, str]]]
+                 | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if crash_retries < 0:
+            raise ValueError(
+                f"crash_retries must be >= 0, got {crash_retries}")
+        if stall_timeout < 0:
+            raise ValueError(
+                f"stall_timeout must be >= 0, got {stall_timeout}")
+        if chaos:
+            for task_id, plan in chaos.items():
+                for attempt, (action, timing) in plan.items():
+                    if action not in CHAOS_ACTIONS:
+                        raise ValueError(
+                            f"unknown chaos action {action!r} for "
+                            f"task {task_id!r}")
+                    if timing not in CHAOS_TIMINGS:
+                        raise ValueError(
+                            f"unknown chaos timing {timing!r} for "
+                            f"task {task_id!r}")
+        self.workers = workers
+        self.crash_retries = crash_retries
+        self.stall_timeout = stall_timeout
+        self.chaos = chaos or {}
+        self.stats = PoolStats()
+        self.merged_breakers: dict[str, dict] = {}
+        self._live: dict[int, _Worker] = {}
+        self._next_id = 0
+
+    # -- liveness (heartbeat integration) ------------------------------
+
+    def liveness(self) -> dict:
+        """Point-in-time worker liveness for the heartbeat stream."""
+        return {"target": self.stats.workers or self.workers,
+                "alive": len(self._live),
+                "crashed": self.stats.crashed,
+                "requeued": self.stats.requeued}
+
+    # -- the supervision loop ------------------------------------------
+
+    def run(self, runner: "BatchRunner") -> list["TaskOutcome"]:
+        from repro.runtime.batch import (
+            REASON_WORKER_CRASH,
+            TaskOutcome,
+            error_chain,
+        )
+        self._reason_worker_crash = REASON_WORKER_CRASH
+        self._task_outcome = TaskOutcome
+        self._error_chain = error_chain
+
+        manifest = runner.manifest
+        total = manifest.task_count
+        if total == 0:
+            return []
+        ctx = get_context("fork")
+        self._ctx = ctx
+        self._runner = runner
+        crash_policy = RetryPolicy(retries=self.crash_retries,
+                                   backoff_base_ms=0.0,
+                                   seed=runner.policy.seed)
+        crash_board = BreakerBoard()
+        task_iter: Iterator[tuple[int, Task]] = \
+            enumerate(manifest.iter_tasks())
+        pending: deque[_Assignment] = deque()
+        outcomes: dict[int, "TaskOutcome"] = {}
+        exhausted = False
+        target = min(self.workers, total)
+        self.stats.workers = target
+
+        def next_assignment() -> _Assignment | None:
+            nonlocal exhausted
+            if pending:
+                return pending.popleft()
+            if exhausted:
+                return None
+            try:
+                index, task = next(task_iter)
+            except StopIteration:
+                exhausted = True
+                return None
+            return _Assignment(index=index, task=task)
+
+        def dead_letter(assignment: _Assignment) -> None:
+            outcome = self._task_outcome(
+                task=assignment.task, status="dead-letter",
+                attempts=len(assignment.crash_failures),
+                failures=list(assignment.crash_failures),
+                reason=self._reason_worker_crash,
+                signature=assignment.crash_signature)
+            outcomes[assignment.index] = outcome
+            self.stats.dead_lettered += 1
+            if _obs.enabled:
+                _obs.inc("runtime.tasks.deadletter")
+            if runner.on_task_done is not None:
+                runner.on_task_done(outcome)
+
+        def handle_result(worker: _Worker, index: int,
+                          outcome: "TaskOutcome",
+                          delta: dict[str, int]) -> None:
+            assignment = worker.assignment
+            worker.assignment = None
+            if _obs.enabled:
+                for name, value in delta.items():
+                    _obs.inc(name, value)
+            if assignment is None or assignment.index != index:
+                # A result for a task this worker no longer owns can
+                # only mean supervisor state corruption; fail loudly.
+                raise RuntimeError(
+                    f"pool protocol violation: worker {worker.id} "
+                    f"returned task index {index} it does not own")
+            if assignment.crash_signature is not None:
+                # The task survived its crashes: close that breaker,
+                # mirroring the serial success-after-failure rule.
+                crash_board.get(
+                    assignment.crash_signature).record_success()
+            outcomes[index] = outcome
+            if runner.on_task_done is not None:
+                runner.on_task_done(outcome)
+
+        def handle_death(worker: _Worker) -> None:
+            self._live.pop(worker.id, None)
+            worker.proc.join()
+            if worker.kill_reason is None and not worker.stopping:
+                # Natural death: a result may be sitting in the pipe
+                # (chaos or OOM killer striking between send and the
+                # next recv) — drain it before declaring the task
+                # lost, so no task ever runs twice *visibly*.
+                try:
+                    while worker.conn.poll():
+                        message = worker.conn.recv()
+                        if message[0] == "result":
+                            handle_result(worker, message[1],
+                                          message[2], message[3])
+                except Exception:
+                    pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.stopping:
+                return
+            exitcode = worker.proc.exitcode
+            if worker.kill_reason is not None:
+                detail = worker.kill_reason
+            elif exitcode is not None and exitcode < 0:
+                try:
+                    detail = f"signal:{signal.Signals(-exitcode).name}"
+                except ValueError:
+                    detail = f"signal:{-exitcode}"
+            else:
+                detail = f"exitcode:{exitcode}"
+            self.stats.crashed += 1
+            self.stats.crash_details.append(detail)
+            if _obs.enabled:
+                _obs.inc("runtime.pool.crashed")
+            print(f"xnf batch: worker {worker.id} died ({detail})",
+                  file=sys.stderr)
+            assignment = worker.assignment
+            worker.assignment = None
+            if assignment is not None:
+                error = WorkerCrash(detail, worker=worker.id)
+                sig = failure_signature(error)
+                assignment.crash_failures.append(
+                    {"attempt": assignment.crash_attempts,
+                     "signature": sig, "transient": True,
+                     "chain": self._error_chain(error)})
+                assignment.crash_signature = sig
+                breaker = crash_board.get(sig)
+                if crash_policy.should_retry(
+                        error, assignment.crash_attempts):
+                    if breaker.allows_retries():
+                        assignment.crash_attempts += 1
+                        pending.appendleft(assignment)
+                        self.stats.requeued += 1
+                        if _obs.enabled:
+                            _obs.inc("runtime.pool.requeued")
+                    else:
+                        breaker.record_skip()
+                        dead_letter(assignment)
+                else:
+                    breaker.record_failure()
+                    dead_letter(assignment)
+            # Keep the pool at strength while there is work left.
+            if len(outcomes) < total:
+                spawn()
+
+        def spawn() -> None:
+            if len(self._live) >= target:
+                return
+            worker_id = self._next_id
+            self._next_id += 1
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            interval = self.stall_timeout / 4 \
+                if self.stall_timeout > 0 else 0.0
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, runner, child_conn, interval),
+                name=f"xnf-batch-worker-{worker_id}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._live[worker_id] = _Worker(worker_id, proc,
+                                            parent_conn)
+            self.stats.spawned += 1
+            if _obs.enabled:
+                _obs.inc("runtime.pool.spawned")
+                _obs.set_gauge("runtime.pool.workers.alive",
+                               len(self._live))
+
+        def dispatch() -> None:
+            for worker in list(self._live.values()):
+                if worker.assignment is not None or worker.stopping:
+                    continue
+                assignment = next_assignment()
+                if assignment is None:
+                    return
+                chaos = self.chaos.get(assignment.task.id, {}).get(
+                    assignment.crash_attempts)
+                if assignment.last_worker is not None \
+                        and assignment.last_worker != worker.id:
+                    self.stats.stolen += 1
+                    if _obs.enabled:
+                        _obs.inc("runtime.pool.stolen")
+                try:
+                    worker.conn.send(("task", assignment.index,
+                                      assignment.task, chaos))
+                except OSError:
+                    # Died between wait() and send(): put the task
+                    # back; the sentinel wakes us to handle the death.
+                    pending.appendleft(assignment)
+                    continue
+                assignment.last_worker = worker.id
+                worker.assignment = assignment
+                worker.last_seen = time.monotonic()
+
+        breach: str | None = None
+        try:
+            for _ in range(target):
+                spawn()
+            dispatch()
+            while len(outcomes) < total:
+                if not self._live:
+                    # Every worker is gone yet work remains — only
+                    # reachable if spawning itself fails.
+                    raise RuntimeError(
+                        "pool lost all workers with "
+                        f"{total - len(outcomes)} tasks unfinished")
+                conns = {worker.conn: worker
+                         for worker in self._live.values()}
+                sentinels = {worker.proc.sentinel: worker
+                             for worker in self._live.values()}
+                ready = _mp_connection.wait(
+                    list(conns) + list(sentinels), timeout=self._TICK)
+                for item in ready:
+                    worker = conns.get(item)
+                    if worker is None:
+                        continue  # sentinel: handled below
+                    if worker.id not in self._live:
+                        continue  # already reaped this round
+                    try:
+                        while worker.conn.poll():
+                            message = worker.conn.recv()
+                            worker.last_seen = time.monotonic()
+                            if message[0] == "result":
+                                handle_result(worker, message[1],
+                                              message[2], message[3])
+                            elif message[0] == "hb":
+                                pass
+                            elif message[0] == "breach":
+                                breach = message[1]
+                                raise _BreachSignal()
+                            else:  # pragma: no cover - defensive
+                                raise RuntimeError(
+                                    "unknown pool message "
+                                    f"{message[0]!r}")
+                    except (EOFError, OSError):
+                        pass  # death: the sentinel handler takes over
+                    except _BreachSignal:
+                        raise
+                    except RuntimeError:
+                        raise
+                    except Exception:
+                        # recv() could not unpickle what the worker
+                        # wrote: the channel is poisoned — kill the
+                        # worker and let the death handler requeue.
+                        self._kill(worker, "unpicklable-result")
+                for item in ready:
+                    worker = sentinels.get(item)
+                    if worker is not None and worker.id in self._live:
+                        handle_death(worker)
+                if self.stall_timeout > 0:
+                    now = time.monotonic()
+                    for worker in list(self._live.values()):
+                        if worker.assignment is not None \
+                                and worker.kill_reason is None \
+                                and now - worker.last_seen \
+                                > self.stall_timeout:
+                            self.stats.stalls += 1
+                            self._kill(worker, "stall")
+                dispatch()
+            self._shutdown_graceful()
+        except _BreachSignal:
+            raise RuntimeError(
+                "worker exception-safety contract breach "
+                "(non-ReproError escaped a task):\n"
+                + (breach or "<no traceback>")) from None
+        finally:
+            self._shutdown_force()
+        if _obs.enabled:
+            _obs.set_gauge("runtime.pool.workers.alive", 0)
+        self.merged_breakers = dict(sorted(self.merged_breakers.items()))
+        return [outcomes[index] for index in range(total)]
+
+    # -- teardown ------------------------------------------------------
+
+    def _kill(self, worker: _Worker, reason: str) -> None:
+        worker.kill_reason = reason
+        try:
+            os.kill(worker.proc.pid, signal.SIGKILL)
+        except (OSError, TypeError):  # pragma: no cover - already gone
+            pass
+
+    def _shutdown_graceful(self) -> None:
+        """Stop idle workers, collecting their metrics dumps and
+        breaker snapshots (the ``bye`` message)."""
+        for worker in list(self._live.values()):
+            worker.stopping = True
+            try:
+                worker.conn.send(("stop",))
+            except OSError:
+                continue
+        deadline = time.monotonic() + 10.0
+        for worker in list(self._live.values()):
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                if worker.conn.poll(remaining):
+                    message = worker.conn.recv()
+                    if message[0] == "bye":
+                        _obs.merge_raw(message[1])
+                        _merge_breaker_snapshots(
+                            self.merged_breakers, message[2])
+            except (EOFError, OSError):
+                pass
+            worker.proc.join(timeout=max(0.1, remaining))
+            self._live.pop(worker.id, None)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def _shutdown_force(self) -> None:
+        """Last-resort teardown: SIGKILL anything still alive."""
+        for worker in list(self._live.values()):
+            try:
+                if worker.proc.is_alive():
+                    os.kill(worker.proc.pid, signal.SIGKILL)
+            except (OSError, TypeError):
+                pass
+            worker.proc.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._live.clear()
+
+
+class _BreachSignal(Exception):
+    """Internal control flow: a worker reported a contract breach."""
+
+
+def _merge_breaker_snapshots(into: dict[str, dict],
+                             snapshot: dict[str, dict]) -> None:
+    """Numerically fold one worker's breaker snapshot into the merged
+    view: counts add, the state takes the most severe
+    (open > half-open > closed), consecutive_failures adds (advisory
+    across workers — each worker's breaker tripped independently).
+
+    Clean runs merge empty snapshots into ``{}``, which is exactly
+    what the serial path reports — the byte-identity case.  Under
+    injected in-task faults the merged counts are the per-worker sums.
+    """
+    severity = {"closed": 0, "half-open": 1, "open": 2}
+    for sig, entry in snapshot.items():
+        current = into.get(sig)
+        if current is None:
+            into[sig] = dict(entry)
+            continue
+        for key in ("trips", "skips", "probes",
+                    "consecutive_failures"):
+            current[key] += entry[key]
+        if severity.get(entry["state"], 0) \
+                > severity.get(current["state"], 0):
+            current["state"] = entry["state"]

@@ -19,6 +19,13 @@ when a repeat of the same attempt could plausibly end differently.
 * :class:`~repro.errors.ResourceExhausted` on a *counted* limit
   (``steps`` / ``branches`` / ``nodes``) — **permanent**: the engines
   are deterministic, so the same budget buys the same trip.
+* :class:`~repro.errors.WorkerCrash` — **transient**: the death of a
+  pool worker (signal, OOM kill, corrupted result pipe, heartbeat
+  stall) says something about the environment, not necessarily about
+  the task, so the supervisor requeues it — under its *own* crash
+  budget, so a task that deterministically kills every worker it
+  lands on still dead-letters (reason ``worker_crash``) rather than
+  looping forever.
 * Every other :class:`~repro.errors.ReproError` (parse failures,
   invalid FDs, unsupported features, ensemble disagreements) —
   permanent: the input itself is the problem.
@@ -41,6 +48,7 @@ from repro.errors import (
     FaultError,
     ReproError,
     ResourceExhausted,
+    WorkerCrash,
 )
 
 #: ``ResourceExhausted.limit`` values considered transient.
@@ -50,6 +58,8 @@ TRANSIENT_LIMITS = ("injected", "deadline")
 def is_transient(error: ReproError) -> bool:
     """Whether a repeat of the same attempt could end differently."""
     if isinstance(error, FaultError):
+        return True
+    if isinstance(error, WorkerCrash):
         return True
     if isinstance(error, ResourceExhausted):
         return error.limit in TRANSIENT_LIMITS

@@ -64,7 +64,7 @@ def _assert_nothing_lost(summary: dict, total: int) -> None:
     for letter in summary["dead_letters"]:
         assert letter["error_chain"], letter["id"]
         assert letter["reason"] in ("permanent", "retries_exhausted",
-                                    "breaker_open")
+                                    "breaker_open", "worker_crash")
     json.dumps(summary)       # the report itself must serialize
 
 
@@ -147,6 +147,133 @@ def test_ensemble_agreement_over_random_spec_corpus():
                      for task in summary["tasks"]
                      if task.get("disagreements")]
     assert summary["ensemble_disagreements"] == 0, disagreements
+
+
+# -- worker-crash chaos (the pool backend) ---------------------------
+#
+# The parallel counterpart of the fault storms above: instead of
+# exceptions *inside* the engines, whole worker processes die —
+# SIGKILL, SIGTERM, plain exits, corrupted result pipes — at chosen
+# points of a task's life.  The invariants are stronger than
+# zero-task-loss: a run whose every task eventually succeeds must
+# produce a summary *byte-identical* to the serial backend's (crash
+# recovery is telemetry, not report content; docs/ROBUSTNESS.md).
+
+POOL_CRASH_ACTIONS = ("sigkill", "sigterm", "exit", "garbage")
+
+
+def _pool_run(count, seed, *, workers=2, chaos=None, crash_retries=3):
+    from repro.runtime.batch import BatchRunner
+    from repro.runtime.pool import PoolBackend
+    pool = PoolBackend(workers, crash_retries=crash_retries,
+                       chaos=chaos)
+    runner = BatchRunner(corpus.stream_manifest(count, seed=seed),
+                         policy=RetryPolicy(backoff_base_ms=0,
+                                            seed=seed),
+                         backend=pool, sleeper=lambda ms: None)
+    return runner.run(), pool
+
+
+def _serial_run(count, seed):
+    return run_batch(corpus.stream_manifest(count, seed=seed),
+                     policy=RetryPolicy(backoff_base_ms=0, seed=seed),
+                     sleeper=lambda ms: None)
+
+
+@pytest.mark.parametrize("action", POOL_CRASH_ACTIONS)
+@pytest.mark.parametrize("timing", ("pre", "post"))
+def test_worker_crash_sweep_first_attempt(action, timing):
+    """Kill a worker around its first dispatch of one task — before
+    the task runs or after it ran but before the result shipped — for
+    every crash detection source.  Zero loss, byte-identical report."""
+    chaos = {"corpus-0002": {0: (action, timing)}}
+    summary, pool = _pool_run(6, seed=31, chaos=chaos)
+    _assert_nothing_lost(summary, 6)
+    assert summary["counts"]["ok"] == 6
+    assert pool.stats.crashed == 1
+    assert pool.stats.requeued == 1
+    assert json.dumps(summary, sort_keys=True) \
+        == json.dumps(_serial_run(6, 31), sort_keys=True)
+
+
+@pytest.mark.parametrize("action", ("sigkill", "exit"))
+def test_worker_crash_sweep_mid_retry(action):
+    """The same task kills two workers in a row (its first and second
+    crash attempts) and still recovers on the third dispatch."""
+    chaos = {"corpus-0001": {0: (action, "pre"), 1: (action, "post")}}
+    summary, pool = _pool_run(6, seed=31, chaos=chaos)
+    _assert_nothing_lost(summary, 6)
+    assert summary["counts"]["ok"] == 6
+    assert pool.stats.crashed == 2
+    assert pool.stats.requeued == 2
+    assert json.dumps(summary, sort_keys=True) \
+        == json.dumps(_serial_run(6, 31), sort_keys=True)
+
+
+def test_poison_task_dead_letter_is_deterministic():
+    """A task that kills every worker it lands on exhausts its crash
+    budget and dead-letters with reason ``worker_crash`` — and two
+    runs of that losing battle report byte-identical summaries."""
+    chaos = {"corpus-0003": {attempt: ("sigkill", "pre")
+                             for attempt in range(6)}}
+    first, pool = _pool_run(8, seed=13, chaos=chaos, crash_retries=2)
+    second, _ = _pool_run(8, seed=13, chaos=chaos, crash_retries=2)
+    _assert_nothing_lost(first, 8)
+    assert first["counts"]["failed"] == 1
+    [letter] = first["dead_letters"]
+    assert letter["reason"] == "worker_crash"
+    assert json.dumps(first, sort_keys=True) \
+        == json.dumps(second, sort_keys=True)
+    assert pool.stats.dead_lettered == 1
+
+
+def test_random_sigkill_storm_still_byte_identical():
+    """An *external* killer SIGKILLs live workers at random times
+    while the batch runs — timing the chaos plan cannot script.  As
+    long as every task survives its crash budget, the merged summary
+    must still equal the serial bytes exactly."""
+    import os as _os
+    import signal as _signal
+    import threading
+    import time as _time
+
+    from repro.runtime.batch import BatchRunner
+    from repro.runtime.pool import PoolBackend
+
+    total, seed, kills = 24, 37, 3
+    pool = PoolBackend(2, crash_retries=10_000)
+    runner = BatchRunner(corpus.stream_manifest(total, seed=seed),
+                         policy=RetryPolicy(backoff_base_ms=0,
+                                            seed=seed),
+                         backend=pool, sleeper=lambda ms: None)
+    done = threading.Event()
+    delivered = []
+
+    def killer():
+        while not done.is_set() and len(delivered) < kills:
+            _time.sleep(0.15)
+            for worker in list(pool._live.values()):
+                if worker.proc.pid is None:
+                    continue
+                try:
+                    _os.kill(worker.proc.pid, _signal.SIGKILL)
+                except OSError:
+                    continue
+                delivered.append(worker.proc.pid)
+                break
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    try:
+        summary = runner.run()
+    finally:
+        done.set()
+        thread.join(timeout=5)
+    _assert_nothing_lost(summary, total)
+    assert summary["counts"]["ok"] == total
+    assert pool.stats.crashed == len(delivered)
+    assert json.dumps(summary, sort_keys=True) \
+        == json.dumps(_serial_run(total, seed), sort_keys=True)
 
 
 def test_ensemble_batch_under_faults_still_loses_nothing():

@@ -522,6 +522,63 @@ class TestBatchCLI:
         monkeypatch.setattr("time.sleep", lambda seconds: None)
         assert delays(["--seed", "7"]) != delays(["--seed", "8"])
 
+    def test_workers_1_delegates_to_serial_backend(self, tmp_path,
+                                                   capsys):
+        """``--workers 1`` must take the serial path: no pool, no
+        worker processes, no pool stats line."""
+        manifest = self._write_manifest(tmp_path, self._tasks())
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--workers", "1"]) == 0
+        out, err = capsys.readouterr()
+        assert "pool:" not in err
+        import json
+        assert json.loads(out)["counts"]["ok"] == 3
+
+    def test_parallel_summary_matches_serial_bytes(self, tmp_path,
+                                                   capsys):
+        manifest = self._write_manifest(tmp_path, self._tasks(6))
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--workers", "2"]) == 0
+        parallel_out, err = capsys.readouterr()
+        assert parallel_out == serial_out
+        assert "pool: 2 worker(s)" in err
+
+    def test_workers_auto_degrades_to_serial_under_fault_plans(
+            self, tmp_path, capsys, monkeypatch):
+        """Fault-plan arms are per-process fire-once state, so a
+        faulted parallel run would not be replayable; the CLI must
+        fall back to serial and say so."""
+        monkeypatch.setenv("REPRO_FAULTS", "fd.closure.iteration")
+        manifest = self._write_manifest(tmp_path, self._tasks(2))
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--workers", "4"]) == 0
+        err = capsys.readouterr().err
+        assert "running serially" in err
+        assert "pool:" not in err
+
+    def test_bad_workers_value_is_a_usage_error(self, tmp_path,
+                                                capsys):
+        manifest = self._write_manifest(tmp_path, self._tasks(1))
+        with pytest.raises(SystemExit):
+            main(["batch", manifest, "--workers", "lots"])
+
+    def test_jsonl_manifest_round_trips_through_the_cli(self, tmp_path,
+                                                        capsys):
+        """A streaming ``.jsonl`` corpus manifest runs end to end."""
+        import json
+        from repro.runtime import corpus
+        path = tmp_path / "batch.jsonl"
+        with open(path, "w") as handle:
+            corpus.write_jsonl(handle, 5, seed=3)
+        assert main(["batch", str(path), "--backoff-base", "0",
+                     "--workers", "2"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["counts"] == {"total": 5, "ok": 5,
+                                     "failed": 0, "lost": 0}
+
 
 class TestObsCLI:
     def _trace(self, tmp_path):

@@ -226,3 +226,43 @@ class TestDeterminism:
             return summary["tasks"][0]["delays_ms"]
 
         assert delays(1) != delays(2)
+
+
+class TestBackends:
+    """The execution-backend seam (serial default, pool pluggable)."""
+
+    def test_default_backend_is_serial(self):
+        from repro.runtime.batch import SerialBackend
+        runner = BatchRunner(_manifest([_check_task(id="t")]))
+        assert isinstance(runner.backend, SerialBackend)
+
+    def test_explicit_serial_backend_matches_default_bytes(self):
+        from repro.runtime.batch import SerialBackend
+        manifest = _manifest([_check_task(id=f"t{i}")
+                              for i in range(3)])
+        default = run_batch(manifest, policy=_policy())
+        explicit = run_batch(manifest, policy=_policy(),
+                             backend=SerialBackend())
+        assert json.dumps(default, sort_keys=True) \
+            == json.dumps(explicit, sort_keys=True)
+
+    def test_serial_backend_reports_on_task_done_in_order(self):
+        manifest = _manifest([_check_task(id=f"t{i}")
+                              for i in range(3)])
+        seen = []
+        run_batch(manifest, policy=_policy(),
+                  on_task_done=lambda outcome: seen.append(
+                      outcome.task.id))
+        assert seen == ["t0", "t1", "t2"]
+
+    def test_summarize_is_a_pure_function_of_outcomes(self):
+        """The pool path relies on summarize() rendering the same
+        bytes for the same outcome list, breakers passed explicitly."""
+        manifest = _manifest([_check_task(id=f"t{i}")
+                              for i in range(3)])
+        runner = BatchRunner(manifest, policy=_policy())
+        outcomes = runner.backend.run(runner)
+        assert json.dumps(runner.summarize(outcomes), sort_keys=True) \
+            == json.dumps(runner.summarize(outcomes), sort_keys=True)
+        with_breakers = runner.summarize(outcomes, breakers={})
+        assert with_breakers["breakers"] == {}

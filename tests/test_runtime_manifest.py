@@ -127,3 +127,126 @@ class TestFiles:
         path.write_text("{not json")
         with pytest.raises(ManifestError, match="not valid JSON"):
             mf.load(path)
+
+
+class TestStreaming:
+    """The lazy manifest layer (StreamingManifest, .jsonl loading)."""
+
+    def _header(self, count, defaults=None):
+        return {"schema": mf.MANIFEST_SCHEMA,
+                "version": mf.MANIFEST_VERSION,
+                "defaults": defaults or {}, "count": count}
+
+    def _write_jsonl(self, tmp_path, tasks, count=None, defaults=None):
+        path = tmp_path / "batch.jsonl"
+        lines = [json.dumps(self._header(
+            len(tasks) if count is None else count, defaults))]
+        lines += [json.dumps(task) for task in tasks]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_stream_yields_validated_tasks_lazily(self):
+        built = []
+
+        def raw():
+            for i in range(3):
+                built.append(i)
+                yield _task(id=f"t{i}")
+
+        manifest = mf.stream(raw, 3)
+        assert manifest.task_count == 3
+        assert built == []                      # nothing touched yet
+        iterator = manifest.iter_tasks()
+        first = next(iterator)
+        assert first.id == "t0"
+        assert built == [0]                     # only one task built
+        assert [task.id for task in iterator] == ["t1", "t2"]
+
+    def test_stream_is_reiterable(self):
+        manifest = mf.stream(
+            lambda: (_task(id=f"t{i}") for i in range(2)), 2)
+        assert [t.id for t in manifest.iter_tasks()] \
+            == [t.id for t in manifest.iter_tasks()] == ["t0", "t1"]
+
+    def test_stream_defaults_flow_into_tasks(self):
+        manifest = mf.stream(lambda: iter([{"op": "check",
+                                            "dtd_text": DTD,
+                                            "fds_text": ""}]), 1,
+                             defaults={"seed": 9, "engine": "chase"})
+        assert manifest.seed == 9
+        [task] = manifest.iter_tasks()
+        assert task.engine == "chase"
+
+    def test_undercount_is_a_manifest_error(self):
+        manifest = mf.stream(
+            lambda: (_task(id=f"t{i}") for i in range(2)), 5)
+        with pytest.raises(ManifestError, match="header declared"):
+            list(manifest.iter_tasks())
+
+    def test_overcount_is_a_manifest_error(self):
+        manifest = mf.stream(
+            lambda: (_task(id=f"t{i}") for i in range(5)), 2)
+        with pytest.raises(ManifestError, match="more than the"):
+            list(manifest.iter_tasks())
+
+    def test_duplicate_ids_caught_during_iteration(self):
+        manifest = mf.stream(
+            lambda: iter([_task(id="same"), _task(id="same")]), 2)
+        with pytest.raises(ManifestError, match="duplicate task id"):
+            list(manifest.iter_tasks())
+
+    def test_invalid_task_raises_at_its_position(self):
+        manifest = mf.stream(
+            lambda: iter([_task(id="ok"), {"op": "teleport"}]), 2)
+        iterator = manifest.iter_tasks()
+        assert next(iterator).id == "ok"
+        with pytest.raises(ManifestError, match="task-0001"):
+            next(iterator)
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        path = self._write_jsonl(
+            tmp_path, [_task(id=f"t{i}") for i in range(4)],
+            defaults={"seed": 6})
+        manifest = mf.load(path)
+        assert isinstance(manifest, mf.StreamingManifest)
+        assert manifest.task_count == 4
+        assert manifest.seed == 6
+        assert [t.id for t in manifest.iter_tasks()] \
+            == ["t0", "t1", "t2", "t3"]
+
+    def test_jsonl_relative_paths_resolve_against_the_file(
+            self, tmp_path):
+        (tmp_path / "specs").mkdir()
+        (tmp_path / "specs" / "d.dtd").write_text(DTD)
+        (tmp_path / "specs" / "d.fds").write_text("db.r.@a -> db.r")
+        path = self._write_jsonl(tmp_path, [
+            {"op": "check", "dtd": "specs/d.dtd",
+             "fds": "specs/d.fds"}])
+        [task] = mf.load(path).iter_tasks()
+        assert task.load_dtd_text() == DTD
+
+    def test_jsonl_header_must_declare_count(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        header = self._header(0)
+        del header["count"]
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ManifestError, match="declare a"):
+            mf.load(path)
+
+    def test_jsonl_bad_task_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        path.write_text(json.dumps(self._header(1)) + "\n{oops\n")
+        manifest = mf.load(path)
+        with pytest.raises(ManifestError, match="line 2"):
+            list(manifest.iter_tasks())
+
+    def test_jsonl_empty_file_is_a_manifest_error(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        path.write_text("")
+        with pytest.raises(ManifestError, match="empty manifest"):
+            mf.load(path)
+
+    def test_eager_manifest_satisfies_the_streaming_protocol(self):
+        manifest = mf.build([_task(id="a"), _task(id="b")])
+        assert manifest.task_count == 2
+        assert [t.id for t in manifest.iter_tasks()] == ["a", "b"]

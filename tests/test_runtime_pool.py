@@ -1,0 +1,265 @@
+"""Unit tests for the process-pool backend (repro.runtime.pool)."""
+
+import json
+
+import pytest
+
+from repro.runtime import corpus
+from repro.runtime import manifest as mf
+from repro.runtime.batch import (
+    REASON_WORKER_CRASH,
+    BatchRunner,
+    SerialBackend,
+)
+from repro.runtime.pool import (
+    PoolBackend,
+    PoolStats,
+    _merge_breaker_snapshots,
+    pool_available,
+    resolve_workers,
+)
+from repro.runtime.retry import RetryPolicy
+
+pytestmark = pytest.mark.skipif(not pool_available(),
+                                reason="fork start method unavailable")
+
+DTD = ("<!ELEMENT db (r*)>\n<!ELEMENT r EMPTY>\n"
+       "<!ATTLIST r a CDATA #REQUIRED b CDATA #REQUIRED>")
+BROKEN_DTD = "<!ELEMENT db (unclosed"
+
+
+def _runner(manifest, backend=None, **policy_overrides):
+    policy = RetryPolicy(retries=2, backoff_base_ms=0,
+                         **policy_overrides)
+    return BatchRunner(manifest, policy=policy, backend=backend,
+                       sleeper=lambda ms: None)
+
+
+def _corpus_summaries(count, seed, workers, **pool_kwargs):
+    serial = _runner(corpus.stream_manifest(count, seed=seed)).run()
+    pool = PoolBackend(workers, **pool_kwargs)
+    parallel = _runner(corpus.stream_manifest(count, seed=seed),
+                       backend=pool).run()
+    return serial, parallel, pool
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers("5") == 5
+
+    def test_auto_is_at_least_one(self):
+        assert resolve_workers("auto") >= 1
+
+    def test_task_count_caps_the_pool(self):
+        assert resolve_workers(8, task_count=3) == 3
+        assert resolve_workers("auto", task_count=1) == 1
+
+    def test_zero_tasks_still_resolves_to_one(self):
+        assert resolve_workers(4, task_count=0) == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers("-2")
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoolBackend(0)
+        with pytest.raises(ValueError):
+            PoolBackend(2, crash_retries=-1)
+        with pytest.raises(ValueError):
+            PoolBackend(2, stall_timeout=-1.0)
+
+    def test_rejects_unknown_chaos(self):
+        with pytest.raises(ValueError):
+            PoolBackend(2, chaos={"t": {0: ("meteor", "pre")}})
+        with pytest.raises(ValueError):
+            PoolBackend(2, chaos={"t": {0: ("sigkill", "sometime")}})
+
+    def test_stats_start_clean(self):
+        stats = PoolBackend(2).stats
+        assert stats.to_json() == PoolStats().to_json()
+
+
+class TestExecution:
+    def test_clean_run_matches_serial_bytes(self):
+        serial, parallel, pool = _corpus_summaries(10, 11, workers=2)
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+        assert pool.stats.crashed == 0
+        assert pool.stats.spawned == 2
+
+    def test_single_worker_pool_matches_serial_bytes(self):
+        serial, parallel, pool = _corpus_summaries(6, 3, workers=1)
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+        assert pool.stats.workers == 1
+
+    def test_empty_manifest_returns_no_outcomes(self):
+        manifest = mf.build([])
+        pool = PoolBackend(2)
+        summary = _runner(manifest, backend=pool).run()
+        assert summary["counts"] == {"total": 0, "ok": 0, "failed": 0,
+                                     "lost": 0}
+        assert pool.stats.spawned == 0
+
+    def test_pool_never_spawns_more_workers_than_tasks(self):
+        _, _, pool = _corpus_summaries(2, 1, workers=8)
+        assert pool.stats.workers == 2
+        assert pool.stats.spawned == 2
+
+    def test_in_worker_dead_letters_match_serial_bytes(self):
+        # Permanent in-task failures (parse errors) must flow through
+        # the workers' own retry/breaker machinery and land in the
+        # summary exactly as the serial path reports them — including
+        # the merged worker-breaker snapshot.
+        tasks = [{"id": f"ok-{i}", "op": "check", "dtd_text": DTD,
+                  "fds_text": "db.r.@a -> db.r.@b"} for i in range(4)]
+        tasks.insert(1, {"id": "bad-1", "op": "check",
+                         "dtd_text": BROKEN_DTD, "fds_text": ""})
+        tasks.insert(3, {"id": "bad-2", "op": "check",
+                         "dtd_text": BROKEN_DTD, "fds_text": ""})
+        serial = _runner(mf.build(tasks)).run()
+        pool = PoolBackend(2)
+        parallel = _runner(mf.build(tasks), backend=pool).run()
+        assert serial["counts"]["failed"] == 2
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+
+    def test_contract_breach_in_worker_crashes_the_batch(self):
+        manifest = corpus.stream_manifest(4, seed=2)
+        pool = PoolBackend(2)
+        runner = _runner(manifest, backend=pool)
+
+        def explode(task):
+            raise RuntimeError("boom: not a ReproError")
+
+        # Fork shares the patched method with the workers, mirroring
+        # the serial backend's loud-crash contract for non-ReproErrors.
+        runner._execute = explode
+        with pytest.raises(RuntimeError, match="contract breach"):
+            runner.run()
+        assert pool.stats.crashed == 0  # breach, not a crash
+
+
+class TestCrashBookkeeping:
+    def test_poison_task_dead_letters_with_worker_crash_reason(self):
+        chaos = {"corpus-0001": {attempt: ("sigkill", "pre")
+                                 for attempt in range(5)}}
+        pool = PoolBackend(2, crash_retries=2, chaos=chaos)
+        summary = _runner(corpus.stream_manifest(5, seed=4),
+                          backend=pool).run()
+        assert summary["counts"]["lost"] == 0
+        assert summary["counts"]["failed"] == 1
+        [letter] = summary["dead_letters"]
+        assert letter["id"] == "corpus-0001"
+        assert letter["reason"] == REASON_WORKER_CRASH
+        assert letter["signature"] == "crash:signal:SIGKILL"
+        assert letter["attempts"] == 3          # 1 + crash_retries
+        assert len(letter["failures"]) == 3
+        assert all(f["transient"] for f in letter["failures"])
+        assert letter["error_chain"][0]["type"] == "WorkerCrash"
+        assert pool.stats.dead_lettered == 1
+        assert pool.stats.crashed == 3
+
+    def test_recovered_crash_is_invisible_in_the_summary(self):
+        chaos = {"corpus-0002": {0: ("sigkill", "pre")}}
+        serial = _runner(corpus.stream_manifest(6, seed=9)).run()
+        pool = PoolBackend(2, chaos=chaos)
+        parallel = _runner(corpus.stream_manifest(6, seed=9),
+                           backend=pool).run()
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+        assert pool.stats.crashed == 1
+        assert pool.stats.requeued == 1
+
+    def test_requeued_task_is_stolen_by_another_worker(self):
+        chaos = {"corpus-0000": {0: ("sigkill", "pre")}}
+        pool = PoolBackend(2, chaos=chaos)
+        summary = _runner(corpus.stream_manifest(6, seed=9),
+                          backend=pool).run()
+        assert summary["counts"]["ok"] == 6
+        assert pool.stats.stolen >= 1
+
+    def test_crash_spawns_a_replacement_worker(self):
+        chaos = {"corpus-0003": {0: ("sigkill", "pre")}}
+        _, _, pool = _corpus_summaries(8, 1, workers=2, chaos=chaos)
+        assert pool.stats.spawned == 3
+        assert pool.stats.crashed == 1
+
+    def test_liveness_reports_pool_shape(self):
+        chaos = {"corpus-0001": {0: ("sigkill", "pre")}}
+        pool = PoolBackend(2, chaos=chaos)
+        _runner(corpus.stream_manifest(6, seed=9), backend=pool).run()
+        liveness = pool.liveness()
+        assert liveness["target"] == 2
+        assert liveness["alive"] == 0            # pool shut down
+        assert liveness["crashed"] == 1
+        assert liveness["requeued"] == 1
+
+
+class TestStallDetection:
+    def test_wedged_worker_is_killed_and_task_requeued(self):
+        chaos = {"corpus-0002": {0: ("sigstop", "pre")}}
+        serial = _runner(corpus.stream_manifest(5, seed=6)).run()
+        pool = PoolBackend(2, stall_timeout=1.0, chaos=chaos)
+        parallel = _runner(corpus.stream_manifest(5, seed=6),
+                           backend=pool).run()
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+        assert pool.stats.stalls == 1
+        assert "stall" in pool.stats.crash_details
+
+
+class TestBreakerMerge:
+    def test_counts_add_and_state_takes_most_severe(self):
+        merged: dict = {}
+        _merge_breaker_snapshots(merged, {
+            "error:X": {"state": "closed", "trips": 0, "skips": 0,
+                        "probes": 0, "consecutive_failures": 1}})
+        _merge_breaker_snapshots(merged, {
+            "error:X": {"state": "open", "trips": 1, "skips": 2,
+                        "probes": 1, "consecutive_failures": 5},
+            "error:Y": {"state": "half-open", "trips": 1, "skips": 0,
+                        "probes": 1, "consecutive_failures": 0}})
+        assert merged["error:X"] == {
+            "state": "open", "trips": 1, "skips": 2, "probes": 1,
+            "consecutive_failures": 6}
+        assert merged["error:Y"]["state"] == "half-open"
+
+    def test_open_is_not_downgraded_by_a_closed_snapshot(self):
+        merged = {"error:X": {"state": "open", "trips": 1, "skips": 0,
+                              "probes": 0, "consecutive_failures": 5}}
+        _merge_breaker_snapshots(merged, {
+            "error:X": {"state": "closed", "trips": 0, "skips": 0,
+                        "probes": 0, "consecutive_failures": 0}})
+        assert merged["error:X"]["state"] == "open"
+
+
+class TestSerialDelegation:
+    def test_runner_without_backend_uses_serial(self):
+        manifest = corpus.stream_manifest(3, seed=2)
+        runner = _runner(manifest)
+        assert isinstance(runner.backend, SerialBackend)
+
+    def test_serial_backend_calls_instance_run_task(self):
+        # The serial path must keep dispatching through the runner
+        # instance so tests (and subclasses) can patch _run_task.
+        manifest = corpus.stream_manifest(2, seed=2)
+        runner = _runner(manifest)
+        calls = []
+        original = runner._run_task
+
+        def spy(task):
+            calls.append(task.id)
+            return original(task)
+
+        runner._run_task = spy
+        runner.run()
+        assert calls == ["corpus-0000", "corpus-0001"]
