@@ -512,7 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
                      "'auto' (one per CPU core, the default) or an "
                      "explicit count; 1 runs serially.  The merged "
                      "summary is byte-identical to a serial run "
-                     "(docs/ROBUSTNESS.md)")
+                     "whenever no circuit breaker opens; past that "
+                     "point breaker decisions depend on completion "
+                     "order (exact scope: docs/ROBUSTNESS.md)")
     bat.add_argument("--crash-retries", type=_nonneg_int, default=3,
                      metavar="N",
                      help="worker deaths one task may survive before "

@@ -16,8 +16,9 @@ Built in this order, each piece usable on its own:
   the zero-task-loss invariant, with dead-letter reports and a
   pluggable execution backend;
 * :mod:`~repro.runtime.pool` — the supervised process-pool backend:
-  parallel execution with crash detection, task requeue, and a merged
-  report byte-identical to the serial path;
+  parallel execution with crash detection, task requeue, centralized
+  breaker arbitration, and a merged report byte-identical to the
+  serial path on every run that opens no circuit breaker;
 * :mod:`~repro.runtime.corpus` — seeded spec-corpus generation for
   chaos and acceptance runs (streamable at any size).
 

@@ -40,11 +40,15 @@ same manifest under the same fault plan are byte-identical.
 outcome bookkeeping, summary assembly) is backend-agnostic.
 :class:`SerialBackend` (the default) walks the manifest in order in
 this process; :class:`repro.runtime.pool.PoolBackend` dispatches the
-same tasks to a supervised pool of forked worker processes and merges
-their outcomes back into manifest order, so
+same tasks to a supervised pool of forked worker processes,
+arbitrates their circuit-breaker decisions on this runner's own
+board, and merges their outcomes back into manifest order, so
 :meth:`BatchRunner.summarize` renders the *same bytes* for the same
-outcomes regardless of which backend produced them (the determinism
-argument is laid out in ``docs/ROBUSTNESS.md``).
+outcomes regardless of which backend produced them.  The summary is
+byte-identical to a serial run whenever no breaker opens; once one
+does, probe-vs-skip decisions depend on the order concurrent
+failures reach the shared board (the exact scope is laid out in
+``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -310,22 +314,20 @@ class BatchRunner:
 
     def run(self) -> dict:
         """Execute every task; return the JSON-ready batch summary."""
-        outcomes = self.backend.run(self)
-        # A pool backend exposes the merged worker-breaker snapshots
-        # (its parent-side board never sees in-task failures); the
-        # serial backend has no such attribute and reports its own.
-        return self.summarize(
-            outcomes,
-            breakers=getattr(self.backend, "merged_breakers", None))
+        # Both backends report this runner's own board: the pool
+        # supervisor arbitrates every worker breaker decision on it,
+        # so no per-backend breaker plumbing is needed here.
+        return self.summarize(self.backend.run(self))
 
     def summarize(self, outcomes: list[TaskOutcome], *,
                   breakers: dict | None = None) -> dict:
         """Assemble the batch summary from terminal outcomes.
 
-        Backend-agnostic and purely a function of its inputs: the pool
-        backend hands the same manifest-ordered outcome list a serial
-        run would produce (plus its merged worker-breaker snapshot via
-        ``breakers``) and gets byte-identical summary JSON.
+        Backend-agnostic and purely a function of its inputs and the
+        runner's board: the pool backend hands over the same
+        manifest-ordered outcome list (and mutated the same board) a
+        serial run would produce.  ``breakers`` substitutes a
+        different snapshot for callers reporting another board.
         """
         ok = sum(1 for outcome in outcomes if outcome.ok)
         failed = sum(1 for outcome in outcomes if not outcome.ok)

@@ -15,7 +15,9 @@ schema-versioned JSON line describing the run so far::
 * ``tasks`` — terminal outcomes so far (``done = ok + deadletter``);
 * ``retries`` — re-attempts scheduled across all tasks so far;
 * ``breakers`` — circuit-breaker states right now
-  (:meth:`repro.runtime.breaker.BreakerBoard.state_counts`);
+  (:meth:`repro.runtime.breaker.BreakerBoard.state_counts`); live on
+  parallel runs too, because the pool supervisor arbitrates every
+  worker breaker decision on this same board;
 * ``throughput_tps`` — completed tasks per second since the run
   started; ``eta_s`` — remaining tasks at that rate (``null`` until
   the throughput is measurable);

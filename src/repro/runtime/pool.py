@@ -12,30 +12,40 @@ processes.  The design goals, in priority order:
    has its in-flight task requeued at the front of the queue, where
    the next idle worker (usually a different one — that is the
    work-stealing) picks it up.
-2. **The merged report is byte-identical to the serial path.**  Worker
-   crashes are nondeterministic in *timing* (which attempt of which
-   task a ``SIGKILL`` lands on depends on scheduling), so any trace of
-   a *recovered* crash in the summary would break determinism.  The
-   contract is therefore: a task that eventually succeeds (or
-   dead-letters for its own in-task reasons) reports exactly what the
-   serial backend would report — crash recovery is visible only in
-   telemetry (``runtime.pool.*`` counters, :class:`PoolStats`,
-   stderr).  Only a task that exhausts its *crash budget* surfaces in
-   the summary, as a dead letter with reason ``worker_crash`` — and a
-   task that deterministically kills every worker it lands on does so
-   deterministically.  ``docs/ROBUSTNESS.md`` § "Worker supervision
-   contract" spells the argument out.
-3. **Crashes flow through the existing failure machinery.**  Each
-   crash becomes a :class:`~repro.errors.WorkerCrash` (transient, per
+2. **The merged report matches the serial path's bytes whenever no
+   circuit breaker opens** — in particular on every clean run.
+   Worker crashes are nondeterministic in *timing* (which attempt of
+   which task a ``SIGKILL`` lands on depends on scheduling), so any
+   trace of a *recovered* crash in the summary would break
+   determinism.  The contract is therefore: a task that eventually
+   succeeds (or dead-letters for its own in-task reasons) reports
+   exactly what the serial backend would report — crash recovery is
+   visible only in telemetry (``runtime.pool.*`` counters,
+   :class:`PoolStats`, stderr).  Only a task that exhausts its *crash
+   budget* surfaces in the summary, as a dead letter with reason
+   ``worker_crash`` — and a task that deterministically kills every
+   worker it lands on does so deterministically.  What parallelism
+   cannot preserve is the serial *order* in which failures reach the
+   shared breaker board, so once a breaker opens, probe-vs-skip
+   decisions (``reason: breaker_open``) become scheduling-dependent.
+   ``docs/ROBUSTNESS.md`` § "The determinism argument" states the
+   exact scope.
+3. **One breaker board, owned by the parent.**  Workers hold no
+   :class:`~repro.runtime.breaker.BreakerBoard` of their own: every
+   ``allows_retries`` verdict and every ``record_*`` event inside
+   :meth:`BatchRunner._run_task` round-trips over the worker's pipe
+   to the supervisor, which applies it to the *runner's* board — the
+   same board the serial backend uses, the summary's ``breakers`` map
+   reports, and a ``--heartbeat`` stream watches live.  A signature
+   that keeps failing therefore opens its breaker across the whole
+   pool, not per worker.  Crashes flow through the same machinery:
+   each becomes a :class:`~repro.errors.WorkerCrash` (transient, per
    :func:`~repro.runtime.retry.is_transient`) judged by a dedicated
    :class:`~repro.runtime.retry.RetryPolicy` crash budget and a
-   parent-side :class:`~repro.runtime.breaker.BreakerBoard` keyed by
-   crash signature (``crash:signal:SIGKILL``, ``crash:exitcode:70``,
-   ``crash:unpicklable-result``, ``crash:stall``) — so a corpus whose
-   tasks keep killing workers opens a breaker and stops burning crash
-   budgets, exactly like in-task failures do.  The crash board is
-   parent-side bookkeeping and is *not* merged into the summary's
-   ``breakers`` (determinism again).
+   *separate* parent-side crash board keyed by crash signature
+   (``crash:signal:SIGKILL``, ``crash:unpicklable-result``,
+   ``crash:stall``, ...) that never reaches the summary — a recovered
+   crash must stay invisible in the report.
 
 Workers are forked (``multiprocessing.get_context("fork")``): the
 manifest, spec corpus, and runner configuration are shared
@@ -43,9 +53,10 @@ copy-on-write, so dispatch messages carry only the task.  Each worker
 re-initializes the metrics registry first thing
 (:func:`repro.obs.metrics.reinit_after_fork` — the inherited lock may
 have been held by a parent exporter thread at the instant of the
-fork) and drops inherited trace sinks; its counters ship back as
-per-result deltas and its histograms as one raw dump at shutdown, so
-the parent's merged snapshot covers the whole pool.
+fork), drops inherited trace sinks, and swaps its inherited board
+copy for the :class:`_BreakerChannel` proxy; its counters ship back
+as per-result deltas and its histograms as one raw dump at shutdown,
+so the parent's merged snapshot covers the whole pool.
 
 A non-:class:`~repro.errors.ReproError` escaping a task inside a
 worker is the same exception-safety breach it is on the serial path:
@@ -166,6 +177,67 @@ class PoolStats:
 
 # -- worker side -------------------------------------------------------
 
+class _BreakerChannel:
+    """Worker-side stand-in for the runner's ``BreakerBoard``.
+
+    Workers must not keep their own (forked, private) breaker state:
+    a breaker that opens for one worker has to open for the whole
+    pool, and the parent's board is what the summary and the
+    heartbeat stream report.  So every decision is delegated:
+    ``allows_retries`` round-trips to the supervisor for a verdict;
+    ``record_*`` events are fire-and-forget.  Mid-task the parent
+    sends a worker nothing except these verdicts (tasks are only
+    dispatched to idle workers, ``stop`` only after the batch is
+    done), so the reply is always the next incoming message.
+    """
+
+    def __init__(self, conn: _mp_connection.Connection,
+                 send_lock: threading.Lock) -> None:
+        self._conn = conn
+        self._send_lock = send_lock
+
+    def get(self, signature: str) -> "_BreakerProxy":
+        return _BreakerProxy(signature, self)
+
+    def ask(self, signature: str) -> bool:
+        with self._send_lock:
+            self._conn.send(("brk", "ask", signature))
+        reply = self._conn.recv()
+        if reply[0] != "brk-reply":  # pragma: no cover - protocol guard
+            raise AssertionError(
+                f"expected brk-reply, got {reply[0]!r}")
+        return reply[1]
+
+    def tell(self, op: str, signature: str) -> None:
+        with self._send_lock:
+            self._conn.send(("brk", op, signature))
+
+
+class _BreakerProxy:
+    """One signature's view of the parent board (see
+    :class:`_BreakerChannel`); duck-types the slice of
+    :class:`~repro.runtime.breaker.Breaker` that ``_run_task`` uses."""
+
+    __slots__ = ("signature", "_channel")
+
+    def __init__(self, signature: str,
+                 channel: _BreakerChannel) -> None:
+        self.signature = signature
+        self._channel = channel
+
+    def allows_retries(self) -> bool:
+        return self._channel.ask(self.signature)
+
+    def record_skip(self) -> None:
+        self._channel.tell("skip", self.signature)
+
+    def record_failure(self) -> None:
+        self._channel.tell("failure", self.signature)
+
+    def record_success(self) -> None:
+        self._channel.tell("success", self.signature)
+
+
 def _chaos_act(action: str, conn: _mp_connection.Connection,
                send_lock: threading.Lock) -> None:
     """Execute one injected chaos action inside the worker (test
@@ -217,15 +289,18 @@ def _worker_main(worker_id: int, runner: "BatchRunner",
     """The forked worker entrypoint: recv task, run it, send outcome.
 
     Fork hygiene first: a fresh metrics lock + registry (the
-    inherited lock may be held by a parent thread) and no inherited
-    trace sinks (the parent owns the trace file descriptor).  The
-    worker runs tasks through the *same* ``runner._run_task`` retry
-    loop as the serial backend — that is what makes per-task records
+    inherited lock may be held by a parent thread), no inherited
+    trace sinks (the parent owns the trace file descriptor), and the
+    inherited board copy replaced by the :class:`_BreakerChannel`
+    proxy (breaker state lives in the parent only).  The worker runs
+    tasks through the *same* ``runner._run_task`` retry loop as the
+    serial backend — that is what makes per-task records
     backend-independent.
     """
     _obs.reinit_after_fork()
     _trace.clear_sinks()
     send_lock = threading.Lock()
+    runner.board = _BreakerChannel(conn, send_lock)
     if heartbeat_interval > 0:
         threading.Thread(target=_heartbeat_loop,
                          args=(conn, send_lock, heartbeat_interval),
@@ -246,7 +321,7 @@ def _worker_main(worker_id: int, runner: "BatchRunner",
                 for name, value in dump["counters"].items()
                 if value != last_counters.get(name, 0)}
             with send_lock:
-                conn.send(("bye", dump, runner.board.snapshot()))
+                conn.send(("bye", dump))
             conn.close()
             os._exit(0)
         _kind, index, task, chaos = message
@@ -333,10 +408,11 @@ class PoolBackend:
         :data:`CHAOS_TIMINGS` (``post`` runs the task first, so the
         requeued task proves re-execution).
 
-    After :meth:`run`, ``stats`` holds the :class:`PoolStats` and
-    ``merged_breakers`` the numerically merged worker breaker
-    snapshots (which :meth:`BatchRunner.summarize` receives via its
-    ``breakers`` argument).
+    After :meth:`run`, ``stats`` holds the :class:`PoolStats`.  The
+    runner's own :class:`~repro.runtime.breaker.BreakerBoard` carries
+    the in-task breaker state (the supervisor arbitrates every worker
+    breaker decision on it), so :meth:`BatchRunner.summarize` reports
+    it exactly as a serial run would.
     """
 
     name = "pool"
@@ -374,7 +450,6 @@ class PoolBackend:
         self.stall_timeout = stall_timeout
         self.chaos = chaos or {}
         self.stats = PoolStats()
-        self.merged_breakers: dict[str, dict] = {}
         self._live: dict[int, _Worker] = {}
         self._next_id = 0
 
@@ -468,20 +543,50 @@ class PoolBackend:
             if runner.on_task_done is not None:
                 runner.on_task_done(outcome)
 
+        def handle_breaker(worker: _Worker, op: str,
+                           signature: str) -> None:
+            # The arbitration counterpart of _BreakerChannel: apply
+            # the worker's breaker traffic to the runner's own board
+            # (the one the summary and heartbeats report).
+            breaker = runner.board.get(signature)
+            if op == "ask":
+                verdict = breaker.allows_retries()
+                try:
+                    worker.conn.send(("brk-reply", verdict))
+                except OSError:
+                    pass  # died mid-ask: the sentinel path requeues
+            elif op == "skip":
+                breaker.record_skip()
+            elif op == "failure":
+                breaker.record_failure()
+            elif op == "success":
+                breaker.record_success()
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown breaker op {op!r}")
+
         def handle_death(worker: _Worker) -> None:
+            nonlocal breach
             self._live.pop(worker.id, None)
             worker.proc.join()
+            breach_report: str | None = None
             if worker.kill_reason is None and not worker.stopping:
-                # Natural death: a result may be sitting in the pipe
-                # (chaos or OOM killer striking between send and the
-                # next recv) — drain it before declaring the task
-                # lost, so no task ever runs twice *visibly*.
+                # Natural death: a result, breaker event, or breach
+                # report may be sitting in the pipe (the worker died
+                # between send and our next recv) — drain it before
+                # judging, so no task ever runs twice *visibly* and
+                # no breach is misfiled as a requeueable crash.
                 try:
                     while worker.conn.poll():
                         message = worker.conn.recv()
                         if message[0] == "result":
                             handle_result(worker, message[1],
                                           message[2], message[3])
+                        elif message[0] == "brk" \
+                                and message[1] != "ask":
+                            handle_breaker(worker, message[1],
+                                           message[2])
+                        elif message[0] == "breach":
+                            breach_report = message[1]
                 except Exception:
                     pass
             try:
@@ -491,6 +596,18 @@ class PoolBackend:
             if worker.stopping:
                 return
             exitcode = worker.proc.exitcode
+            if worker.kill_reason is None and (
+                    breach_report is not None
+                    or exitcode == BREACH_EXITCODE):
+                # The breach exit code is authoritative even when the
+                # report message never arrived (its send failed, or
+                # the worker was killed mid-send): a contract breach
+                # must crash the batch, never burn the crash budget.
+                breach = breach_report if breach_report is not None \
+                    else (f"<worker {worker.id} exited with the "
+                          "breach code before its traceback could "
+                          "be read>")
+                raise _BreachSignal()
             if worker.kill_reason is not None:
                 detail = worker.kill_reason
             elif exitcode is not None and exitcode < 0:
@@ -614,6 +731,9 @@ class PoolBackend:
                             if message[0] == "result":
                                 handle_result(worker, message[1],
                                               message[2], message[3])
+                            elif message[0] == "brk":
+                                handle_breaker(worker, message[1],
+                                               message[2])
                             elif message[0] == "hb":
                                 pass
                             elif message[0] == "breach":
@@ -658,7 +778,6 @@ class PoolBackend:
             self._shutdown_force()
         if _obs.enabled:
             _obs.set_gauge("runtime.pool.workers.alive", 0)
-        self.merged_breakers = dict(sorted(self.merged_breakers.items()))
         return [outcomes[index] for index in range(total)]
 
     # -- teardown ------------------------------------------------------
@@ -671,8 +790,13 @@ class PoolBackend:
             pass
 
     def _shutdown_graceful(self) -> None:
-        """Stop idle workers, collecting their metrics dumps and
-        breaker snapshots (the ``bye`` message)."""
+        """Stop idle workers, collecting their metrics dumps (the
+        ``bye`` message).
+
+        A worker with heartbeats enabled may have ``hb`` pings queued
+        ahead of its bye, so each pipe is drained until the bye, EOF,
+        or the deadline — one blind recv would swallow the dump.
+        """
         for worker in list(self._live.values()):
             worker.stopping = True
             try:
@@ -681,17 +805,19 @@ class PoolBackend:
                 continue
         deadline = time.monotonic() + 10.0
         for worker in list(self._live.values()):
-            remaining = max(0.0, deadline - time.monotonic())
             try:
-                if worker.conn.poll(remaining):
+                while True:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    if not worker.conn.poll(remaining):
+                        break
                     message = worker.conn.recv()
                     if message[0] == "bye":
                         _obs.merge_raw(message[1])
-                        _merge_breaker_snapshots(
-                            self.merged_breakers, message[2])
+                        break
             except (EOFError, OSError):
                 pass
-            worker.proc.join(timeout=max(0.1, remaining))
+            worker.proc.join(
+                timeout=max(0.1, deadline - time.monotonic()))
             self._live.pop(worker.id, None)
             try:
                 worker.conn.close()
@@ -716,28 +842,3 @@ class PoolBackend:
 
 class _BreachSignal(Exception):
     """Internal control flow: a worker reported a contract breach."""
-
-
-def _merge_breaker_snapshots(into: dict[str, dict],
-                             snapshot: dict[str, dict]) -> None:
-    """Numerically fold one worker's breaker snapshot into the merged
-    view: counts add, the state takes the most severe
-    (open > half-open > closed), consecutive_failures adds (advisory
-    across workers — each worker's breaker tripped independently).
-
-    Clean runs merge empty snapshots into ``{}``, which is exactly
-    what the serial path reports — the byte-identity case.  Under
-    injected in-task faults the merged counts are the per-worker sums.
-    """
-    severity = {"closed": 0, "half-open": 1, "open": 2}
-    for sig, entry in snapshot.items():
-        current = into.get(sig)
-        if current is None:
-            into[sig] = dict(entry)
-            continue
-        for key in ("trips", "skips", "probes",
-                    "consecutive_failures"):
-            current[key] += entry[key]
-        if severity.get(entry["state"], 0) \
-                > severity.get(current["state"], 0):
-            current["state"] = entry["state"]

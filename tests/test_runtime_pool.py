@@ -1,6 +1,7 @@
 """Unit tests for the process-pool backend (repro.runtime.pool)."""
 
 import json
+import os
 
 import pytest
 
@@ -11,10 +12,11 @@ from repro.runtime.batch import (
     BatchRunner,
     SerialBackend,
 )
+from repro.runtime.breaker import BreakerBoard
 from repro.runtime.pool import (
+    BREACH_EXITCODE,
     PoolBackend,
     PoolStats,
-    _merge_breaker_snapshots,
     pool_available,
     resolve_workers,
 )
@@ -33,6 +35,18 @@ def _runner(manifest, backend=None, **policy_overrides):
                          **policy_overrides)
     return BatchRunner(manifest, policy=policy, backend=backend,
                        sleeper=lambda ms: None)
+
+
+def _mixed_tasks():
+    """Four parsable specs with two unparsable ones interleaved —
+    deterministic permanent in-task failures for breaker plumbing."""
+    tasks = [{"id": f"ok-{i}", "op": "check", "dtd_text": DTD,
+              "fds_text": "db.r.@a -> db.r.@b"} for i in range(4)]
+    tasks.insert(1, {"id": "bad-1", "op": "check",
+                     "dtd_text": BROKEN_DTD, "fds_text": ""})
+    tasks.insert(3, {"id": "bad-2", "op": "check",
+                     "dtd_text": BROKEN_DTD, "fds_text": ""})
+    return tasks
 
 
 def _corpus_summaries(count, seed, workers, **pool_kwargs):
@@ -116,18 +130,13 @@ class TestExecution:
 
     def test_in_worker_dead_letters_match_serial_bytes(self):
         # Permanent in-task failures (parse errors) must flow through
-        # the workers' own retry/breaker machinery and land in the
-        # summary exactly as the serial path reports them — including
-        # the merged worker-breaker snapshot.
-        tasks = [{"id": f"ok-{i}", "op": "check", "dtd_text": DTD,
-                  "fds_text": "db.r.@a -> db.r.@b"} for i in range(4)]
-        tasks.insert(1, {"id": "bad-1", "op": "check",
-                         "dtd_text": BROKEN_DTD, "fds_text": ""})
-        tasks.insert(3, {"id": "bad-2", "op": "check",
-                         "dtd_text": BROKEN_DTD, "fds_text": ""})
-        serial = _runner(mf.build(tasks)).run()
+        # the retry/breaker machinery and land in the summary exactly
+        # as the serial path reports them — including the arbitrated
+        # breaker board snapshot.
+        serial = _runner(mf.build(_mixed_tasks())).run()
         pool = PoolBackend(2)
-        parallel = _runner(mf.build(tasks), backend=pool).run()
+        parallel = _runner(mf.build(_mixed_tasks()),
+                           backend=pool).run()
         assert serial["counts"]["failed"] == 2
         assert json.dumps(serial, sort_keys=True) \
             == json.dumps(parallel, sort_keys=True)
@@ -146,6 +155,24 @@ class TestExecution:
         with pytest.raises(RuntimeError, match="contract breach"):
             runner.run()
         assert pool.stats.crashed == 0  # breach, not a crash
+
+    def test_breach_exitcode_without_report_is_still_a_breach(self):
+        # The breach *message* can be lost (the worker's send raced
+        # its own death): the exit code alone must classify the death
+        # as a breach, never as an ordinary crash to requeue against
+        # the crash budget.
+        manifest = corpus.stream_manifest(4, seed=2)
+        pool = PoolBackend(2)
+        runner = _runner(manifest, backend=pool)
+
+        def explode(task):
+            os._exit(BREACH_EXITCODE)
+
+        runner._execute = explode
+        with pytest.raises(RuntimeError, match="contract breach"):
+            runner.run()
+        assert pool.stats.crashed == 0
+        assert pool.stats.requeued == 0
 
 
 class TestCrashBookkeeping:
@@ -217,29 +244,112 @@ class TestStallDetection:
         assert "stall" in pool.stats.crash_details
 
 
-class TestBreakerMerge:
-    def test_counts_add_and_state_takes_most_severe(self):
-        merged: dict = {}
-        _merge_breaker_snapshots(merged, {
-            "error:X": {"state": "closed", "trips": 0, "skips": 0,
-                        "probes": 0, "consecutive_failures": 1}})
-        _merge_breaker_snapshots(merged, {
-            "error:X": {"state": "open", "trips": 1, "skips": 2,
-                        "probes": 1, "consecutive_failures": 5},
-            "error:Y": {"state": "half-open", "trips": 1, "skips": 0,
-                        "probes": 1, "consecutive_failures": 0}})
-        assert merged["error:X"] == {
-            "state": "open", "trips": 1, "skips": 2, "probes": 1,
-            "consecutive_failures": 6}
-        assert merged["error:Y"]["state"] == "half-open"
+class TestBreakerArbitration:
+    """In-task breaker state lives in the parent: workers delegate
+    every decision over their pipe to the supervisor, which applies
+    it to the runner's own board — the one the summary reports and a
+    heartbeat stream watches live."""
 
-    def test_open_is_not_downgraded_by_a_closed_snapshot(self):
-        merged = {"error:X": {"state": "open", "trips": 1, "skips": 0,
-                              "probes": 0, "consecutive_failures": 5}}
-        _merge_breaker_snapshots(merged, {
-            "error:X": {"state": "closed", "trips": 0, "skips": 0,
-                        "probes": 0, "consecutive_failures": 0}})
-        assert merged["error:X"]["state"] == "open"
+    def test_worker_failures_reach_the_runner_board(self):
+        serial_runner = _runner(mf.build(_mixed_tasks()))
+        serial_runner.run()
+        pool_runner = _runner(mf.build(_mixed_tasks()),
+                              backend=PoolBackend(2))
+        pool_runner.run()
+        snap = pool_runner.board.snapshot()
+        assert snap                  # the parent saw in-task failures
+        assert snap == serial_runner.board.snapshot()
+
+    def test_tripped_breaker_is_pool_global_and_matches_serial(self):
+        # threshold=1: the first parse failure trips the breaker.
+        # Worker-private boards would each trip independently (the
+        # two bad tasks usually land on different workers) and the
+        # old numeric merge reported trips=2; the arbitrated board
+        # must show the serial picture exactly, byte-for-byte.
+        def one(backend):
+            runner = BatchRunner(
+                mf.build(_mixed_tasks()),
+                policy=RetryPolicy(retries=2, backoff_base_ms=0),
+                board=BreakerBoard(threshold=1), backend=backend,
+                sleeper=lambda ms: None)
+            return runner.run()
+
+        serial = one(None)
+        parallel = one(PoolBackend(2))
+        [entry] = serial["breakers"].values()
+        assert entry["state"] == "open"
+        assert entry["trips"] == 1
+        assert entry["consecutive_failures"] == 2
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+
+    def test_heartbeat_sees_breaker_activity_during_pool_runs(self):
+        import io
+
+        from repro.runtime.heartbeat import (
+            HeartbeatWriter,
+            validate_heartbeat_lines,
+        )
+        board = BreakerBoard()
+        pool = PoolBackend(2)
+        manifest = mf.build(_mixed_tasks())
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=manifest.task_count,
+                                 board=board, pool=pool,
+                                 interval_s=0.0)
+        runner = BatchRunner(
+            manifest,
+            policy=RetryPolicy(retries=1, backoff_base_ms=0),
+            board=board, backend=pool,
+            on_task_done=writer.task_done, sleeper=lambda ms: None)
+        runner.run()
+        writer.close()
+        records = validate_heartbeat_lines(stream.getvalue())
+        # A worker's failure reaches the board before its result
+        # message, so by the final beat the breaker is visible.
+        assert records[-1]["breakers"]["total"] >= 1
+
+
+class TestGracefulShutdown:
+    def test_heartbeats_ahead_of_the_bye_do_not_swallow_the_dump(self):
+        # With --stall-timeout > 0 a worker's heartbeat thread keeps
+        # pinging until the stop is processed, so 'hb' messages can
+        # sit in the pipe ahead of the 'bye'; the drain must skip
+        # them rather than discard the metrics dump.
+        from multiprocessing import Pipe
+
+        from repro import obs
+        from repro.runtime.pool import _Worker
+
+        class _StubProc:
+            exitcode = 0
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return False
+
+        pool = PoolBackend(2)
+        parent_conn, child_conn = Pipe(duplex=True)
+        pool._live[0] = _Worker(0, _StubProc(), parent_conn)
+        child_conn.send(("hb",))
+        child_conn.send(("hb",))
+        child_conn.send(("bye", {"counters": {"test.pool.drained": 3},
+                                 "gauges": {}, "histograms": {},
+                                 "timers": {}}))
+        was_enabled = obs.is_enabled()
+        obs.enable()
+        obs.reset()
+        try:
+            pool._shutdown_graceful()
+            assert obs.snapshot()["counters"]["test.pool.drained"] == 3
+        finally:
+            obs.reset()
+            if not was_enabled:
+                obs.disable()
+        assert not pool._live
+        child_conn.close()
 
 
 class TestSerialDelegation:
