@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Overhead gate for the run-ledger seam on the disabled path.
+
+The observability contract (``docs/OBSERVABILITY.md``): the batch run
+ledger is strictly *opt-in*.  To feed it, every task execution now
+runs inside a measurement seam — :meth:`BatchRunner._run_task` wraps
+the task body with a wall-clock measurement (plus boundary counter
+snapshots when obs is enabled), and ``_attempt`` pushes a
+``task_scope`` trace context.  With observability disabled and no
+``--ledger`` flag, that seam must cost within 1 % of a task's own
+runtime.
+
+A/B-timing whole batch runs cannot resolve a sub-microsecond seam
+under percent-level workload jitter, so this gate measures the two
+quantities separately, each the stable way:
+
+* **seam cost per task** — a tight loop over exactly the disabled
+  seam operations (the enabled check, the two ``perf_counter`` boundary
+  reads, the null ``task_scope``), loop overhead subtracted;
+* **task cost** — the shared corpus workload through the batch runner
+  (best of ``--repeats``), divided by the task count.
+
+It fails when seam/task exceeds the tolerance — i.e. when someone
+makes runs without ``--ledger`` pay for the run history.  (The cost
+of an *attached* :class:`repro.obs.ledger.LedgerWriter` is the opt-in
+price and is not gated; the no-op ``on_task_done`` callback seam is
+gated by ``bench_obs_export.py``.)
+
+Run:  python benchmarks/bench_obs_ledger.py [--repeats N] [--tasks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.bench.suites.runtime import make_manifest, make_runner
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+
+
+def _best_of(repeats: int, body) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def seam_cost_per_task(loops: int = 50_000,
+                       repeats: int = 5) -> float:
+    """Seconds one task pays for the disabled ledger seam: the
+    ``_run_task`` measurement wrapper plus the ``task_scope`` push,
+    with the empty-loop baseline subtracted."""
+    def baseline() -> None:
+        for _ in range(loops):
+            pass
+
+    def seam() -> None:
+        for _ in range(loops):
+            # The disabled-path body of BatchRunner._run_task ...
+            counters_before = (_obs.counters_snapshot()
+                               if _obs.enabled else None)
+            wall_start = time.perf_counter()
+            wall = time.perf_counter() - wall_start
+            if counters_before is not None:
+                pass
+            # ... and the task_scope push from _attempt.
+            with _trace.task_scope("bench-task"):
+                pass
+            del wall
+
+    baseline()
+    seam()
+    empty = _best_of(repeats, baseline)
+    cost = _best_of(repeats, seam)
+    return max(0.0, (cost - empty) / loops)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--tasks", type=int, default=30)
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="allowed seam-over-task overhead "
+                             "fraction (default 1%%)")
+    args = parser.parse_args(argv)
+
+    obs.disable()
+    manifest = make_manifest(args.tasks)
+    batch_body = lambda: make_runner(manifest).run()  # noqa: E731
+    batch_body()  # warm allocator and imports
+    per_task = _best_of(args.repeats, batch_body) / args.tasks
+    seam = seam_cost_per_task()
+
+    overhead = seam / per_task
+    print(f"task:  {per_task * 1e6:9.2f} us  (corpus workload / "
+          f"{args.tasks} tasks, best of {args.repeats}, obs disabled)")
+    print(f"seam:  {seam * 1e6:9.3f} us  (disabled-path measurement "
+          f"wrapper + null task_scope, per task)")
+    print(f"seam vs task: {overhead:+.2%} "
+          f"(tolerance +{args.tolerance:.0%})")
+
+    if overhead > args.tolerance:
+        print("FAIL: the ledger measurement seam is taxing runs that "
+              "never asked for a ledger", file=sys.stderr)
+        return 1
+    print("OK: disabled-ledger overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -278,17 +278,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         writer = HeartbeatWriter(
             heartbeat_stream, total=manifest.task_count, board=board,
             pool=pool, interval_s=args.heartbeat_interval)
+    ledger_file = getattr(args, "ledger", None)
+    ledger_writer = None
+    ledger_stream = None
+    if ledger_file:
+        from repro.obs.ledger import LedgerWriter
+        try:
+            # Append: the ledger is a history; each run adds records
+            # under a fresh run id, and `obs regress` compares runs.
+            ledger_stream = open(ledger_file, "a")
+        except OSError as error:
+            print(f"error: cannot open ledger file: {error}",
+                  file=sys.stderr)
+            if heartbeat_stream not in (None, sys.stderr):
+                heartbeat_stream.close()
+            return EXIT_ERROR
+        ledger_writer = LedgerWriter(ledger_stream, manifest=manifest)
+    consumers = [consumer.task_done for consumer
+                 in (writer, ledger_writer) if consumer is not None]
+    if not consumers:
+        on_task_done = None
+    elif len(consumers) == 1:
+        on_task_done = consumers[0]
+    else:
+        def on_task_done(outcome):
+            for consumer in consumers:
+                consumer(outcome)
     try:
         summary = batch_mod.run_batch(
             manifest, policy=policy, board=board,
             ensemble_mode=args.ensemble,
-            on_task_done=writer.task_done if writer else None,
+            on_task_done=on_task_done,
             backend=pool)
     finally:
         if writer is not None:
             writer.close()
         if heartbeat_stream not in (None, sys.stderr):
             heartbeat_stream.close()
+        if ledger_stream is not None:
+            ledger_stream.close()
     # Machine-readable summary on stdout, human account on stderr —
     # ``xnf batch m.json | jq .`` must always parse.
     json.dump(summary, sys.stdout, indent=2, sort_keys=True)
@@ -533,6 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default=1.0, metavar="SECONDS",
                      help="minimum seconds between heartbeat records; "
                      "0 emits one per completed task (default 1)")
+    bat.add_argument("--ledger", metavar="FILE",
+                     help="append one run-ledger record per task to "
+                     "FILE (query with `xnf obs history`, gate with "
+                     "`xnf obs regress`)")
     bat.set_defaults(func=_cmd_batch)
     return parser
 
@@ -593,6 +625,13 @@ def main(argv: list[str] | None = None) -> int:
                 return EXIT_ERROR
             sink = obs.JsonLinesSink(trace_stream)
             obs.add_sink(sink)
+            # One trace id per invocation: every span of this run —
+            # including spans shipped back from forked pool workers —
+            # carries it, so stitched records are attributable to the
+            # invocation that produced them.
+            import uuid
+            obs.set_context(
+                obs.SpanContext(trace_id=uuid.uuid4().hex[:16]))
     fault_plan = None
     fault_spec = os.environ.get("REPRO_FAULTS", "")
     if fault_spec:
@@ -634,6 +673,7 @@ def main(argv: list[str] | None = None) -> int:
             exporter.stop()
         if sink is not None:
             obs.remove_sink(sink)
+            obs.clear_context()
             assert trace_stream is not None
             trace_stream.close()
         if want_stats:

@@ -49,21 +49,28 @@ from repro.obs.trace import (
     InMemorySink,
     JsonLinesSink,
     Span,
+    SpanContext,
     add_sink,
+    clear_context,
     clear_sinks,
     current_span,
+    get_context,
     remove_sink,
     render_tree,
+    set_context,
     span,
+    task_scope,
 )
 
 __all__ = [
-    "metrics", "trace", "render", "export", "profile",
+    "metrics", "trace", "render", "export", "profile", "ledger",
     "enable", "disable", "is_enabled", "reset",
     "inc", "set_gauge", "observe", "timer", "counter_value",
     "snapshot",
     "span", "current_span", "add_sink", "remove_sink", "clear_sinks",
     "Span", "JsonLinesSink", "InMemorySink", "render_tree",
+    "SpanContext", "set_context", "get_context", "clear_context",
+    "task_scope",
     "MetricsExporter", "prometheus_text", "start_exporter",
 ]
 
@@ -73,7 +80,7 @@ def __getattr__(name: str):
     # which itself imports ``repro.obs`` — loading them lazily keeps
     # the package import acyclic for every consumer that only wants
     # metrics/spans.
-    if name in ("profile", "cli"):
+    if name in ("profile", "cli", "ledger"):
         import importlib
         return importlib.import_module(f"repro.obs.{name}")
     raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -30,7 +30,9 @@ code contract is 0 pass / 1 regression / 2 unreadable input.
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterator
 
@@ -45,13 +47,24 @@ class TraceError(ReproError):
 # -- loading -----------------------------------------------------------
 
 
-def load_trace(path: str | Path) -> list[dict]:
-    """Parse a JSON-lines span trace; raises :class:`TraceError`."""
+def _read_source(path: str | Path) -> tuple[str, str]:
+    """Read a trace/snapshot source; ``-`` means standard input."""
+    if str(path) == "-":
+        return "<stdin>", sys.stdin.read()
     source = str(path)
     try:
-        text = Path(path).read_text()
+        return source, Path(path).read_text()
     except OSError as error:
         raise TraceError(f"cannot read {source}: {error}")
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines span trace; raises :class:`TraceError`."""
+    source, text = _read_source(path)
+    return _parse_trace(source, text)
+
+
+def _parse_trace(source: str, text: str) -> list[dict]:
     records: list[dict] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
@@ -233,6 +246,82 @@ def load_profile(path: str | Path) -> Profile:
     return build_profile(load_trace(path))
 
 
+# -- per-task rollup (stitched batch traces) ---------------------------
+
+
+TASK_SPAN = "runtime.task"
+
+
+@dataclass
+class TaskStat:
+    """Aggregate of every task span attributed to one manifest task."""
+
+    task: str
+    runs: int = 0
+    total_ms: float = 0.0
+    workers: set = field(default_factory=set)
+
+
+def fold_by_task(profile: Profile) -> list[TaskStat]:
+    """Group ``runtime.task`` spans by their manifest task id.
+
+    Schema-v2 records carry the id in the ``task`` field; v1 batch
+    traces fall back to the span's ``task`` attribute.  Ordered by
+    total wall time (desc), then task id — deterministic per trace.
+    """
+    stats: dict[str, TaskStat] = {}
+    for root in profile.roots:
+        for node, _stack in _walk(root, ()):
+            if node.name != TASK_SPAN:
+                continue
+            task = node.record.get("task") \
+                or node.record.get("attrs", {}).get("task") \
+                or "<unattributed>"
+            stat = stats.get(str(task))
+            if stat is None:
+                stat = stats[str(task)] = TaskStat(str(task))
+            stat.runs += 1
+            stat.total_ms += node.duration_ms
+            worker = node.record.get("worker")
+            if worker is not None:
+                stat.workers.add(worker)
+    return sorted(stats.values(), key=lambda s: (-s.total_ms, s.task))
+
+
+def task_attribution(profile: Profile) -> float:
+    """Fraction of root wall time covered by task spans — the
+    acceptance metric for stitched batch traces."""
+    total = profile.total_ms
+    if total <= 0:
+        return 1.0
+    return sum(stat.total_ms for stat in fold_by_task(profile)) / total
+
+
+def render_by_task(profile: Profile) -> str:
+    """The ``xnf obs report --by-task`` section: per-task wall time,
+    attempt counts, and the workers each task ran on."""
+    stats = fold_by_task(profile)
+    total = profile.total_ms
+    attributed = sum(stat.total_ms for stat in stats)
+    lines = [f"-- by task: {len(stats)} task(s), "
+             f"{attributed:.2f} ms attributed "
+             f"({_pct(attributed, total).strip()} of root wall time) --"]
+    if not stats:
+        lines.append(f"  no {TASK_SPAN!r} spans in this trace "
+                     f"(was it a batch run?)")
+        return "\n".join(lines) + "\n"
+    width = max(len(stat.task) for stat in stats)
+    lines.append(f"  {'task'.ljust(width)}  {'runs':>5}  "
+                 f"{'total ms':>10}  {'%total':>6}  workers")
+    for stat in stats:
+        workers = ",".join(str(worker)
+                           for worker in sorted(stat.workers)) or "-"
+        lines.append(f"  {stat.task.ljust(width)}  {stat.runs:>5}  "
+                     f"{stat.total_ms:>10.2f}  "
+                     f"{_pct(stat.total_ms, total)}  {workers}")
+    return "\n".join(lines) + "\n"
+
+
 # -- critical path -----------------------------------------------------
 
 
@@ -257,13 +346,23 @@ def _pct(part: float, whole: float) -> str:
     return f"{part / whole:6.1%}" if whole > 0 else "   n/a"
 
 
-def render_report(profile: Profile, *, counters: bool = True) -> str:
+def render_report(profile: Profile, *, counters: bool = True,
+                  by_task: bool = False) -> str:
     """The ``xnf obs report`` text: totals, per-name table, critical
     path, self-attributed counter deltas.  Deterministic per trace."""
     total = profile.total_ms
     lines = [f"== trace profile: {profile.spans} span(s), "
              f"{len(profile.roots)} root(s), total {total:.2f} ms, "
              f"child coverage {profile.coverage:.1%} =="]
+    epoch = next((root.record.get("epoch") for root in profile.roots
+                  if root.record.get("epoch") is not None), None)
+    if epoch is not None:
+        stamp = datetime.fromtimestamp(float(epoch), tz=timezone.utc)
+        lines.append(f"   anchored {stamp.isoformat()} "
+                     f"(epoch {float(epoch):.6f})")
+
+    if by_task:
+        lines.append(render_by_task(profile).rstrip("\n"))
 
     lines.append("-- by span name --")
     width = max(len(name) for name in profile.by_name)
@@ -320,11 +419,7 @@ def load_comparable(path: str | Path) -> tuple[str, dict]:
     is ``"trace"`` or ``"snapshot"``.  Counters gate, times are
     advisory — the same split the benchmark comparator uses.
     """
-    source = str(path)
-    try:
-        text = Path(path).read_text()
-    except OSError as error:
-        raise TraceError(f"cannot read {source}: {error}")
+    source, text = _read_source(path)
     stripped = text.strip()
     if not stripped:
         raise TraceError(f"{source}: empty file")
@@ -342,7 +437,7 @@ def load_comparable(path: str | Path) -> tuple[str, dict]:
                  for name, stats in whole.get("timers", {}).items()}
         return "snapshot", {"counters": dict(whole["counters"]),
                             "times_ms": times}
-    profile = build_profile(load_trace(path))
+    profile = build_profile(_parse_trace(source, text))
     times = {name: stat.total_ms
              for name, stat in profile.by_name.items()}
     return "trace", {"counters": profile.total_counters(),

@@ -20,20 +20,38 @@ Sinks:
 * :func:`render_tree` — a human-readable indented tree of one root
   span.
 
-JSON-lines schema (one line per span, children precede parents because
-they finish first)::
+JSON-lines schema **v2** (one line per span, children precede parents
+because they finish first)::
 
     {"id": 3, "parent": 1, "depth": 1, "name": "chase.branch",
      "start": 0.123, "duration_ms": 4.56, "attrs": {"steps": 7},
-     "counters": {"chase.steps": 12}}
+     "counters": {"chase.steps": 12},
+     "trace_id": "9f1c2d3e4a5b6c7d", "task": "corpus-0001", "worker": 2}
 
 ``start`` is seconds since the process clock origin
 (``time.perf_counter``), useful for ordering, not wall-clock time.
+Root spans (``parent: null``) additionally carry ``"v": 2`` and an
+``"epoch"`` wall-clock anchor (``time.time()`` at span entry), so a
+trace correlates with heartbeat timestamps and Prometheus scrapes.
 ``counters`` (added for the profiling observatory, absent when empty)
 holds the **counter deltas** observed between span entry and exit —
 boundary snapshots of :func:`repro.obs.metrics.counters_snapshot` —
 cumulative over the span's children; :mod:`repro.obs.profile`
 subtracts child deltas to attribute *self* counter work per span.
+
+``trace_id`` / ``task`` / ``worker`` (schema v2, absent when unset)
+come from the ambient :class:`SpanContext`: the CLI installs one
+``trace_id`` per traced invocation, the batch runner scopes ``task``
+around each attempt (:func:`task_scope`), and each forked pool worker
+stamps its ``worker`` id.  The context is a plain serializable value
+(:meth:`SpanContext.to_wire` / :meth:`SpanContext.from_wire`) so the
+pool supervisor can propagate it across the fork boundary; workers
+buffer finished span records and ship them back with each result, and
+the parent stitches them into its own trace via
+:func:`ingest_records` — remapping ids, rebasing the clock origin by
+the handshake-measured offset, and reparenting the shipped subtree
+under the currently open span.  A parallel ``--trace`` file therefore
+feeds ``xnf obs report/flame/diff`` identically to a serial run's.
 
 Everything is a no-op while :mod:`repro.obs.metrics` is disabled:
 :func:`span` then returns a shared null context manager and allocates
@@ -45,11 +63,127 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+from dataclasses import dataclass, replace
 from typing import Any, Callable, IO, Iterator
 
 from repro.obs import metrics as _metrics
 
 import time
+
+#: Trace record schema version, stamped as ``"v"`` on root spans.
+#: v2 adds the ``epoch`` root anchor and the ``trace_id`` / ``task`` /
+#: ``worker`` context fields; v1 records (no marker) still load.
+TRACE_VERSION = 2
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The ambient identity stamped on every span (schema v2).
+
+    A plain, serializable value — :meth:`to_wire` / :meth:`from_wire`
+    round-trip it through pickles and JSON unchanged — so the pool
+    supervisor can hand each forked worker the parent's context with
+    the ``worker`` field filled in.
+    """
+
+    trace_id: str | None = None
+    task: str | None = None
+    worker: int | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        """A plain-dict form safe to pickle or JSON-encode."""
+        return {"trace_id": self.trace_id, "task": self.task,
+                "worker": self.worker}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "SpanContext":
+        """Rebuild a context from :meth:`to_wire` output; raises
+        ``ValueError`` on a malformed payload."""
+        if not isinstance(wire, dict):
+            raise ValueError(
+                f"span context must be a dict, got "
+                f"{type(wire).__name__}")
+        trace_id = wire.get("trace_id")
+        task = wire.get("task")
+        worker = wire.get("worker")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ValueError(f"trace_id must be a string or None, "
+                             f"got {trace_id!r}")
+        if task is not None and not isinstance(task, str):
+            raise ValueError(f"task must be a string or None, "
+                             f"got {task!r}")
+        if worker is not None and (not isinstance(worker, int)
+                                   or isinstance(worker, bool)):
+            raise ValueError(f"worker must be an int or None, "
+                             f"got {worker!r}")
+        return cls(trace_id=trace_id, task=task, worker=worker)
+
+
+#: The ambient context new spans are stamped with (one per process;
+#: workers install their own copy after the fork).
+_context: SpanContext | None = None
+
+
+def set_context(context: SpanContext | None) -> None:
+    """Install the ambient span context (``None`` clears it)."""
+    global _context
+    _context = context
+
+
+def get_context() -> SpanContext | None:
+    """The ambient span context, if one is installed."""
+    return _context
+
+
+def clear_context() -> None:
+    set_context(None)
+
+
+class _NullScope:
+    """Shared do-nothing scope returned while tracing is off — the
+    disabled path allocates nothing (mirrors ``_NullSpan``)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _TaskScope:
+    """Context manager that stamps ``task`` onto the ambient context
+    for the duration of the ``with`` body, restoring on exit."""
+
+    __slots__ = ("task_id", "previous")
+
+    def __init__(self, task_id: str) -> None:
+        self.task_id = task_id
+
+    def __enter__(self) -> None:
+        self.previous = _context
+        set_context(SpanContext(task=self.task_id)
+                    if self.previous is None
+                    else replace(self.previous, task=self.task_id))
+
+    def __exit__(self, *exc_info) -> None:
+        set_context(self.previous)
+
+
+def task_scope(task_id: str) -> _TaskScope | _NullScope:
+    """Stamp ``task`` onto every span opened inside the ``with`` body.
+
+    Used by the batch runner around each task attempt, so both the
+    serial and the pool path produce per-task attributable traces
+    (``xnf obs report --by-task``).  Free while observability is off.
+    """
+    if not _metrics.enabled:
+        return _NULL_SCOPE
+    return _TaskScope(task_id)
 
 
 class Span:
@@ -57,7 +191,8 @@ class Span:
 
     __slots__ = ("name", "attrs", "start", "end", "children",
                  "span_id", "parent_id", "depth",
-                 "counters_start", "counter_deltas")
+                 "counters_start", "counter_deltas",
+                 "trace_id", "task", "worker", "epoch")
 
     def __init__(self, name: str, attrs: dict[str, Any],
                  span_id: int, parent_id: int | None,
@@ -72,6 +207,13 @@ class Span:
         self.children: list[Span] = []
         self.counters_start: dict[str, int] = {}
         self.counter_deltas: dict[str, int] = {}
+        # Schema-v2 context fields, stamped from the ambient
+        # SpanContext at creation (None values are omitted from the
+        # record); ``epoch`` is the wall-clock anchor of root spans.
+        self.trace_id: str | None = None
+        self.task: str | None = None
+        self.worker: int | None = None
+        self.epoch: float | None = None
 
     def set(self, key: str, value: Any) -> None:
         """Attach (or update) an attribute mid-span."""
@@ -95,6 +237,16 @@ class Span:
         }
         if self.counter_deltas:
             record["counters"] = dict(self.counter_deltas)
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.task is not None:
+            record["task"] = self.task
+        if self.worker is not None:
+            record["worker"] = self.worker
+        if self.parent_id is None:
+            record["v"] = TRACE_VERSION
+            record["epoch"] = round(self.epoch, 6) \
+                if self.epoch is not None else None
         return record
 
 
@@ -131,6 +283,10 @@ class _SpanContext:
 
     def __enter__(self) -> Span:
         self.span.counters_start = _metrics.counters_snapshot()
+        if self.span.parent_id is None:
+            # Root spans get the schema-v2 wall-clock anchor, so the
+            # trace correlates with heartbeats and exporter scrapes.
+            self.span.epoch = time.time()
         self.span.start = time.perf_counter()
         return self.span
 
@@ -165,6 +321,11 @@ def span(name: str, **attrs: Any) -> "_SpanContext | _NullSpan":
     new = Span(name, attrs, next(_ids),
                parent.span_id if parent is not None else None,
                len(stack))
+    context = _context
+    if context is not None:
+        new.trace_id = context.trace_id
+        new.task = context.task
+        new.worker = context.worker
     if parent is not None:
         parent.children.append(new)
     stack.append(new)
@@ -192,6 +353,114 @@ def remove_sink(sink: Callable[[Span], None]) -> None:
 def clear_sinks() -> None:
     _sinks.clear()
     _tree_sinks.clear()
+
+
+def has_sinks() -> bool:
+    """Whether any span or tree sink is registered — the pool
+    supervisor's cue that worker spans are worth shipping back."""
+    return bool(_sinks or _tree_sinks)
+
+
+def reinit_after_fork() -> None:
+    """Fork hygiene for the tracing module (the tracing counterpart of
+    :func:`repro.obs.metrics.reinit_after_fork`).
+
+    A forked worker inherits the parent's open span stack (the batch
+    supervisor forks from inside its root CLI span), its sinks (which
+    wrap the parent's file descriptors), and its ambient context.  All
+    three are wrong in the child: the stack is replaced, the sinks are
+    dropped, and the context is cleared so the supervisor can install
+    the propagated one with the worker id filled in.
+    """
+    global _stack
+    _stack = threading.local()
+    clear_sinks()
+    clear_context()
+
+
+def ingest_records(records: list[dict[str, Any]], *,
+                   offset: float = 0.0,
+                   worker: int | None = None) -> int:
+    """Stitch span records shipped from another process into this one.
+
+    ``records`` is a list of :meth:`Span.as_record` dicts in
+    finish order (children before parents) as a worker's buffering
+    sink collected them.  Each record is rebuilt as a :class:`Span`
+    with a fresh id from this process's counter (so ids never collide
+    across workers), its ``start`` rebased by ``offset`` — the
+    handshake-measured difference between this process's and the
+    sender's ``perf_counter`` origins — and its ``worker`` field
+    defaulted to ``worker`` when the sender did not stamp one.
+
+    Subtree tops (records whose parent is not part of the shipment)
+    are reparented under the currently open span, so a stitched batch
+    trace is one coherent forest: every worker's ``runtime.task``
+    subtree hangs off the supervisor's root CLI span with consistent
+    depths and monotone parent/child timings.  The rebuilt spans are
+    emitted to the per-span sinks in shipment order; tree sinks fire
+    only for spans that remain roots (when no span is open here).
+
+    Returns the number of spans ingested.  No-op while disabled.
+    """
+    if not records or not _metrics.enabled:
+        return 0
+    # The handshake offset overestimates by the hello's in-pipe
+    # latency, which can push a shipment past spans that close later
+    # here (e.g. the batch root).  Every shipped span provably
+    # finished before its shipment arrived, so pull the whole
+    # shipment back just enough that nothing ends in our future —
+    # one uniform shift, intra-shipment relations untouched.
+    max_end = max(float(record.get("start", 0.0))
+                  + float(record.get("duration_ms", 0.0)) / 1e3
+                  for record in records) + offset
+    offset += min(0.0, time.perf_counter() - max_end)
+    anchor = current_span()
+    spans: dict[int, Span] = {}
+    for record in records:
+        rebuilt = Span(record["name"], dict(record.get("attrs") or {}),
+                       next(_ids), None, 0)
+        rebuilt.start = float(record.get("start", 0.0)) + offset
+        rebuilt.end = rebuilt.start \
+            + float(record.get("duration_ms", 0.0)) / 1e3
+        rebuilt.counter_deltas = dict(record.get("counters") or {})
+        rebuilt.trace_id = record.get("trace_id")
+        rebuilt.task = record.get("task")
+        rebuilt.worker = record.get("worker", worker)
+        rebuilt.epoch = record.get("epoch")
+        spans[record["id"]] = rebuilt
+    tops: list[Span] = []
+    for record in records:
+        rebuilt = spans[record["id"]]
+        parent = spans.get(record.get("parent"))
+        if parent is not None and parent is not rebuilt:
+            rebuilt.parent_id = parent.span_id
+            parent.children.append(rebuilt)
+        elif anchor is not None:
+            rebuilt.parent_id = anchor.span_id
+            anchor.children.append(rebuilt)
+            tops.append(rebuilt)
+        else:
+            tops.append(rebuilt)
+    for rebuilt in spans.values():
+        rebuilt.children.sort(key=lambda s: (s.start, s.span_id))
+
+    base_depth = anchor.depth + 1 if anchor is not None else 0
+
+    def _redepth(span_: Span, depth: int) -> None:
+        span_.depth = depth
+        for child in span_.children:
+            _redepth(child, depth + 1)
+
+    for top in tops:
+        _redepth(top, base_depth)
+    for record in records:
+        rebuilt = spans[record["id"]]
+        for sink in _sinks:
+            sink(rebuilt)
+        if rebuilt.parent_id is None:
+            for sink in _tree_sinks:
+                sink(rebuilt)
+    return len(records)
 
 
 class JsonLinesSink:

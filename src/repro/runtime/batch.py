@@ -127,6 +127,13 @@ class TaskOutcome:
     reason: str | None = None
     signature: str | None = None
     disagreements: list[dict] = field(default_factory=list)
+    #: Telemetry-only measurements for ``on_task_done`` consumers (the
+    #: run ledger): wall time across every attempt of this task, and
+    #: the counter deltas it produced (empty while obs is disabled).
+    #: Deliberately excluded from :meth:`to_json` — the summary must
+    #: stay byte-deterministic and wall clocks are not.
+    wall_s: float = 0.0
+    counter_delta: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -248,18 +255,34 @@ class BatchRunner:
 
     def _attempt(self, task: Task, outcome: TaskOutcome) -> dict:
         """One isolated attempt: own budget, span, ensemble session."""
-        with _trace.span("runtime.task", task=task.id, op=task.op,
-                         attempt=outcome.attempts):
-            with guard.limits(**task.budget_kwargs()):
-                with _ensemble.session(self.ensemble_mode) as sess:
-                    try:
-                        return self._execute(task)
-                    finally:
-                        outcome.disagreements.extend(
-                            record.to_json()
-                            for record in sess.disagreements)
+        with _trace.task_scope(task.id):
+            with _trace.span("runtime.task", task=task.id, op=task.op,
+                             attempt=outcome.attempts):
+                with guard.limits(**task.budget_kwargs()):
+                    with _ensemble.session(self.ensemble_mode) as sess:
+                        try:
+                            return self._execute(task)
+                        finally:
+                            outcome.disagreements.extend(
+                                record.to_json()
+                                for record in sess.disagreements)
 
     def _run_task(self, task: Task) -> TaskOutcome:
+        """Run one task to a terminal outcome, measuring the ledger's
+        telemetry (wall time, counter delta) around the retry loop."""
+        counters_before = _obs.counters_snapshot() if _obs.enabled \
+            else None
+        wall_start = time.perf_counter()
+        outcome = self._run_task_core(task)
+        outcome.wall_s = time.perf_counter() - wall_start
+        if counters_before is not None:
+            outcome.counter_delta = {
+                name: value - counters_before.get(name, 0)
+                for name, value in _obs.counters_snapshot().items()
+                if value != counters_before.get(name, 0)}
+        return outcome
+
+    def _run_task_core(self, task: Task) -> TaskOutcome:
         outcome = TaskOutcome(task=task)
         if _obs.enabled:
             _obs.inc("runtime.tasks")
@@ -317,7 +340,15 @@ class BatchRunner:
         # Both backends report this runner's own board: the pool
         # supervisor arbitrates every worker breaker decision on it,
         # so no per-backend breaker plumbing is needed here.
-        return self.summarize(self.backend.run(self))
+        try:
+            return self.summarize(self.backend.run(self))
+        finally:
+            if _obs.enabled:
+                # The run is over: nothing can be short-circuited any
+                # more, so the operator-facing gauge drains to 0 even
+                # when breakers were still open at the final task —
+                # a post-run scrape must not read stale liveness.
+                _obs.set_gauge("runtime.breaker.open", 0)
 
     def summarize(self, outcomes: list[TaskOutcome], *,
                   breakers: dict | None = None) -> dict:

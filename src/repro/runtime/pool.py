@@ -53,10 +53,18 @@ copy-on-write, so dispatch messages carry only the task.  Each worker
 re-initializes the metrics registry first thing
 (:func:`repro.obs.metrics.reinit_after_fork` — the inherited lock may
 have been held by a parent exporter thread at the instant of the
-fork), drops inherited trace sinks, and swaps its inherited board
-copy for the :class:`_BreakerChannel` proxy; its counters ship back
-as per-result deltas and its histograms as one raw dump at shutdown,
-so the parent's merged snapshot covers the whole pool.
+fork), resets the tracing module (sinks, span stack, context), and
+swaps its inherited board copy for the :class:`_BreakerChannel`
+proxy; its counters ship back as per-result deltas and its
+histograms as one raw dump at shutdown, so the parent's merged
+snapshot covers the whole pool.  When the parent is tracing, each
+worker also inherits the parent's span context (with its ``worker``
+id stamped in), buffers every finished span record, and ships the
+buffer alongside each result; the supervisor rebases the records by
+the hello-handshake clock offset and stitches them into its own
+trace (:func:`repro.obs.trace.ingest_records`), so ``xnf batch
+--workers N --trace FILE`` captures every worker's ``runtime.task``
+subtree in one coherent forest.
 
 A non-:class:`~repro.errors.ReproError` escaping a task inside a
 worker is the same exception-safety breach it is on the serial path:
@@ -76,6 +84,7 @@ import traceback
 import multiprocessing
 from collections import deque
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 from multiprocessing import connection as _mp_connection
 from multiprocessing import get_context
 from typing import TYPE_CHECKING, Iterator
@@ -285,22 +294,42 @@ def _heartbeat_loop(conn: _mp_connection.Connection,
 
 def _worker_main(worker_id: int, runner: "BatchRunner",
                  conn: _mp_connection.Connection,
-                 heartbeat_interval: float) -> None:
+                 heartbeat_interval: float,
+                 trace_wire: dict | None = None) -> None:
     """The forked worker entrypoint: recv task, run it, send outcome.
 
     Fork hygiene first: a fresh metrics lock + registry (the
-    inherited lock may be held by a parent thread), no inherited
-    trace sinks (the parent owns the trace file descriptor), and the
-    inherited board copy replaced by the :class:`_BreakerChannel`
+    inherited lock may be held by a parent thread), a reset tracing
+    module (no inherited sinks — the parent owns the trace file
+    descriptor — no inherited span stack, no inherited context), and
+    the inherited board copy replaced by the :class:`_BreakerChannel`
     proxy (breaker state lives in the parent only).  The worker runs
     tasks through the *same* ``runner._run_task`` retry loop as the
     serial backend — that is what makes per-task records
     backend-independent.
+
+    When the parent is tracing it passes ``trace_wire`` — the
+    serialized ambient :class:`~repro.obs.trace.SpanContext` — and the
+    worker re-installs it with its own ``worker`` id, buffers every
+    finished span's record, and ships the buffer back with each
+    result, where the supervisor stitches it into the parent trace.
+    The first message on the pipe is always the clock handshake
+    (``("hello", id, perf_counter())``): the parent measures the
+    offset between the two ``perf_counter`` origins and rebases the
+    shipped span timestamps with it.
     """
     _obs.reinit_after_fork()
-    _trace.clear_sinks()
+    _trace.reinit_after_fork()
+    span_buffer: list[dict] = []
+    if trace_wire is not None:
+        context = _trace.SpanContext.from_wire(trace_wire)
+        _trace.set_context(_dc_replace(context, worker=worker_id))
+        _trace.add_sink(lambda span_: span_buffer.append(
+            span_.as_record()))
     send_lock = threading.Lock()
     runner.board = _BreakerChannel(conn, send_lock)
+    with send_lock:
+        conn.send(("hello", worker_id, time.perf_counter()))
     if heartbeat_interval > 0:
         threading.Thread(target=_heartbeat_loop,
                          args=(conn, send_lock, heartbeat_interval),
@@ -346,8 +375,10 @@ def _worker_main(worker_id: int, runner: "BatchRunner",
                  for name, value in counters.items()
                  if value != last_counters.get(name, 0)}
         last_counters = counters
+        spans = span_buffer[:]
+        span_buffer.clear()
         with send_lock:
-            conn.send(("result", index, outcome, delta))
+            conn.send(("result", index, outcome, delta, spans))
 
 
 # -- parent side -------------------------------------------------------
@@ -373,7 +404,7 @@ class _Worker:
     """Parent-side handle of one worker process."""
 
     __slots__ = ("id", "proc", "conn", "assignment", "last_seen",
-                 "kill_reason", "stopping")
+                 "kill_reason", "stopping", "clock_offset")
 
     def __init__(self, worker_id: int, proc, conn) -> None:
         self.id = worker_id
@@ -385,6 +416,10 @@ class _Worker:
         #: death handler can report *why* (stall, corrupt pipe).
         self.kill_reason: str | None = None
         self.stopping = False
+        #: perf_counter-origin difference measured from the worker's
+        #: hello handshake; added to shipped span timestamps so the
+        #: stitched trace shares one clock.
+        self.clock_offset = 0.0
 
 
 class PoolBackend:
@@ -522,12 +557,21 @@ class PoolBackend:
 
         def handle_result(worker: _Worker, index: int,
                           outcome: "TaskOutcome",
-                          delta: dict[str, int]) -> None:
+                          delta: dict[str, int],
+                          spans: list[dict] | None = None) -> None:
             assignment = worker.assignment
             worker.assignment = None
             if _obs.enabled:
                 for name, value in delta.items():
                     _obs.inc(name, value)
+                if spans:
+                    # Stitch the worker's finished spans into this
+                    # process's trace: fresh ids, clock origin rebased
+                    # by the handshake offset, subtree reparented
+                    # under the supervisor's open CLI span.
+                    _trace.ingest_records(
+                        spans, offset=worker.clock_offset,
+                        worker=worker.id)
             if assignment is None or assignment.index != index:
                 # A result for a task this worker no longer owns can
                 # only mean supervisor state corruption; fail loudly.
@@ -580,7 +624,11 @@ class PoolBackend:
                         message = worker.conn.recv()
                         if message[0] == "result":
                             handle_result(worker, message[1],
-                                          message[2], message[3])
+                                          message[2], message[3],
+                                          message[4])
+                        elif message[0] == "hello":
+                            worker.clock_offset = \
+                                time.perf_counter() - message[2]
                         elif message[0] == "brk" \
                                 and message[1] != "ask":
                             handle_breaker(worker, message[1],
@@ -652,6 +700,15 @@ class PoolBackend:
             if len(outcomes) < total:
                 spawn()
 
+        # Worker spans are only worth buffering and shipping when the
+        # parent has somewhere to put them; the propagated context is
+        # the parent's ambient one (trace_id and all), each worker
+        # stamping its own ``worker`` id into its copy.
+        trace_wire = None
+        if _obs.enabled and _trace.has_sinks():
+            context = _trace.get_context() or _trace.SpanContext()
+            trace_wire = context.to_wire()
+
         def spawn() -> None:
             if len(self._live) >= target:
                 return
@@ -662,7 +719,8 @@ class PoolBackend:
                 if self.stall_timeout > 0 else 0.0
             proc = ctx.Process(
                 target=_worker_main,
-                args=(worker_id, runner, child_conn, interval),
+                args=(worker_id, runner, child_conn, interval,
+                      trace_wire),
                 name=f"xnf-batch-worker-{worker_id}", daemon=True)
             proc.start()
             child_conn.close()
@@ -730,10 +788,20 @@ class PoolBackend:
                             worker.last_seen = time.monotonic()
                             if message[0] == "result":
                                 handle_result(worker, message[1],
-                                              message[2], message[3])
+                                              message[2], message[3],
+                                              message[4])
                             elif message[0] == "brk":
                                 handle_breaker(worker, message[1],
                                                message[2])
+                            elif message[0] == "hello":
+                                # Clock handshake: measure the offset
+                                # between our perf_counter origin and
+                                # the worker's (the recv latency makes
+                                # it a slight overestimate, which only
+                                # shifts stitched spans later — never
+                                # before their dispatch).
+                                worker.clock_offset = \
+                                    time.perf_counter() - message[2]
                             elif message[0] == "hb":
                                 pass
                             elif message[0] == "breach":
@@ -775,9 +843,14 @@ class PoolBackend:
                 "(non-ReproError escaped a task):\n"
                 + (breach or "<no traceback>")) from None
         finally:
+            # Inside the finally so the drained-pool gauge state is
+            # honest even when a breach (or any other error) unwinds
+            # the supervision loop: once _shutdown_force returns, no
+            # worker is alive, and a lingering exporter scrape must
+            # see zero.
             self._shutdown_force()
-        if _obs.enabled:
-            _obs.set_gauge("runtime.pool.workers.alive", 0)
+            if _obs.enabled:
+                _obs.set_gauge("runtime.pool.workers.alive", 0)
         return [outcomes[index] for index in range(total)]
 
     # -- teardown ------------------------------------------------------

@@ -234,3 +234,55 @@ class TestProfileAcceptance:
             assert flame.returncode == 0, flame.stderr
             outputs[seed] = result.stdout + flame.stdout
         assert outputs["0"] == outputs["4242"]
+
+
+class TestGaugeDrain:
+    """Satellite acceptance: pool/breaker liveness gauges return to 0
+    once the pool drains, observed through a real exporter scrape."""
+
+    BAD_DTD = "<!ELEMENT broken"  # unparseable: same permanent
+    # failure signature for every task that carries it.
+
+    def _faulted_manifest(self):
+        payload = corpus.generate_manifest(6, seed=2)
+        tasks = [{"id": f"bad-{i:02d}", "op": "check",
+                  "dtd_text": self.BAD_DTD} for i in range(4)]
+        tasks.extend(payload["tasks"])
+        payload["tasks"] = tasks
+        payload["count"] = len(tasks)
+        return mf.from_payload(payload)
+
+    def test_gauges_return_to_zero_after_pool_drain(self):
+        from repro.runtime.breaker import BreakerBoard as Board
+        from repro.runtime.pool import PoolBackend, pool_available
+
+        if not pool_available():
+            pytest.skip("fork start method unavailable")
+
+        obs.enable()
+        manifest = self._faulted_manifest()
+        board = Board(threshold=2)
+        pool = PoolBackend(2)
+        in_flight: list[str] = []
+
+        with MetricsExporter(port=0) as exporter:
+            url = exporter.url("/metrics")
+
+            def hook(outcome) -> None:
+                in_flight.append(scrape(url))
+
+            summary = run_batch(manifest, board=board,
+                                on_task_done=hook, backend=pool)
+            drained = scrape(url)
+
+        assert summary["counts"]["failed"] == 4
+        assert summary["counts"]["lost"] == 0
+        # Mid-run the gauges were live: workers up, and the repeated
+        # failure signature opened (and kept open) a breaker.
+        assert any(series_value(body, "runtime_pool_workers_alive") > 0
+                   for body in in_flight)
+        assert series_value(in_flight[-1], "runtime_breaker_open") >= 1
+        # After the drain both liveness gauges read exactly 0 — not
+        # stale, not absent.
+        assert series_value(drained, "runtime_pool_workers_alive") == 0
+        assert series_value(drained, "runtime_breaker_open") == 0

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import io
 import json
+import time
 
 import pytest
 
 from repro import obs
 from repro.obs import trace
+from repro.obs.trace import SpanContext
 
 
 @pytest.fixture(autouse=True)
@@ -16,10 +18,12 @@ def clean_obs():
     obs.disable()
     obs.reset()
     obs.clear_sinks()
+    trace.clear_context()
     yield
     obs.disable()
     obs.reset()
     obs.clear_sinks()
+    trace.clear_context()
 
 
 class TestDisabled:
@@ -86,19 +90,28 @@ class TestJsonLines:
         obs.enable()
         stream = io.StringIO()
         obs.add_sink(obs.JsonLinesSink(stream))
+        before = time.time()
         with obs.span("outer", phase="check"):
             with obs.span("inner") as sp:
                 sp.set("count", 3)
+        after = time.time()
         lines = stream.getvalue().strip().splitlines()
         records = [json.loads(line) for line in lines]
         assert [r["name"] for r in records] == ["inner", "outer"]
         inner, outer = records
+        base_keys = {"id", "parent", "depth", "name",
+                     "start", "duration_ms", "attrs"}
+        # Schema v2: roots carry the version marker and the wall-clock
+        # epoch anchor; non-roots carry neither, and context fields
+        # (trace_id/task/worker) are absent while no context is set.
+        assert set(inner) == base_keys
+        assert set(outer) == base_keys | {"v", "epoch"}
         for record in records:
-            assert set(record) == {"id", "parent", "depth", "name",
-                                   "start", "duration_ms", "attrs"}
             assert isinstance(record["duration_ms"], (int, float))
         assert outer["parent"] is None
         assert outer["depth"] == 0
+        assert outer["v"] == trace.TRACE_VERSION == 2
+        assert before - 1e-6 <= outer["epoch"] <= after + 1e-6
         assert inner["parent"] == outer["id"]
         assert inner["depth"] == 1
         assert inner["attrs"] == {"count": 3}
@@ -113,6 +126,157 @@ class TestJsonLines:
         with obs.span("a"):
             pass
         assert stream.getvalue() == ""
+
+
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        context = SpanContext(trace_id="abc123", task="t-1", worker=2)
+        assert SpanContext.from_wire(context.to_wire()) == context
+
+    def test_from_wire_rejects_bad_types(self):
+        with pytest.raises(ValueError):
+            SpanContext.from_wire({"trace_id": 7})
+        with pytest.raises(ValueError):
+            SpanContext.from_wire({"worker": "three"})
+        with pytest.raises(ValueError):
+            SpanContext.from_wire({"worker": True})
+        with pytest.raises(ValueError):
+            SpanContext.from_wire(["not", "a", "dict"])
+
+    def test_spans_stamped_from_ambient_context(self):
+        obs.enable()
+        trace.set_context(SpanContext(trace_id="deadbeef", worker=4))
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        for span_ in (outer, inner):
+            record = span_.as_record()
+            assert record["trace_id"] == "deadbeef"
+            assert record["worker"] == 4
+            assert "task" not in record
+
+    def test_task_scope_sets_and_restores(self):
+        obs.enable()
+        trace.set_context(SpanContext(trace_id="deadbeef"))
+        with trace.task_scope("corpus-0001"):
+            with obs.span("runtime.task") as sp:
+                pass
+            assert trace.get_context().task == "corpus-0001"
+        assert trace.get_context() == SpanContext(trace_id="deadbeef")
+        record = sp.as_record()
+        assert record["task"] == "corpus-0001"
+        assert record["trace_id"] == "deadbeef"
+
+    def test_task_scope_without_ambient_context(self):
+        obs.enable()
+        with trace.task_scope("t-9"):
+            with obs.span("runtime.task") as sp:
+                pass
+        assert trace.get_context() is None
+        assert sp.as_record()["task"] == "t-9"
+
+    def test_task_scope_free_while_disabled(self):
+        with trace.task_scope("t-0"):
+            pass
+        assert trace.get_context() is None
+
+    def test_reinit_after_fork_clears_state(self):
+        obs.enable()
+        trace.set_context(SpanContext(trace_id="x"))
+        obs.add_sink(obs.InMemorySink())
+        assert trace.has_sinks()
+        context_manager = obs.span("left-open")
+        context_manager.__enter__()
+        trace.reinit_after_fork()
+        assert not trace.has_sinks()
+        assert trace.get_context() is None
+        assert trace.current_span() is None
+
+
+class TestIngestRecords:
+    def _worker_records(self):
+        """Records the way a worker's buffering sink collects them:
+        child first, worker-local ids, worker-origin timestamps."""
+        return [
+            {"id": 2, "parent": 1, "depth": 1, "name": "spec.parse",
+             "start": 0.010, "duration_ms": 5.0, "attrs": {},
+             "task": "t-1", "worker": 3},
+            {"id": 1, "parent": None, "depth": 0, "name": "runtime.task",
+             "start": 0.005, "duration_ms": 20.0,
+             "attrs": {"task": "t-1"}, "task": "t-1", "worker": 3,
+             "counters": {"chase.steps": 7}, "v": 2, "epoch": 123.0},
+        ]
+
+    def test_reparents_under_open_span_with_fresh_ids(self):
+        obs.enable()
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        # An offset that rebases the shipment just into our past, so
+        # the ends-before-arrival clamp provably stays inactive.
+        offset = time.perf_counter() - 1.0
+        with obs.span("cli.batch") as root:
+            count = trace.ingest_records(self._worker_records(),
+                                         offset=offset, worker=3)
+        assert count == 2
+        assert [child.name for child in root.children] \
+            == ["runtime.task"]
+        task_span = root.children[0]
+        assert task_span.parent_id == root.span_id
+        assert task_span.depth == 1
+        assert task_span.children[0].name == "spec.parse"
+        assert task_span.children[0].depth == 2
+        assert task_span.children[0].parent_id == task_span.span_id
+        # Fresh ids from this process's counter, no collisions.
+        ids = {root.span_id, task_span.span_id,
+               task_span.children[0].span_id}
+        assert len(ids) == 3
+        # Clock rebase: worker start + offset.
+        assert task_span.start == pytest.approx(offset + 0.005)
+        assert task_span.end == pytest.approx(offset + 0.025)
+        # Sinks saw the ingested spans (in shipment order) and then
+        # the root when it finished.
+        assert [s.name for s in sink.spans] \
+            == ["spec.parse", "runtime.task", "cli.batch"]
+
+    def test_ingested_record_fields_survive(self):
+        obs.enable()
+        stream = io.StringIO()
+        obs.add_sink(obs.JsonLinesSink(stream))
+        with obs.span("cli.batch"):
+            trace.ingest_records(self._worker_records(), worker=3)
+        records = [json.loads(line)
+                   for line in stream.getvalue().splitlines()]
+        by_name = {record["name"]: record for record in records}
+        task_record = by_name["runtime.task"]
+        assert task_record["task"] == "t-1"
+        assert task_record["worker"] == 3
+        assert task_record["counters"] == {"chase.steps": 7}
+        # Reparented under the batch root: no longer a root record, so
+        # no epoch/v marker (the stitched trace has one root).
+        assert "epoch" not in task_record
+        assert task_record["parent"] == by_name["cli.batch"]["id"]
+        # Monotone parent/child timings after the stitch.
+        assert task_record["start"] <= by_name["spec.parse"]["start"]
+
+    def test_without_open_span_tops_stay_roots(self):
+        obs.enable()
+        sink = obs.InMemorySink()
+        obs.add_sink(sink, tree=True)
+        trace.ingest_records(self._worker_records(), worker=3)
+        assert [root.name for root in sink.roots] == ["runtime.task"]
+        assert sink.roots[0].depth == 0
+        assert sink.roots[0].parent_id is None
+
+    def test_worker_default_only_fills_missing(self):
+        obs.enable()
+        records = [{"id": 5, "parent": None, "depth": 0, "name": "a",
+                    "start": 0.0, "duration_ms": 1.0, "attrs": {}}]
+        with obs.span("root") as root:
+            trace.ingest_records(records, worker=7)
+        assert root.children[0].worker == 7
+
+    def test_noop_while_disabled(self):
+        assert trace.ingest_records(self._worker_records()) == 0
 
 
 class TestRenderTree:
