@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Throughput/latency numbers for ``xnf serve`` + the accounting gate.
+
+Two measurements, one advisory and one gating:
+
+* **Load numbers (advisory).**  An in-process
+  :class:`~repro.serve.server.NormalizationServer` is driven by the
+  seeded corpus load generator (:mod:`repro.serve.loadgen`) and the
+  sustained throughput plus p50/p95/p99 latency are printed.  Wall
+  times vary across machines, so these never gate — they exist so the
+  "serves heavy traffic" claim has numbers attached, tracked run over
+  run in CI logs.
+
+* **Accounting-seam gate (<1%, gating).**  Every request passes the
+  :func:`repro.serve.server.account` seam (plus one admission-gate
+  round trip) even when observability is off.  As with the ledger
+  seam (``bench_obs_ledger.py``), an A/B load test cannot resolve a
+  sub-microsecond seam under network jitter, so the seam is measured
+  in a tight loop (empty-loop baseline subtracted) and compared
+  against the measured per-request cost of the *cheapest* real
+  request (a cache-hit implication query).  The gate fails when
+  seam/request exceeds the tolerance — i.e. when a metrics-disabled
+  service starts paying for metrics.
+
+Run:  python benchmarks/bench_serve.py [--requests N] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.serve import AdmissionGate, Decision, NormalizationServer
+from repro.serve import loadgen
+from repro.serve.server import account
+
+
+def _best_of(repeats: int, body) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def seam_cost_per_request(loops: int = 50_000,
+                          repeats: int = 5) -> float:
+    """Seconds one request pays, obs disabled, for the per-request
+    accounting: two clock reads + the gated :func:`account` call +
+    one admission round trip."""
+    gate = AdmissionGate(max_inflight=4)
+
+    def baseline() -> None:
+        for _ in range(loops):
+            pass
+
+    def seam() -> None:
+        for _ in range(loops):
+            started = time.perf_counter()
+            if gate.admit() is Decision.ADMITTED:
+                gate.release()
+            account("/v1/implication", 200,
+                    time.perf_counter() - started)
+
+    baseline()
+    seam()
+    empty = _best_of(repeats, baseline)
+    cost = _best_of(repeats, seam)
+    return max(0.0, (cost - empty) / loops)
+
+
+def request_cost(server: NormalizationServer,
+                 repeats: int = 5, loops: int = 50) -> float:
+    """Best-case seconds per real request: a warm cache-hit
+    implication query over loopback HTTP."""
+    import json
+    import urllib.request
+
+    dtd = ("<!ELEMENT db (row*)>\n<!ELEMENT row EMPTY>\n"
+           "<!ATTLIST row a CDATA #REQUIRED b CDATA #REQUIRED>")
+    body = json.dumps({"dtd": dtd, "fds": "db.row.@a -> db.row.@b",
+                       "fd": "db.row.@a -> db.row.@b"}).encode()
+    url = server.url("/v1/implication")
+
+    def one_pass() -> None:
+        for _ in range(loops):
+            request = urllib.request.Request(
+                url, data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                resp.read()
+
+    one_pass()  # warm the spec cache and the allocator
+    return _best_of(repeats, one_pass) / loops
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=200,
+                        help="corpus requests for the load numbers "
+                             "(default 200)")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="allowed seam-over-request overhead "
+                             "fraction (default 1%%)")
+    args = parser.parse_args(argv)
+
+    obs.disable()
+    with NormalizationServer(0, max_inflight=args.concurrency) as srv:
+        report = loadgen.run_load(
+            srv.url(), requests=args.requests, seed=args.seed,
+            concurrency=args.concurrency)
+        quantiles = report.quantiles()
+        print(f"load:  {report.sent} requests, "
+              f"{report.throughput_rps():8.1f} req/s sustained "
+              f"({args.concurrency} clients; advisory)")
+        print(f"       p50 {quantiles['p50'] * 1e3:7.2f} ms   "
+              f"p95 {quantiles['p95'] * 1e3:7.2f} ms   "
+              f"p99 {quantiles['p99'] * 1e3:7.2f} ms   "
+              f"lost {report.lost}")
+        if report.count(status_class=2) != report.sent:
+            print("FAIL: load run lost or refused requests on an idle "
+                  "server", file=sys.stderr)
+            return 1
+
+        per_request = request_cost(srv, repeats=args.repeats)
+    seam = seam_cost_per_request(repeats=args.repeats)
+
+    overhead = seam / per_request
+    print(f"request: {per_request * 1e6:9.2f} us  (warm cache-hit "
+          f"implication over loopback, best of {args.repeats})")
+    print(f"seam:    {seam * 1e6:9.3f} us  (disabled accounting + "
+          f"admission round trip, per request)")
+    print(f"seam vs request: {overhead:+.2%} "
+          f"(tolerance +{args.tolerance:.0%})")
+
+    if overhead > args.tolerance:
+        print("FAIL: the request-accounting seam is taxing a service "
+              "that has metrics disabled", file=sys.stderr)
+        return 1
+    print("OK: disabled-accounting overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

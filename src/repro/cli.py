@@ -12,6 +12,7 @@ Subcommands::
     xnf bench      {run,compare,report} ...  # benchmark observatory
     xnf batch      MANIFEST.json             # crash-tolerant batch runs
     xnf obs        {report,flame,diff} ...   # profiling observatory
+    xnf serve      [--port N]                # long-running HTTP service
 
 Observability (see ``docs/OBSERVABILITY.md``): every subcommand accepts
 ``--stats`` (print a metrics table — cache hit rate, chase steps,
@@ -56,6 +57,17 @@ done/ok/dead-lettered, retries, breaker states, throughput, ETA) at
 most every ``--heartbeat-interval`` seconds (``-`` writes them to
 stderr, keeping stdout parseable), and publishes the same numbers as
 ``runtime.batch.*`` gauges for a concurrent ``--metrics-port`` scrape.
+
+Service mode (see ``docs/SERVE.md``): ``xnf serve`` runs the pipeline
+as a long-lived HTTP/JSON daemon.  The budget flags change meaning
+there: instead of one process-wide budget they become **per-request
+ceilings** — every request runs under its own thread-scoped budget
+(clients may tighten, never loosen), so one pathological DTD degrades
+alone.  ``/metrics``, ``/healthz`` and ``/readyz`` are served on the
+service port itself; ``--metrics-port`` is refused unless it names the
+service port (no second exporter is ever spawned).  SIGTERM/SIGINT
+drain gracefully: readiness flips, in-flight requests finish under
+``--drain-deadline``, and a clean drain exits 0.
 
 Exit codes (uniform across subcommands; the full table is pinned by
 ``tests/test_exit_codes.py``)::
@@ -341,6 +353,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return EXIT_PARTIAL
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serve import BudgetDefaults, NormalizationServer
+
+    # A service without metrics is blind: serve always records and
+    # publishes the registry on its own /metrics.
+    obs_was_enabled = obs.is_enabled()
+    obs.enable()
+    overrides = {
+        name: value for name, value in (
+            ("timeout", getattr(args, "timeout", None)),
+            ("max_steps", getattr(args, "max_steps", None)),
+            ("max_branches", getattr(args, "max_branches", None)),
+            ("max_nodes", getattr(args, "max_nodes", None)))
+        if value is not None}
+    server = NormalizationServer(
+        args.port, args.host,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        queue_timeout_s=args.queue_timeout,
+        drain_deadline_s=args.drain_deadline,
+        cache_capacity=args.cache_size,
+        defaults=BudgetDefaults(**overrides))
+    stop = threading.Event()
+
+    def _request_drain(signum: int, frame: object) -> None:
+        # Runs for the first and any repeated SIGTERM/SIGINT; drain()
+        # itself is idempotent, so a mid-drain signal is harmless.
+        stop.set()
+
+    # Handlers go in before the socket is announced: a supervisor that
+    # reacts to the announce line may signal immediately, and that
+    # must already mean "drain", never the default kill.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _request_drain)
+        signal.signal(signal.SIGINT, _request_drain)
+    try:
+        server.start()
+    except OSError as error:
+        # An occupied port / unbindable host is structural, like a bad
+        # flag: nothing ran, nothing partial exists — including the
+        # obs enablement above (in-process callers keep their state).
+        if not obs_was_enabled:
+            obs.disable()
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    print(f"serve: listening on {server.url()} "
+          "(POST /v1/implication /v1/xnf-check /v1/normalize; "
+          "GET /metrics /healthz /readyz)",
+          file=sys.stderr, flush=True)
+    try:
+        # Periodic wake-ups keep the wait signal-responsive on every
+        # platform (a bare Event.wait can ride through handlers).
+        while not stop.wait(0.5):
+            pass
+    except KeyboardInterrupt:
+        pass
+    print(f"serve: draining (deadline {args.drain_deadline}s)",
+          file=sys.stderr, flush=True)
+    if server.drain(args.drain_deadline):
+        print("serve: drained cleanly", file=sys.stderr, flush=True)
+        return EXIT_OK
+    print("serve: drain deadline expired with requests in flight",
+          file=sys.stderr, flush=True)
+    return EXIT_RESOURCE
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.dtd.classify import (
         disjunction_measure, is_disjunctive_dtd, is_simple_dtd)
@@ -566,6 +647,42 @@ def build_parser() -> argparse.ArgumentParser:
                      "FILE (query with `xnf obs history`, gate with "
                      "`xnf obs regress`)")
     bat.set_defaults(func=_cmd_batch)
+
+    def _pos_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError("must be positive")
+        return value
+
+    srv = sub.add_parser("serve", parents=[common],
+                         help="run the long-lived HTTP normalization "
+                         "service (docs/SERVE.md); the budget flags "
+                         "set per-request ceilings")
+    srv.add_argument("--port", type=int, default=8300, metavar="N",
+                     help="service port; 0 picks a free one, announced "
+                     "on stderr (default 8300)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--max-inflight", type=_pos_int, default=8,
+                     metavar="N",
+                     help="requests executing concurrently (default 8)")
+    srv.add_argument("--max-queue", type=_nonneg_int, default=64,
+                     metavar="N",
+                     help="requests waiting for a slot before new "
+                     "arrivals are shed with 429 (default 64)")
+    srv.add_argument("--queue-timeout", type=_pos_float, default=5.0,
+                     metavar="SECONDS",
+                     help="longest a request may wait in the admission "
+                     "queue before a 503 (default 5)")
+    srv.add_argument("--drain-deadline", type=_pos_float, default=10.0,
+                     metavar="SECONDS",
+                     help="grace period for in-flight requests after "
+                     "SIGTERM (default 10)")
+    srv.add_argument("--cache-size", type=_pos_int, default=128,
+                     metavar="N",
+                     help="parsed specs kept in the fingerprint-keyed "
+                     "LRU (default 128)")
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -591,6 +708,20 @@ def main(argv: list[str] | None = None) -> int:
     metrics_port = getattr(args, "metrics_port", None)
     if metrics_port is not None and not 0 <= metrics_port <= 65535:
         parser.error("--metrics-port must be between 0 and 65535")
+    if args.command == "serve" and metrics_port is not None:
+        # serve publishes /metrics on the service port itself; a
+        # second exporter would split the scrape surface.  Refuse a
+        # conflicting port, treat a matching one as an alias.
+        if metrics_port != args.port:
+            print("error: xnf serve publishes /metrics on the service "
+                  f"port ({args.port}); --metrics-port {metrics_port} "
+                  "would spawn a second exporter — drop the flag or "
+                  "make it equal to --port", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"note: --metrics-port {metrics_port} aliases the "
+              "service port; /metrics is served there", file=sys.stderr)
+        metrics_port = None
+        args.metrics_port = None
 
     was_enabled = obs.is_enabled()
     sink = None
@@ -644,9 +775,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: bad REPRO_FAULTS spec: {error}",
                   file=sys.stderr)
             return EXIT_USAGE
+    # `serve` interprets the budget flags as per-request ceilings
+    # (installed thread-scoped around each request by the handlers); a
+    # process-wide install here would tick across all requests and the
+    # deadline would kill the daemon itself.
+    process_budget = {} if args.command == "serve" else budget_kwargs
     try:
         with obs.span(f"cli.{args.command}"):
-            with guard.limits(**budget_kwargs):
+            with guard.limits(**process_budget):
                 if fault_plan is not None:
                     from repro import faults
                     with faults.use(fault_plan):

@@ -100,6 +100,9 @@ _INSTRUMENTED_MODULES = (
     "repro.tuples.extract",
     "repro.normalize.algorithm",
     "repro.normalize.checkpoint",
+    "repro.serve.admission",
+    "repro.serve.cache",
+    "repro.serve.handlers",
 )
 
 

@@ -298,7 +298,23 @@ class _Solver:
     def _split_candidates(self, eq: set[Path],
                           nn: set[Path]) -> list[Path]:
         """Null-correlated paths worth splitting on: premise paths of
-        FDs that have not fired (and their element prefixes)."""
+        FDs that have not fired (and their element prefixes), plus
+        derived-equal element paths whose parents are still unshared.
+
+        The second family closes a completeness gap: when a Σ rule
+        derives ``EQ(w)`` for an element path ``w`` that is not known
+        non-null, the upward "parent of shared node" rule cannot fire,
+        yet ``w``'s nullness *is* correlated (equal values are null
+        together).  Splitting on ``w`` resolves it — the non-null
+        branch shares the parent directly, the null branch nulls the
+        whole region that must vanish with ``w`` — so facts like
+        ``EQ(parent(w))`` become derivable even when no unfired FD
+        happens to mention ``w``.  (Found via the seed-69910 Prop. 6
+        pin: a create step rewrote Σ so the only FD mentioning the
+        split path disappeared, and a previously-derivable node
+        equality silently stopped being derived, making a cured
+        attribute path look newly anomalous.)
+        """
         candidates: set[Path] = set()
         for dependency in self.sigma:
             if all(p in eq and p in nn for p in dependency.lhs):
@@ -312,6 +328,10 @@ class _Solver:
                         and prefix.parent in eq and prefix.parent in nn)
                     if correlated:
                         candidates.add(prefix)
+        for path in eq:
+            if (path.is_element and path not in nn and path.length > 1
+                    and path.parent not in eq):
+                candidates.add(path)
         return sorted(candidates, key=str)
 
     def _null_region(self, witness: Path) -> frozenset[Path]:

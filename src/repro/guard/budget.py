@@ -42,14 +42,23 @@ is installed, an instrumented site performs one module-attribute read
 a captured local — and nothing else.  ``benchmarks/bench_guard.py``
 verifies the disabled overhead stays under 1%.
 
-Like the obs registry the installed-budget stack is process-wide, not
-thread-local: a budget installed in one thread governs engine work in
-all of them (ticks themselves are plain integer increments and safe
-under the GIL; the worst race is a check against a just-popped budget).
+Budgets install at one of two scopes.  The default (``scope=
+"process"``) matches the obs registry: a budget installed in one
+thread governs engine work in all of them (ticks themselves are plain
+integer increments and safe under the GIL; the worst race is a check
+against a just-popped budget).  ``scope="thread"`` installs onto a
+per-thread stack that takes precedence over the process stack in
+:func:`current` — the isolation primitive ``xnf serve`` builds on: a
+threaded server gives every request its own budget, so one
+pathological request degrades to UNKNOWN/408 without ticking against
+(or being ticked by) its neighbors.  A thread with no thread-scoped
+budget still falls back to the process stack, preserving the original
+ambient semantics.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -57,12 +66,41 @@ from typing import Callable, Iterator
 from repro.errors import ResourceExhausted
 from repro.obs import metrics as _obs
 
-#: Fast-path flag: ``True`` iff at least one budget is installed.
-#: Instrumentation sites read this (one module-attribute load) before
-#: touching anything else, so unguarded runs pay essentially nothing.
+#: Fast-path flag: ``True`` iff at least one budget is installed (at
+#: either scope, in any thread).  Instrumentation sites read this (one
+#: module-attribute load) before touching anything else, so unguarded
+#: runs pay essentially nothing.
 active: bool = False
 
 _stack: list["Budget"] = []
+_tls = threading.local()
+
+#: Count of installed budgets across all scopes and threads; guards
+#: the :data:`active` flag so concurrent installs/uninstalls in
+#: different threads cannot strand it.
+_installed = 0
+_installed_lock = threading.Lock()
+
+
+def _thread_stack() -> list["Budget"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def _note_install() -> None:
+    global _installed, active
+    with _installed_lock:
+        _installed += 1
+        active = True
+
+
+def _note_uninstall(count: int = 1) -> None:
+    global _installed, active
+    with _installed_lock:
+        _installed = max(0, _installed - count)
+        active = _installed > 0
 
 
 class Budget:
@@ -195,33 +233,44 @@ class Budget:
 def current() -> Budget | None:
     """The innermost installed budget, or ``None``.
 
-    Engine call sites capture this once per decision (guarded by the
+    The calling thread's own (thread-scoped) stack wins; a thread
+    without one falls back to the process-wide stack.  Engine call
+    sites capture this once per decision (guarded by the
     :data:`active` flag) and pass the local down their loops.
     """
+    local = getattr(_tls, "stack", None)
+    if local:
+        return local[-1]
     return _stack[-1] if _stack else None
 
 
 @contextmanager
-def use(budget: Budget) -> Iterator[Budget]:
+def use(budget: Budget, *, scope: str = "process") -> Iterator[Budget]:
     """Install ``budget`` for the duration of the ``with`` body.
 
-    Budgets nest (the innermost wins at instrumentation points); on
-    exit the previous budget is restored and, when obs is enabled, the
+    Budgets nest (the innermost wins at instrumentation points; a
+    thread-scoped budget shadows any process-scoped one for its own
+    thread).  ``scope`` is ``"process"`` (ambient, the default) or
+    ``"thread"`` (visible only to the installing thread).  On exit the
+    previous budget is restored and, when obs is enabled, the
     remaining headroom of every set limit is recorded into
     ``guard.remaining.*`` histograms so completion margins are
     observable.
     """
-    global active
-    _stack.append(budget)
-    active = True
+    if scope not in ("process", "thread"):
+        raise ValueError(f"scope must be 'process' or 'thread', "
+                         f"got {scope!r}")
+    stack = _thread_stack() if scope == "thread" else _stack
+    stack.append(budget)
+    _note_install()
     try:
         yield budget
     finally:
         # Remove *this* budget, tolerating a :func:`teardown` that
         # already swept the stack while the context was suspended.
-        if budget in _stack:
-            _stack.remove(budget)
-        active = bool(_stack)
+        if budget in stack:
+            stack.remove(budget)
+            _note_uninstall()
         if _obs.enabled:
             for name, headroom in budget.remaining().items():
                 if headroom is not None:
@@ -231,19 +280,25 @@ def use(budget: Budget) -> Iterator[Budget]:
 
 
 def teardown() -> int:
-    """Forcibly uninstall every ambient budget; returns how many were
-    removed.
+    """Forcibly uninstall every reachable budget; returns how many
+    were removed.
 
-    Normal code never needs this — :func:`use` restores the stack on
+    Normal code never needs this — :func:`use` restores the stacks on
     exit.  It exists for run isolation (the benchmark runner clears
     leftover budgets between runs so one workload's limits can never
     govern the next) and for test harnesses recovering from a body
-    that escaped a ``with use(...)`` block abnormally.
+    that escaped a ``with use(...)`` block abnormally.  Sweeps the
+    process stack and the *calling thread's* thread-scoped stack;
+    other threads' stacks are unreachable by design (their owners'
+    ``with`` blocks still unwind them, and :data:`active` stays
+    consistent through the shared install counter).
     """
-    global active
-    removed = len(_stack)
+    local = getattr(_tls, "stack", None) or []
+    removed = len(_stack) + len(local)
     _stack.clear()
-    active = False
+    local.clear()
+    if removed:
+        _note_uninstall(removed)
     return removed
 
 
@@ -251,7 +306,7 @@ def teardown() -> int:
 def limits(*, deadline: float | None = None, max_steps: int | None = None,
            max_branches: int | None = None, max_nodes: int | None = None,
            clock: Callable[[], float] = time.monotonic,
-           ) -> Iterator[Budget | None]:
+           scope: str = "process") -> Iterator[Budget | None]:
     """``use(Budget(...))`` in one call; a no-op when every limit is
     ``None`` (so callers can thread optional CLI flags through
     unconditionally)."""
@@ -261,5 +316,5 @@ def limits(*, deadline: float | None = None, max_steps: int | None = None,
         return
     with use(Budget(deadline=deadline, max_steps=max_steps,
                     max_branches=max_branches, max_nodes=max_nodes,
-                    clock=clock)) as budget:
+                    clock=clock), scope=scope) as budget:
         yield budget

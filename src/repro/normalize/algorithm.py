@@ -7,9 +7,12 @@
     (3) Otherwise pick a (D, Σ)-minimal anomalous FD and create a new
         element type for it.
 
-Each step strictly shrinks the set of anomalous paths (Proposition 6),
-which yields termination (Theorem 2); the implementation asserts this
-progress measure at runtime when ``check_progress`` is on.
+Each step strictly shrinks the anomalous-path measure of Proposition 6
+— the depth multiset of ``AP(D, Σ)`` under the lexicographic multiset
+ordering (:func:`repro.xnf.anomalous.progress_measure`), which is
+well-founded and hence yields termination (Theorem 2); the
+implementation asserts this progress measure at runtime when
+``check_progress`` is on.
 
 FDs are preprocessed to the Section 6 form (at most one element path on
 the left): an FD without one gets the root path added — semantically
@@ -47,6 +50,7 @@ from repro.xnf.anomalous import (
     anomalous_paths,
     anomalous_sigma_fds,
     minimal_anomalous_fd,
+    progress_measure,
 )
 from repro.xmltree.model import XMLTree
 
@@ -178,7 +182,8 @@ def normalize(dtd: DTD, sigma: Iterable[FD], *,
                         round_span.set("anomalous_paths_after",
                                        len(after))
                         assert before is not None
-                        if not after < before:
+                        if not (progress_measure(after)
+                                < progress_measure(before)):
                             raise NormalizationError(
                                 "Proposition 6 progress violated: "
                                 "anomalous paths went from "

@@ -195,6 +195,22 @@ def timer(name: str) -> Iterator[None]:
                 histogram.observe(elapsed)
 
 
+def observe_seconds(name: str, seconds: float) -> None:
+    """Record a pre-measured duration into the timer histogram ``name``.
+
+    For callers that already hold both clock endpoints — e.g. the
+    ``xnf serve`` request-accounting seam, which times a request across
+    admission and handling and records once — where a :func:`timer`
+    context does not fit.  No-op while disabled."""
+    if not enabled:
+        return
+    with _lock:
+        histogram = _timers.get(name)
+        if histogram is None:
+            histogram = _timers[name] = _Histogram()
+        histogram.observe(seconds)
+
+
 def counter_value(name: str) -> int:
     """The current value of a counter (0 if never incremented)."""
     with _lock:

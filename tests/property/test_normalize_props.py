@@ -9,14 +9,9 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import example, given, settings, strategies as st
 
-from repro.errors import (
-    NormalizationError,
-    ReproError,
-    UnsupportedFeatureError,
-)
+from repro.errors import ReproError, UnsupportedFeatureError
 from repro.datasets.generators import (
     random_document,
     random_fds,
@@ -37,17 +32,6 @@ def _spec(seed: int):
     return rng, dtd, sigma
 
 
-#: The message of the one *known* open normalizer bug (ROADMAP: the
-#: Prop. 6 progress check can trip when a create step's key storage
-#: surfaces a previously-shadowed anomalous path).  Pinned as a
-#: strict-xfail regression below; filtered here so the property
-#: sweeps stay deterministic instead of failing on whichever random
-#: seeds happen to reach the same corner.  When the bug is fixed, the
-#: xfail flips to XPASS (strict) and both the filter and the pin get
-#: deleted together.
-_KNOWN_PROP6_BUG = "Proposition 6 progress violated"
-
-
 def _normalize(dtd, sigma):
     try:
         return normalize(dtd, sigma)
@@ -55,12 +39,6 @@ def _normalize(dtd, sigma):
         # a random transformation target occurs at several paths —
         # outside the Section 6 fragment; not a failure of the theorem
         return None
-    except NormalizationError as error:
-        if _KNOWN_PROP6_BUG in str(error):
-            # the pinned open bug, not a new finding — see
-            # test_known_prop6_progress_violation_seed_69910
-            return None
-        raise
 
 
 @settings(max_examples=25, deadline=None)
@@ -92,19 +70,22 @@ def test_proposition6_measure_shrinks(seed):
         assert before
 
 
-@pytest.mark.xfail(
-    strict=True, raises=NormalizationError,
-    reason="known open bug (ROADMAP): the create step keyed by "
-    "e1.e4.e7.e8.@a9 storing @a10 clears one anomalous path but "
-    "surfaces e1.e4.@a6, violating the Prop. 6 strict-progress "
-    "measure.  Strict: a fix flips this to XPASS, which is the "
-    "signal to delete this pin and the _KNOWN_PROP6_BUG filter.")
 def test_known_prop6_progress_violation_seed_69910():
-    """Deterministic regression pin for the seed-69910 progress
-    violation the hypothesis sweeps kept rediscovering at random."""
+    """Regression pin for the once-open seed-69910 progress violation.
+
+    Two fixes keep this green: the closure engine's case-split
+    candidates now include derived-equal element paths with unshared
+    parents (so ``e1.e2.@a3 -> e1.e4`` stays derivable after the
+    create step rewrites Σ and ``e1.e4.@a6`` never looks newly
+    anomalous), and the runtime progress check asserts Proposition 6's
+    lexicographic depth-multiset measure instead of strict set
+    inclusion.  Historically this raised ``NormalizationError``
+    ("Proposition 6 progress violated") and was pinned as a strict
+    xfail; it must now normalize to XNF in a single create step."""
     _rng, dtd, sigma = _spec(69910)
-    result = normalize(dtd, sigma)   # raises NormalizationError today
+    result = normalize(dtd, sigma)
     assert is_in_xnf(result.dtd, result.sigma)
+    assert [step.kind for step in result.steps] == ["create"]
 
 
 @settings(max_examples=15, deadline=None)

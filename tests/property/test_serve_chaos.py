@@ -1,0 +1,197 @@
+"""Chaos suite for the service: faults at every ``serve.*`` site.
+
+The HTTP containment contract under test (docs/SERVE.md):
+
+* a fault injected at admission, cache fill, or any handler surfaces
+  to the client only as a **structured error response** (the uniform
+  ``{"error": {...}}`` envelope with the right kind/exit-code pair) —
+  never a dropped connection, never a wedged thread;
+* the spec cache is never poisoned — after the fault clears, the very
+  same request succeeds with the correct answer;
+* ``serve.contract_breach`` stays 0: every injected fault is a
+  ``ReproError`` and must be classified, not escape;
+* admission accounting never leaks — in-flight and queue depth return
+  to zero after every faulted request.
+
+One live server is shared by the sweep (faults are process-global, so
+a plan installed by the test governs the handler threads); all plans
+are seeded and replay exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import faults, obs
+from repro.serve import NormalizationServer
+
+SERVE_SITES = sorted(
+    site.name for site in faults.all_sites()
+    if site.subsystem == "serve")
+
+SIMPLE_DTD = ("<!ELEMENT db (row*)>\n<!ELEMENT row EMPTY>\n"
+              "<!ATTLIST row a CDATA #REQUIRED b CDATA #REQUIRED>")
+SIMPLE_FDS = "db.row.@a -> db.row.@b"
+
+CHAOS_EXAMPLES = int(os.environ.get("REPRO_CHAOS_EXAMPLES", "80"))
+
+_ENDPOINTS = {
+    "/v1/implication": {"dtd": SIMPLE_DTD, "fds": SIMPLE_FDS,
+                        "fd": SIMPLE_FDS},
+    "/v1/xnf-check": {"dtd": SIMPLE_DTD, "fds": SIMPLE_FDS},
+    "/v1/normalize": {"dtd": SIMPLE_DTD, "fds": SIMPLE_FDS},
+}
+
+#: What a healthy answer looks like, per endpoint.
+_HEALTHY = {
+    "/v1/implication": lambda body: body["verdict"] == "yes",
+    "/v1/xnf-check": lambda body: body["in_xnf"] is False,
+    "/v1/normalize": lambda body: bool(body["steps"]),
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    obs.reset()
+    srv = NormalizationServer(0, max_inflight=4).start()
+    yield srv
+    srv.stop()
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plans():
+    yield
+    faults.teardown()
+
+
+def _settled(gate, timeout_s: float = 5.0) -> tuple[int, int]:
+    """The gate's (inflight, queue_depth) once it quiesces.
+
+    A client finishes reading its response a moment before the handler
+    thread releases the permit (the permit must cover the write — the
+    drain guarantee), so observers poll briefly instead of asserting
+    the instant the body arrives.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        state = gate.inflight, gate.queue_depth
+        if state == (0, 0):
+            break
+        time.sleep(0.005)
+    return gate.inflight, gate.queue_depth
+
+
+def _post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_serve_sites_are_registered():
+    assert SERVE_SITES == [
+        "serve.admission",
+        "serve.cache.fill",
+        "serve.handler.implication",
+        "serve.handler.normalize",
+        "serve.handler.xnf",
+    ]
+
+
+@settings(max_examples=CHAOS_EXAMPLES, deadline=None)
+@given(site=st.sampled_from(SERVE_SITES),
+       kind=st.sampled_from(sorted(faults.RAISE_KINDS)),
+       endpoint=st.sampled_from(sorted(_ENDPOINTS)),
+       after=st.integers(0, 2),
+       seed=st.integers(0, 1_000))
+def test_chaos_sweep_http_contract(server, site, kind, endpoint,
+                                   after, seed):
+    breaches_before = obs.snapshot()["counters"].get(
+        "serve.contract_breach", 0)
+    plan = faults.FaultPlan(
+        [faults.FaultArm(site=site, kind=kind, after=after)], seed=seed)
+    payload = _ENDPOINTS[endpoint]
+    with faults.use(plan):
+        status, body = _post(server.url(endpoint), payload)
+    if plan.fired:
+        # The fault surfaced as a structured error, correctly typed.
+        assert "error" in body, (site, kind, endpoint, status)
+        error = body["error"]
+        assert set(error) == {"type", "message", "status",
+                              "exit_code", "kind"}
+        assert error["status"] == status
+        if kind == "exhaustion":
+            assert (status, error["kind"],
+                    error["exit_code"]) == (408, "resource", 4)
+        else:
+            assert (status, error["kind"],
+                    error["exit_code"]) == (500, "fault", 3)
+    else:
+        # ``after`` outlived the request's site visits: normal answer.
+        assert status == 200, (site, kind, endpoint, body)
+        assert _HEALTHY[endpoint](body)
+    # Contract intact: a ReproError fault is never a breach.
+    assert obs.snapshot()["counters"].get(
+        "serve.contract_breach", 0) == breaches_before
+    # No admission leak: the permit was released on every path.
+    assert _settled(server.gate) == (0, 0)
+    # No cache poisoning, server serviceable: the identical request
+    # now gives the correct answer.
+    status, body = _post(server.url(endpoint), payload)
+    assert status == 200, (site, kind, endpoint, body)
+    assert _HEALTHY[endpoint](body)
+
+
+@settings(max_examples=max(20, CHAOS_EXAMPLES // 4), deadline=None)
+@given(seed=st.integers(0, 1_000),
+       after=st.integers(0, 1))
+def test_admission_fault_never_leaks_a_permit(server, seed, after):
+    """The ``serve.admission`` site fires before any accounting; a
+    fault there must leave the gate exactly as it found it."""
+    plan = faults.FaultPlan(
+        [faults.FaultArm(site="serve.admission", kind="exception",
+                         after=after)], seed=seed)
+    with faults.use(plan):
+        for _ in range(3):
+            _post(server.url("/v1/xnf-check"),
+                  _ENDPOINTS["/v1/xnf-check"])
+    assert _settled(server.gate) == (0, 0)
+    status, body = _post(server.url("/v1/xnf-check"),
+                         _ENDPOINTS["/v1/xnf-check"])
+    assert (status, body["in_xnf"]) == (200, False)
+
+
+def test_cache_fill_fault_then_identical_request_fills_cleanly(server):
+    """The no-poisoning guarantee, end to end over HTTP: a failed fill
+    leaves no entry, and the retry builds and caches the real spec."""
+    counters = obs.snapshot()["counters"]
+    hits_before = counters.get("serve.cache.hit", 0)
+    payload = {"dtd": SIMPLE_DTD + "\n<!-- chaos-fill -->",
+               "fds": SIMPLE_FDS}
+    with faults.inject("serve.cache.fill"):
+        status, body = _post(server.url("/v1/xnf-check"), payload)
+    assert status == 500
+    assert body["error"]["kind"] == "fault"
+    # First clean request: a miss (nothing was poisoned in), then hits.
+    status, body = _post(server.url("/v1/xnf-check"), payload)
+    assert (status, body["in_xnf"]) == (200, False)
+    status, body = _post(server.url("/v1/xnf-check"), payload)
+    assert status == 200
+    assert obs.snapshot()["counters"].get(
+        "serve.cache.hit", 0) > hits_before

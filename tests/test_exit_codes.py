@@ -118,6 +118,27 @@ class TestExit2:
     def test_missing_batch_manifest(self, tmp_path, capsys):
         assert main(["batch", str(tmp_path / "absent.json")]) == 2
 
+    def test_serve_port_in_use(self, capsys):
+        import socket
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            # Startup failure before any request is structural: the
+            # flags named a socket this process can never own.
+            assert main(["serve", "--port", str(port)]) == 2
+        finally:
+            blocker.close()
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_serve_metrics_port_conflict(self, capsys):
+        # serve publishes /metrics on the service port itself; asking
+        # for a *different* exporter port is refused, not honored.
+        assert main(["serve", "--port", "8300",
+                     "--metrics-port", "9999"]) == 2
+        assert "second exporter" in capsys.readouterr().err
+
 
 class TestExit3:
     def test_broken_dtd_input(self, tmp_path, capsys):

@@ -249,3 +249,109 @@ class TestObsCounters:
         with guard.limits(max_steps=10_000):
             closure_implies(dtd, sigma, query)
         assert obs.counter_value("guard.checks") == 0
+
+
+class TestThreadScope:
+    """scope="thread" budgets isolate concurrent work (the `xnf serve`
+    per-request containment primitive)."""
+
+    def test_thread_budget_shadows_process_budget(self):
+        process = guard.Budget(max_steps=100)
+        local = guard.Budget(max_steps=1)
+        with guard.use(process):
+            with guard.use(local, scope="thread"):
+                assert guard.current() is local
+            assert guard.current() is process
+
+    def test_other_threads_fall_back_to_process_stack(self):
+        import threading
+
+        process = guard.Budget(max_steps=100)
+        local = guard.Budget(max_steps=1)
+        seen: list[object] = []
+
+        def worker() -> None:
+            seen.append(guard.current())
+
+        with guard.use(process):
+            with guard.use(local, scope="thread"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert seen == [process]
+
+    def test_concurrent_thread_budgets_are_isolated(self):
+        import threading
+
+        barrier = threading.Barrier(2)
+        results: dict[str, object] = {}
+
+        def worker(name: str, budget: guard.Budget) -> None:
+            with guard.use(budget, scope="thread"):
+                barrier.wait(timeout=5)
+                results[name] = guard.current()
+                barrier.wait(timeout=5)
+
+        fast = guard.Budget(max_steps=1)
+        slow = guard.Budget(max_steps=10_000)
+        threads = [threading.Thread(target=worker, args=("fast", fast)),
+                   threading.Thread(target=worker, args=("slow", slow))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results["fast"] is fast
+        assert results["slow"] is slow
+
+    def test_one_thread_tripping_leaves_neighbors_ungoverned(
+            self, disjunctive_spec):
+        import threading
+
+        dtd, sigma, query = disjunctive_spec
+        outcomes: dict[str, object] = {}
+
+        def tight() -> None:
+            try:
+                with guard.limits(max_steps=1, scope="thread"):
+                    closure_implies(dtd, sigma, query)
+                outcomes["tight"] = "completed"
+            except ResourceExhausted as error:
+                outcomes["tight"] = error.limit
+
+        def free() -> None:
+            outcomes["free"] = closure_implies(dtd, sigma, query)
+
+        tight_thread = threading.Thread(target=tight)
+        tight_thread.start()
+        tight_thread.join()
+        free_thread = threading.Thread(target=free)
+        free_thread.start()
+        free_thread.join()
+        assert outcomes["tight"] == "steps"
+        assert isinstance(outcomes["free"], bool)
+        assert guard_budget.active is False
+
+    def test_active_flag_counts_across_scopes(self):
+        process = guard.Budget(max_steps=10)
+        local = guard.Budget(max_steps=10)
+        with guard.use(process):
+            with guard.use(local, scope="thread"):
+                assert guard_budget.active is True
+            assert guard_budget.active is True
+        assert guard_budget.active is False
+
+    def test_teardown_sweeps_both_scopes(self):
+        installed_process = guard.Budget(max_steps=10)
+        installed_thread = guard.Budget(max_steps=10)
+        with guard.use(installed_process):
+            with guard.use(installed_thread, scope="thread"):
+                assert guard.teardown() == 2
+                assert guard.current() is None
+                assert guard_budget.active is False
+        assert guard.current() is None
+        assert guard_budget.active is False
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            with guard.use(guard.Budget(max_steps=1), scope="global"):
+                pass
