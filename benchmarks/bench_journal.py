@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Overhead gate for the batch-journal seam on the disabled path.
+
+The durability contract (``docs/ROBUSTNESS.md``): the write-ahead
+journal is strictly *opt-in*.  To feed it, both batch backends now
+route every task through a journal seam — ``pending_tasks`` iterates
+``(index, task)`` pairs with an ``index in skip`` membership test,
+and each task pays a ``journal_intent`` plus a ``journal_result``
+call (one ``self.journal is None`` check each when no ``--journal``
+flag was given).  Runs that never asked for a journal must pay within
+1 % of a task's own runtime for that seam.
+
+A/B-timing whole batch runs cannot resolve a sub-microsecond seam
+under percent-level workload jitter, so this gate measures the two
+quantities separately, each the stable way (the same methodology as
+``bench_obs_ledger.py``):
+
+* **seam cost per task** — a tight loop over exactly the disabled
+  seam operations (the two ``None`` checks through the real
+  ``BatchRunner`` methods, plus the ``index in frozenset()``
+  membership test ``iter_indexed`` adds), loop overhead subtracted;
+* **task cost** — the shared corpus workload through the batch runner
+  (best of ``--repeats``), divided by the task count.
+
+It fails when seam/task exceeds the tolerance — i.e. when someone
+makes runs without ``--journal`` pay for crash recovery.  (The cost
+of an *attached* journal — fsync per record — is the opt-in price of
+durability and is not gated here.)
+
+Run:  python benchmarks/bench_journal.py [--repeats N] [--tasks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.bench.suites.runtime import make_manifest, make_runner
+
+
+def _best_of(repeats: int, body) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def seam_cost_per_task(runner, loops: int = 50_000,
+                       repeats: int = 5) -> float:
+    """Seconds one task pays for the disabled journal seam: the
+    ``journal_intent``/``journal_result`` calls through the real
+    runner (journal ``None``) plus the skip-set membership test from
+    ``iter_indexed``, with the empty-loop baseline subtracted."""
+    assert runner.journal is None
+    task = runner.manifest.tasks[0]
+    skip = frozenset()
+    outcome = None
+
+    def baseline() -> None:
+        for _ in range(loops):
+            pass
+
+    def seam() -> None:
+        for index in range(loops):
+            # The per-task body of SerialBackend.run without a journal:
+            # iter_indexed's skip test ...
+            if index in skip:
+                continue
+            # ... and the two seam calls around task execution.
+            runner.journal_intent(index, task)
+            runner.journal_result(index, outcome)
+
+    baseline()
+    seam()
+    empty = _best_of(repeats, baseline)
+    cost = _best_of(repeats, seam)
+    return max(0.0, (cost - empty) / loops)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--tasks", type=int, default=30)
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="allowed seam-over-task overhead "
+                             "fraction (default 1%%)")
+    args = parser.parse_args(argv)
+
+    obs.disable()
+    manifest = make_manifest(args.tasks)
+    batch_body = lambda: make_runner(manifest).run()  # noqa: E731
+    batch_body()  # warm allocator and imports
+    per_task = _best_of(args.repeats, batch_body) / args.tasks
+    seam = seam_cost_per_task(make_runner(manifest))
+
+    overhead = seam / per_task
+    print(f"task:  {per_task * 1e6:9.2f} us  (corpus workload / "
+          f"{args.tasks} tasks, best of {args.repeats}, no journal)")
+    print(f"seam:  {seam * 1e6:9.3f} us  (journal None checks + "
+          f"skip-set membership, per task)")
+    print(f"seam vs task: {overhead:+.2%} "
+          f"(tolerance +{args.tolerance:.0%})")
+
+    if overhead > args.tolerance:
+        print("FAIL: the journal seam is taxing runs that never "
+              "asked for crash recovery", file=sys.stderr)
+        return 1
+    print("OK: disabled-journal overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

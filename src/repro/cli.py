@@ -57,6 +57,14 @@ done/ok/dead-lettered, retries, breaker states, throughput, ETA) at
 most every ``--heartbeat-interval`` seconds (``-`` writes them to
 stderr, keeping stdout parseable), and publishes the same numbers as
 ``runtime.batch.*`` gauges for a concurrent ``--metrics-port`` scrape.
+``--journal FILE`` write-ahead-journals the run (fsync'd intent/result
+records); after a supervisor death — SIGKILL, OOM, power loss —
+re-running with ``--resume`` skips completed tasks, re-dispatches
+in-flight ones, and produces a summary byte-identical to an
+uninterrupted serial run whenever no breaker opened (the journal
+format and resume contract are specified in ``docs/ROBUSTNESS.md``).
+A journal that cannot apply to the invocation — wrong manifest
+fingerprint, policy, or breaker knobs — exits with code 2.
 
 Service mode (see ``docs/SERVE.md``): ``xnf serve`` runs the pipeline
 as a long-lived HTTP/JSON daemon.  The budget flags change meaning
@@ -76,7 +84,7 @@ Exit codes (uniform across subcommands; the full table is pinned by
     1  negative answer (not implied, not in XNF, violations found,
        every batch task dead-lettered)
     2  usage error (bad flags or arguments; argparse, bad checkpoint,
-       bad batch manifest)
+       bad batch manifest, bad/mismatched batch journal)
     3  input or pipeline error (any ReproError: parse failure,
        invalid FD, unsupported feature, ...) — message on stderr
     4  resource limit reached (--timeout / --max-steps / ... tripped
@@ -101,6 +109,7 @@ from pathlib import Path as FilePath
 from repro import guard, obs
 from repro.errors import (
     CheckpointError,
+    JournalError,
     ManifestError,
     ReproError,
     ResourceExhausted,
@@ -244,6 +253,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     from repro.runtime.retry import RetryPolicy
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal FILE",
+              file=sys.stderr)
+        return EXIT_USAGE
     manifest = manifest_mod.load(args.manifest)
     seed = args.seed if args.seed is not None else manifest.seed
     policy = RetryPolicy(retries=args.retries,
@@ -271,6 +284,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if workers > 1:
         pool = PoolBackend(workers, crash_retries=args.crash_retries,
                            stall_timeout=args.stall_timeout)
+    journal = None
+    if args.journal:
+        from repro.runtime.journal import open_journal
+        # May raise JournalError (exit 2): a mismatched meta record or
+        # an unopenable/edited file means the journal cannot apply to
+        # this invocation.  A torn trailing record is truncated with a
+        # counted warning instead.
+        journal = open_journal(args.journal, manifest=manifest,
+                               policy=policy, board=board,
+                               ensemble_mode=args.ensemble,
+                               resume=args.resume)
+        if args.resume:
+            print(f"journal: resuming from {args.journal}: "
+                  f"{journal.skipped} task(s) already complete, "
+                  f"{journal.in_flight} in flight at interruption",
+                  file=sys.stderr)
     heartbeat_file = getattr(args, "heartbeat", None)
     writer = None
     heartbeat_stream = None
@@ -286,10 +315,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             except OSError as error:
                 print(f"error: cannot open heartbeat file: {error}",
                       file=sys.stderr)
+                if journal is not None:
+                    journal.close()
                 return EXIT_ERROR
         writer = HeartbeatWriter(
             heartbeat_stream, total=manifest.task_count, board=board,
-            pool=pool, interval_s=args.heartbeat_interval)
+            pool=pool, journal=journal,
+            interval_s=args.heartbeat_interval)
     ledger_file = getattr(args, "ledger", None)
     ledger_writer = None
     ledger_stream = None
@@ -304,8 +336,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             if heartbeat_stream not in (None, sys.stderr):
                 heartbeat_stream.close()
+            if journal is not None:
+                journal.close()
             return EXIT_ERROR
-        ledger_writer = LedgerWriter(ledger_stream, manifest=manifest)
+        ledger_writer = LedgerWriter(ledger_stream, manifest=manifest,
+                                     fsync=args.ledger_fsync)
     consumers = [consumer.task_done for consumer
                  in (writer, ledger_writer) if consumer is not None]
     if not consumers:
@@ -321,7 +356,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             manifest, policy=policy, board=board,
             ensemble_mode=args.ensemble,
             on_task_done=on_task_done,
-            backend=pool)
+            backend=pool, journal=journal)
     finally:
         if writer is not None:
             writer.close()
@@ -329,6 +364,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             heartbeat_stream.close()
         if ledger_stream is not None:
             ledger_stream.close()
+        if journal is not None:
+            journal.close()
     # Machine-readable summary on stdout, human account on stderr —
     # ``xnf batch m.json | jq .`` must always parse.
     json.dump(summary, sys.stdout, indent=2, sort_keys=True)
@@ -339,6 +376,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           + (f"; {summary['ensemble_disagreements']} ensemble "
              "disagreement(s)" if args.ensemble != "off" else ""),
           file=sys.stderr)
+    if journal is not None:
+        jstats = journal.stats()
+        print(f"journal: {jstats['appended']} record(s) appended, "
+              f"{jstats['skipped']} task(s) skipped as complete, "
+              f"{jstats['replayed']} re-dispatched", file=sys.stderr)
     if pool is not None:
         stats = pool.stats
         print(f"pool: {stats.workers} worker(s), "
@@ -646,6 +688,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append one run-ledger record per task to "
                      "FILE (query with `xnf obs history`, gate with "
                      "`xnf obs regress`)")
+    bat.add_argument("--ledger-fsync", action="store_true",
+                     help="fsync the --ledger file after every record "
+                     "(crash-durable history at a per-record I/O "
+                     "cost; by default ledger durability is "
+                     "flush-only — docs/OBSERVABILITY.md)")
+    bat.add_argument("--journal", metavar="FILE",
+                     help="write-ahead journal: append an fsync'd "
+                     "intent record before each dispatch and a result "
+                     "record after each terminal outcome, so a killed "
+                     "supervisor can --resume without redoing or "
+                     "losing any completed task")
+    bat.add_argument("--resume", action="store_true",
+                     help="replay the --journal FILE: verify its meta "
+                     "fingerprints (mismatch exits 2), skip completed "
+                     "tasks, re-dispatch in-flight ones, and emit a "
+                     "summary byte-identical to an uninterrupted "
+                     "serial run whenever no breaker opened "
+                     "(docs/ROBUSTNESS.md)")
     bat.set_defaults(func=_cmd_batch)
 
     def _pos_float(text: str) -> float:
@@ -795,10 +855,11 @@ def main(argv: list[str] | None = None) -> int:
                                in sorted(error.partial.items()))
             print(f"partial progress: {detail}", file=sys.stderr)
         return EXIT_RESOURCE
-    except (CheckpointError, ManifestError) as error:
-        # A bad/mismatched checkpoint or an unusable batch manifest is
-        # a usage problem, not a pipeline failure: the flags/arguments
-        # named something that cannot apply to this invocation.
+    except (CheckpointError, JournalError, ManifestError) as error:
+        # A bad/mismatched checkpoint or journal or an unusable batch
+        # manifest is a usage problem, not a pipeline failure: the
+        # flags/arguments named something that cannot apply to this
+        # invocation.
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except ReproError as error:

@@ -201,6 +201,19 @@ class CheckpointError(ReproError):
     apply to this invocation."""
 
 
+class JournalError(ReproError):
+    """Raised for unusable batch journals: malformed records in the
+    body of the file, a schema-version mismatch, a duplicated task
+    result, a journal recorded for a different manifest / policy /
+    breaker configuration than the one being resumed, or a torn append
+    (the record did not reach the file intact, so the batch must stop
+    rather than continue past a hole in the log).  The CLI maps this to
+    exit code 2 (usage error), like :class:`CheckpointError` and
+    :class:`ManifestError`: the flags named a journal that cannot apply
+    to this invocation.  A *torn trailing record* is explicitly not an
+    error — resume truncates it with a counted warning."""
+
+
 class NormalizationError(ReproError):
     """Raised when the XNF decomposition algorithm cannot make progress.
 

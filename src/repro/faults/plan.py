@@ -100,6 +100,7 @@ _INSTRUMENTED_MODULES = (
     "repro.tuples.extract",
     "repro.normalize.algorithm",
     "repro.normalize.checkpoint",
+    "repro.runtime.journal",
     "repro.serve.admission",
     "repro.serve.cache",
     "repro.serve.handlers",

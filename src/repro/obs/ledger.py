@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import statistics
 import sys
 import time
@@ -52,6 +53,7 @@ from typing import IO, Callable
 
 from repro.bench.compare import Finding
 from repro.errors import ReproError
+from repro.obs import metrics as _obs
 
 #: The ``schema`` discriminator stamped on every ledger record.
 LEDGER_SCHEMA = "repro.obs.ledger"
@@ -97,8 +99,14 @@ class LedgerWriter:
 
     def __init__(self, stream: IO[str], *, manifest,
                  run: str | None = None,
-                 clock: Callable[[], float] = time.time) -> None:
+                 clock: Callable[[], float] = time.time,
+                 fsync: bool = False) -> None:
         self.stream = stream
+        #: ``fsync=True`` makes each append crash-*durable* (survives
+        #: power loss); the default is crash-*consistent* only — a
+        #: record is written as one full line, so the worst a crash
+        #: leaves is a torn trailing line, which the readers tolerate.
+        self.fsync = fsync
         self.run = run if run is not None else uuid.uuid4().hex[:12]
         self._clock = clock
         self.manifest_source = manifest.source
@@ -139,10 +147,15 @@ class LedgerWriter:
         }
 
     def task_done(self, outcome) -> None:
-        """The batch runner's ``on_task_done`` hook: append + flush
-        one record, so a crash mid-batch loses at most zero lines."""
-        self.stream.write(json.dumps(self.record_for(outcome)) + "\n")
+        """The batch runner's ``on_task_done`` hook: append one record
+        as a *single write* of a full line (crash-consistent like the
+        batch journal — never two records interleaved, never a partial
+        line followed by more records), flush, and optionally fsync."""
+        line = json.dumps(self.record_for(outcome)) + "\n"
+        self.stream.write(line)
         self.stream.flush()
+        if self.fsync:
+            os.fsync(self.stream.fileno())
         self.records_written += 1
 
 
@@ -152,7 +165,16 @@ class LedgerWriter:
 def read_ledger(path: str | Path) -> list[dict]:
     """Parse a ledger file (``-`` = stdin); raises
     :class:`LedgerError` on unreadable input, bad JSON, a foreign
-    schema, or a missing required field."""
+    schema, or a missing required field.
+
+    Exception: a torn *trailing* line — the partial record a crash
+    mid-append leaves behind, since :meth:`LedgerWriter.task_done`
+    appends each record as one single write — is skipped with a
+    stderr warning and an ``obs.ledger.torn`` counter tick, so ``xnf
+    obs history``/``regress`` keep working on the history of a batch
+    whose supervisor died.  Bad JSON anywhere *else* is still an
+    error: single-line appends cannot tear mid-file.
+    """
     if str(path) == "-":
         source, text = "<stdin>", sys.stdin.read()
     else:
@@ -161,13 +183,24 @@ def read_ledger(path: str | Path) -> list[dict]:
             text = Path(path).read_text()
         except OSError as error:
             raise LedgerError(f"cannot read {source}: {error}")
+    lines = text.splitlines()
+    last_content = max((number for number, line
+                        in enumerate(lines, start=1) if line.strip()),
+                       default=0)
     records: list[dict] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except ValueError as error:
+            if lineno == last_content:
+                print(f"warning: {source}:{lineno}: torn trailing "
+                      f"record skipped (crash mid-append?)",
+                      file=sys.stderr)
+                if _obs.enabled:
+                    _obs.inc("obs.ledger.torn")
+                continue
             raise LedgerError(
                 f"{source}:{lineno}: not valid JSON ({error})")
         if not isinstance(record, dict):

@@ -171,13 +171,18 @@ class SerialBackend:
     name = "serial"
 
     def run(self, runner: "BatchRunner") -> list[TaskOutcome]:
-        outcomes = []
-        for task in runner.manifest.iter_tasks():
+        # Journal-replayed outcomes merge with live ones by manifest
+        # index; without a journal both dicts reduce to the plain
+        # manifest-order walk.
+        outcomes = dict(runner.replayed_outcomes())
+        for index, task in runner.pending_tasks():
+            runner.journal_intent(index, task)
             outcome = runner._run_task(task)
-            outcomes.append(outcome)
+            runner.journal_result(index, outcome)
+            outcomes[index] = outcome
             if runner.on_task_done is not None:
                 runner.on_task_done(outcome)
-        return outcomes
+        return [outcomes[index] for index in sorted(outcomes)]
 
 
 class BatchRunner:
@@ -202,7 +207,8 @@ class BatchRunner:
                  sleeper: Callable[[float], None] | None = None,
                  on_task_done: Callable[[TaskOutcome], None]
                  | None = None,
-                 backend: "SerialBackend | None" = None) -> None:
+                 backend: "SerialBackend | None" = None,
+                 journal=None) -> None:
         if ensemble_mode not in _ensemble.MODES:
             raise ValueError(
                 f"unknown ensemble mode {ensemble_mode!r}; expected "
@@ -220,6 +226,39 @@ class BatchRunner:
         #: ``None`` (the default) keeps the happy path hook-free.
         self.on_task_done = on_task_done
         self.backend = backend if backend is not None else SerialBackend()
+        #: Optional :class:`repro.runtime.journal.BatchJournal`.  The
+        #: seam below is shared by both backends and costs one ``None``
+        #: check per call when disabled (gated <1% by
+        #: ``benchmarks/bench_journal.py``).
+        self.journal = journal
+
+    # -- the journal seam ----------------------------------------------
+
+    def pending_tasks(self):
+        """``(index, task)`` pairs still to execute this run — the
+        whole manifest without a journal, the not-yet-completed slice
+        with one."""
+        if self.journal is None:
+            return self.manifest.iter_indexed()
+        return self.manifest.iter_indexed(
+            skip=self.journal.completed_indices)
+
+    def replayed_outcomes(self) -> dict:
+        """Completed outcomes replayed from the journal, by index."""
+        if self.journal is None:
+            return {}
+        return self.journal.completed_outcomes()
+
+    def journal_intent(self, index: int, task: Task) -> None:
+        """Record that ``task`` is about to be dispatched."""
+        if self.journal is not None:
+            self.journal.intent(index, task)
+
+    def journal_result(self, index: int, outcome: "TaskOutcome") -> None:
+        """Record a task's terminal outcome, durably, before it is
+        merged into the in-memory report."""
+        if self.journal is not None:
+            self.journal.result(index, outcome)
 
     # -- one task ------------------------------------------------------
 
@@ -340,6 +379,11 @@ class BatchRunner:
         # Both backends report this runner's own board: the pool
         # supervisor arbitrates every worker breaker decision on it,
         # so no per-backend breaker plumbing is needed here.
+        if self.journal is not None:
+            # Replayed tasks never re-execute, but their breaker
+            # traffic shaped the board the summary reports — replay it
+            # before any live task touches the board.
+            self.journal.replay_board(self.board)
         try:
             return self.summarize(self.backend.run(self))
         finally:
@@ -394,8 +438,10 @@ def run_batch(manifest: Manifest, *, policy: RetryPolicy | None = None,
               sleeper: Callable[[float], None] | None = None,
               on_task_done: Callable[[TaskOutcome], None]
               | None = None,
-              backend: SerialBackend | None = None) -> dict:
+              backend: SerialBackend | None = None,
+              journal=None) -> dict:
     """One-shot :class:`BatchRunner` convenience."""
     return BatchRunner(manifest, policy=policy, board=board,
                        ensemble_mode=ensemble_mode, sleeper=sleeper,
-                       on_task_done=on_task_done, backend=backend).run()
+                       on_task_done=on_task_done, backend=backend,
+                       journal=journal).run()

@@ -54,6 +54,7 @@ HEARTBEAT_VERSION = 1
 _TASK_KEYS = ("total", "done", "ok", "deadletter")
 _BREAKER_KEYS = ("total", OPEN, HALF_OPEN, CLOSED)
 _WORKER_KEYS = ("target", "alive", "crashed", "requeued")
+_JOURNAL_KEYS = ("appended", "replayed", "skipped")
 
 
 class HeartbeatWriter:
@@ -68,6 +69,7 @@ class HeartbeatWriter:
     def __init__(self, stream: IO[str], *, total: int,
                  board: BreakerBoard | None = None,
                  pool: object | None = None,
+                 journal: object | None = None,
                  interval_s: float = 1.0,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if total < 0:
@@ -82,6 +84,12 @@ class HeartbeatWriter:
         #: a :class:`repro.runtime.pool.PoolBackend`); ``None`` on
         #: serial runs.
         self.pool = pool
+        #: Anything with a ``stats() -> dict`` method (in practice a
+        #: :class:`repro.runtime.journal.BatchJournal`); ``None`` when
+        #: the run is not journaled.  On a resume, ``tasks.done``
+        #: counts only tasks executed *by this process* — the skipped
+        #: prefix shows up here instead.
+        self.journal = journal
         self.interval_s = interval_s
         self._clock = clock
         self._started = clock()
@@ -136,6 +144,8 @@ class HeartbeatWriter:
         }
         if self.pool is not None:
             record["workers"] = self.pool.liveness()
+        if self.journal is not None:
+            record["journal"] = self.journal.stats()
         return record
 
     def emit(self, *, now: float | None = None) -> dict:
@@ -246,6 +256,16 @@ def validate_heartbeat(record: object) -> dict:
         if workers["alive"] > workers["target"]:
             raise ValueError(f"workers.alive={workers['alive']} "
                              f"exceeds target={workers['target']}")
+    if "journal" in record:
+        journal = record["journal"]
+        if not isinstance(journal, dict):
+            raise ValueError("'journal' must be an object when present")
+        for key in _JOURNAL_KEYS:
+            if not isinstance(journal.get(key), int) \
+                    or journal[key] < 0:
+                raise ValueError(f"journal.{key} must be a "
+                                 f"non-negative int, got "
+                                 f"{journal.get(key)!r}")
     return record
 
 

@@ -146,6 +146,20 @@ class Manifest:
         """Yield every task in manifest order (re-iterable)."""
         return iter(self.tasks)
 
+    def iter_indexed(self, skip: frozenset[int] = frozenset(),
+                     ) -> Iterator[tuple[int, Task]]:
+        """Yield ``(index, task)`` pairs, omitting indices in ``skip``.
+
+        The index is the task's stable position in manifest order —
+        the identity the batch journal keys intent/result records on,
+        so a ``--resume`` can skip completed work without trusting
+        anything but the manifest's ordering.
+        """
+        for index, task in enumerate(self.tasks):
+            if index in skip:
+                continue
+            yield index, task
+
 
 class StreamingManifest(Manifest):
     """A manifest whose tasks are validated and yielded lazily.
@@ -183,19 +197,36 @@ class StreamingManifest(Manifest):
         return self._count
 
     def iter_tasks(self) -> Iterator[Task]:
+        for _index, task in self.iter_indexed():
+            yield task
+
+    def iter_indexed(self, skip: frozenset[int] = frozenset(),
+                     ) -> Iterator[tuple[int, Task]]:
+        """Yield ``(index, task)``, never building skipped tasks.
+
+        A journal resume over a 100k-task stream must not pay
+        validation and :class:`Task` construction for work that is
+        already done: a skipped index's raw line is scanned (the
+        declared-count contract stays honest) but neither validated
+        nor materialized.  The duplicate-id check therefore only spans
+        the tasks actually yielded — the skipped prefix was validated
+        by the run that journaled it.
+        """
         seen: set[str] = set()
         yielded = 0
         for index, raw in enumerate(self._raw_factory()):
+            yielded += 1
+            _require(yielded <= self._count,
+                     f"{self.source}: stream yielded more than the "
+                     f"declared count of {self._count} tasks")
+            if index in skip:
+                continue
             task = _build_task(raw, index, self.defaults,
                                self._base_dir)
             _require(task.id not in seen,
                      f"duplicate task id {task.id!r}")
             seen.add(task.id)
-            yielded += 1
-            _require(yielded <= self._count,
-                     f"{self.source}: stream yielded more than the "
-                     f"declared count of {self._count} tasks")
-            yield task
+            yield index, task
         _require(yielded == self._count,
                  f"{self.source}: stream yielded {yielded} task(s), "
                  f"header declared count={self._count}")

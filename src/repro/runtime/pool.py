@@ -520,17 +520,24 @@ class PoolBackend:
                                    backoff_base_ms=0.0,
                                    seed=runner.policy.seed)
         crash_board = BreakerBoard()
+        # Journal-completed tasks are pre-merged and never dispatched;
+        # without a journal this is the plain indexed manifest walk.
         task_iter: Iterator[tuple[int, Task]] = \
-            enumerate(manifest.iter_tasks())
+            iter(runner.pending_tasks())
         pending: deque[_Assignment] = deque()
-        outcomes: dict[int, "TaskOutcome"] = {}
+        outcomes: dict[int, "TaskOutcome"] = \
+            dict(runner.replayed_outcomes())
+        if len(outcomes) >= total:
+            return [outcomes[index] for index in range(total)]
         exhausted = False
-        target = min(self.workers, total)
+        target = min(self.workers, total - len(outcomes))
         self.stats.workers = target
 
         def next_assignment() -> _Assignment | None:
             nonlocal exhausted
             if pending:
+                # A crash requeue, not a new dispatch: its intent is
+                # already on file.
                 return pending.popleft()
             if exhausted:
                 return None
@@ -539,6 +546,7 @@ class PoolBackend:
             except StopIteration:
                 exhausted = True
                 return None
+            runner.journal_intent(index, task)
             return _Assignment(index=index, task=task)
 
         def dead_letter(assignment: _Assignment) -> None:
@@ -548,6 +556,7 @@ class PoolBackend:
                 failures=list(assignment.crash_failures),
                 reason=self._reason_worker_crash,
                 signature=assignment.crash_signature)
+            runner.journal_result(assignment.index, outcome)
             outcomes[assignment.index] = outcome
             self.stats.dead_lettered += 1
             if _obs.enabled:
@@ -583,6 +592,9 @@ class PoolBackend:
                 # mirroring the serial success-after-failure rule.
                 crash_board.get(
                     assignment.crash_signature).record_success()
+            # Durably journaled before the in-memory merge: a parent
+            # death after this line costs nothing on resume.
+            runner.journal_result(index, outcome)
             outcomes[index] = outcome
             if runner.on_task_done is not None:
                 runner.on_task_done(outcome)

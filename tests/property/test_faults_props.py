@@ -75,8 +75,9 @@ def _no_leaked_plans():
 def _drive_pipeline() -> None:
     """One end-to-end run visiting every registered fault site:
     both parsers, ordered + multiset conformance, the closure and
-    chase implication engines, tuple extraction, normalization, and a
-    checkpoint save (the atomic-write crash window)."""
+    chase implication engines, tuple extraction, normalization, a
+    checkpoint save (the atomic-write crash window), and a batch
+    journal append + resume read-back."""
     dtd = parse_dtd(UNIVERSITY_DTD)
     sigma = parse_fds(UNIVERSITY_FDS)
     doc = parse_xml(UNIVERSITY_DOCUMENT)
@@ -90,9 +91,32 @@ def _drive_pipeline() -> None:
         snapshot = ckpt.NormalizationCheckpoint.capture(
             ckpt.fingerprint(dtd, sigma), dtd, sigma, [])
         ckpt.save(os.path.join(tmp, "drive.ckpt"), snapshot)
+        _drive_journal(os.path.join(tmp, "drive.journal"))
     chase_implies(parse_dtd(DISJUNCTIVE_DTD),
                   [FD.parse("r.a -> r.c.@x"), FD.parse("r.b -> r.c.@x")],
                   FD.parse("r -> r.c.@x"))
+
+
+def _drive_journal(path: str) -> None:
+    """Visit ``runtime.journal.append`` (meta + one intent) and
+    ``runtime.journal.replay`` (one resume read-back)."""
+    from repro.runtime import journal as journal_mod
+    from repro.runtime import manifest as manifest_mod
+    from repro.runtime.breaker import BreakerBoard
+    from repro.runtime.retry import RetryPolicy
+
+    manifest = manifest_mod.build(
+        [{"id": "drive", "op": "check",
+          "dtd_text": "<!ELEMENT r (a*)>\n<!ELEMENT a EMPTY>"}])
+    journal = journal_mod.open_journal(
+        path, manifest=manifest, policy=RetryPolicy(),
+        board=BreakerBoard(), fsync=False, warn=lambda message: None)
+    journal.intent(0, manifest.tasks[0])
+    journal.close()
+    journal_mod.open_journal(
+        path, manifest=manifest, policy=RetryPolicy(),
+        board=BreakerBoard(), resume=True, fsync=False,
+        warn=lambda message: None).close()
 
 
 def _assert_pipeline_healthy() -> None:
@@ -118,6 +142,7 @@ class TestRegistry:
             "tuples.extract.node",
             "normalize.round", "normalize.checkpoint",
             "checkpoint.save",
+            "runtime.journal.append", "runtime.journal.replay",
         }
 
     def test_every_site_reachable_by_the_driver(self):

@@ -118,6 +118,39 @@ class TestExit2:
     def test_missing_batch_manifest(self, tmp_path, capsys):
         assert main(["batch", str(tmp_path / "absent.json")]) == 2
 
+    def test_resume_without_journal_flag(self, tmp_path, capsys):
+        manifest = _manifest_file(tmp_path, [_good_task()])
+        assert main(["batch", manifest, "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_journal_meta_mismatch_on_resume(self, tmp_path, capsys):
+        manifest = _manifest_file(tmp_path, [_good_task()])
+        journal = tmp_path / "j.journal"
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # Same journal, different manifest: the meta fingerprint
+        # cannot apply to this invocation.
+        (tmp_path / "other").mkdir()
+        other = _manifest_file(tmp_path / "other",
+                               [_good_task(), _good_task("g2")])
+        assert main(["batch", other, "--backoff-base", "0",
+                     "--journal", str(journal), "--resume"]) == 2
+        assert "mismatch" in capsys.readouterr().err
+
+    def test_corrupt_journal_body_on_resume(self, tmp_path, capsys):
+        manifest = _manifest_file(tmp_path, [_good_task()])
+        journal = tmp_path / "j.journal"
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text(lines[0] + "{not json\n"
+                           + "".join(lines[1:]))
+        assert main(["batch", manifest, "--backoff-base", "0",
+                     "--journal", str(journal), "--resume"]) == 2
+        assert "malformed record" in capsys.readouterr().err
+
     def test_serve_port_in_use(self, capsys):
         import socket
         blocker = socket.socket()

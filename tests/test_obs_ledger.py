@@ -135,9 +135,46 @@ class TestReadLedger:
         with pytest.raises(LedgerError, match="no ledger records"):
             read_ledger(path)
 
-    def test_bad_json(self, tmp_path):
-        path = self._write(tmp_path, ["{not json"])
+    def test_bad_json_mid_file_still_raises(self, tmp_path):
+        # Single-write appends cannot tear mid-file: bad JSON followed
+        # by more records means the file was edited, not crashed on.
+        path = self._write(tmp_path, ["{not json",
+                                      json.dumps(self._record())])
         with pytest.raises(LedgerError, match="not valid JSON"):
+            read_ledger(path)
+
+    def test_torn_trailing_record_skipped(self, tmp_path, capsys):
+        # The crash-mid-append shape: a complete record, then the last
+        # record truncated mid-byte.  Readers keep the good prefix.
+        good = json.dumps(self._record())
+        torn = json.dumps(self._record(task="t-2"))[:-9]
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(good + "\n" + torn)
+        records = read_ledger(path)
+        assert [record["task"] for record in records] == ["t-1"]
+        assert "torn trailing record" in capsys.readouterr().err
+
+    def test_torn_trailing_record_counted(self, tmp_path):
+        from repro.obs import metrics
+        good = json.dumps(self._record())
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(good + "\n" + good[:-7])
+        was_enabled = metrics.enabled
+        metrics.enable()
+        metrics.reset()
+        try:
+            read_ledger(path)
+            assert metrics.counter_value("obs.ledger.torn") == 1
+        finally:
+            metrics.reset()
+            if not was_enabled:
+                metrics.disable()
+
+    def test_only_record_torn_means_empty(self, tmp_path):
+        # The torn line is skipped first; the no-records error stands.
+        torn = json.dumps(self._record())[:-5]
+        path = self._write(tmp_path, [torn])
+        with pytest.raises(LedgerError, match="no ledger records"):
             read_ledger(path)
 
     def test_foreign_schema(self, tmp_path):

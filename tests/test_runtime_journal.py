@@ -1,0 +1,459 @@
+"""Unit tests for the batch write-ahead journal (repro.runtime.journal).
+
+The heavy parent-kill chaos harness lives in
+tests/property/test_journal_chaos.py; this file pins the journal
+format, the resume contract (including an exhaustive in-process
+kill-point sweep at line granularity), the torn-record policy, the
+breaker-board reconstruction, and the streaming-manifest skip path.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import JournalError
+from repro.obs import metrics
+from repro.runtime import journal as jm
+from repro.runtime import manifest as mf
+from repro.runtime.batch import run_batch
+from repro.runtime.breaker import BreakerBoard
+from repro.runtime.heartbeat import HeartbeatWriter, validate_heartbeat
+from repro.runtime.retry import RetryPolicy
+
+GOOD_DTD = "<!ELEMENT r (a*)>\n<!ELEMENT a EMPTY>"
+BROKEN_DTD = "<!ELEMENT r (unclosed"
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plans():
+    yield
+    faults.teardown()
+
+
+def _tasks(count=8, bad_every=3):
+    return [{"id": f"t{index}", "op": "check",
+             "dtd_text": BROKEN_DTD if bad_every
+             and index % bad_every == 1 else GOOD_DTD}
+            for index in range(count)]
+
+
+def _manifest(tasks=None):
+    return mf.build(tasks if tasks is not None else _tasks(),
+                    defaults={"seed": 7})
+
+
+def _fresh(threshold=2):
+    return {"policy": RetryPolicy(backoff_base_ms=0, seed=7),
+            "board": BreakerBoard(threshold=threshold)}
+
+
+def _open(path, manifest, kwargs, **extra):
+    extra.setdefault("fsync", False)
+    extra.setdefault("warn", lambda message: None)
+    return jm.open_journal(str(path), manifest=manifest,
+                           policy=kwargs["policy"],
+                           board=kwargs["board"], **extra)
+
+
+def _dumps(summary):
+    return json.dumps(summary, indent=2, sort_keys=True)
+
+
+def _journaled_run(path, tasks=None, threshold=2, resume=False,
+                   **extra):
+    manifest = _manifest(tasks)
+    kwargs = _fresh(threshold=threshold)
+    journal = _open(path, manifest, kwargs, resume=resume, **extra)
+    try:
+        summary = run_batch(manifest, journal=journal, **kwargs)
+    finally:
+        journal.close()
+    return summary, journal
+
+
+class TestJournalFile:
+    def test_meta_record_is_first_and_deterministic(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _journaled_run(path)
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["record"] == "meta"
+        assert meta["schema"] == jm.JOURNAL_SCHEMA
+        assert meta["version"] == jm.JOURNAL_VERSION
+        assert meta["count"] == 8
+        # Deterministic: a second identical run writes identical bytes.
+        path2 = tmp_path / "j2.journal"
+        _journaled_run(path2)
+        assert path.read_bytes() == path2.read_bytes()
+
+    def test_intent_precedes_result_for_every_task(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _journaled_run(path)
+        seen_intent = set()
+        for line in path.read_text().splitlines()[1:]:
+            record = json.loads(line)
+            if record["record"] == "intent":
+                seen_intent.add(record["index"])
+            else:
+                assert record["index"] in seen_intent
+        assert seen_intent == set(range(8))
+
+    def test_journaled_run_matches_unjournaled_bytes(self, tmp_path):
+        base = run_batch(_manifest(), **_fresh())
+        summary, _ = _journaled_run(tmp_path / "j.journal")
+        assert _dumps(summary) == _dumps(base)
+
+
+class TestResume:
+    def test_full_journal_resume_executes_nothing(self, tmp_path):
+        path = tmp_path / "j.journal"
+        base, _ = _journaled_run(path)
+        metrics.enable()
+        metrics.reset()
+        try:
+            resumed, journal = _journaled_run(path, resume=True)
+            assert metrics.counter_value("runtime.tasks") == 0
+            assert metrics.counter_value(
+                "runtime.journal.skipped") == 8
+        finally:
+            metrics.reset()
+            metrics.disable()
+        assert _dumps(resumed) == _dumps(base)
+        assert journal.skipped == 8 and journal.replayed == 0
+
+    def test_every_line_prefix_resumes_to_identical_bytes(
+            self, tmp_path):
+        """The in-process kill-point sweep: chopping the journal at
+        every record boundary — including mid-breaker-open, the
+        threshold here is 2 and the manifest trips it — must resume
+        to the exact bytes of the uninterrupted run."""
+        path = tmp_path / "j.journal"
+        base, _ = _journaled_run(path)
+        lines = path.read_text().splitlines(keepends=True)
+        assert len(lines) > 12
+        for cut in range(len(lines) + 1):
+            prefix = tmp_path / f"cut{cut}.journal"
+            prefix.write_text("".join(lines[:cut]))
+            resumed, _ = _journaled_run(prefix, resume=True)
+            assert _dumps(resumed) == _dumps(base), f"cut at {cut}"
+            assert resumed["counts"]["lost"] == 0
+
+    def test_intent_without_result_counts_replayed(self, tmp_path):
+        path = tmp_path / "j.journal"
+        manifest = _manifest()
+        kwargs = _fresh()
+        journal = _open(path, manifest, kwargs)
+        journal.intent(0, manifest.tasks[0])
+        journal.close()
+        metrics.enable()
+        metrics.reset()
+        try:
+            resumed, journal = _journaled_run(path, resume=True)
+            assert metrics.counter_value(
+                "runtime.journal.replayed") == 1
+        finally:
+            metrics.reset()
+            metrics.disable()
+        assert journal.replayed == 1
+        assert resumed["counts"]["lost"] == 0
+        assert _dumps(resumed) == _dumps(run_batch(_manifest(),
+                                                   **_fresh()))
+
+    def test_torn_trailing_record_is_truncated_and_counted(
+            self, tmp_path):
+        path = tmp_path / "j.journal"
+        base, _ = _journaled_run(path)
+        intact = path.read_bytes()
+        path.write_bytes(intact[:-9])  # tear the last record mid-byte
+        warnings = []
+        metrics.enable()
+        metrics.reset()
+        try:
+            resumed, _ = _journaled_run(path, resume=True,
+                                        warn=warnings.append)
+            assert metrics.counter_value("runtime.journal.torn") == 1
+        finally:
+            metrics.reset()
+            metrics.disable()
+        assert any("torn trailing record" in w for w in warnings)
+        assert _dumps(resumed) == _dumps(base)
+        # The torn tail was physically dropped before re-appending:
+        # the healed journal parses end to end.
+        state = jm.read_journal(str(path))
+        assert not state.torn
+        assert len(state.results) == 8
+
+    def test_resume_with_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "absent.journal"
+        warnings = []
+        resumed, journal = _journaled_run(path, resume=True,
+                                          warn=warnings.append)
+        assert any("does not exist" in w for w in warnings)
+        assert journal.skipped == 0
+        assert resumed["counts"]["lost"] == 0
+        assert path.exists()
+
+    def test_resume_of_resumed_journal_is_idempotent(self, tmp_path):
+        path = tmp_path / "j.journal"
+        base, _ = _journaled_run(path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:5]))
+        first, _ = _journaled_run(path, resume=True)
+        second, _ = _journaled_run(path, resume=True)
+        assert _dumps(first) == _dumps(base)
+        assert _dumps(second) == _dumps(base)
+
+
+class TestStructuralErrors:
+    def _write_journal(self, tmp_path, records):
+        path = tmp_path / "j.journal"
+        path.write_text("".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in records))
+        return path
+
+    def _meta(self, manifest=None, kwargs=None):
+        manifest = manifest if manifest is not None else _manifest()
+        kwargs = kwargs if kwargs is not None else _fresh()
+        return jm.meta_record(manifest, kwargs["policy"],
+                              kwargs["board"], "off")
+
+    def test_meta_mismatch_raises(self, tmp_path):
+        path = self._write_journal(tmp_path, [self._meta()])
+        mismatched = _fresh()
+        mismatched["policy"] = RetryPolicy(retries=9,
+                                           backoff_base_ms=0, seed=7)
+        with pytest.raises(JournalError, match="policy mismatch"):
+            _open(path, _manifest(), mismatched, resume=True)
+
+    def test_manifest_count_mismatch_raises(self, tmp_path):
+        path = self._write_journal(tmp_path, [self._meta()])
+        with pytest.raises(JournalError, match="mismatch"):
+            _open(path, _manifest(_tasks(count=5)), _fresh(),
+                  resume=True)
+
+    def test_breaker_knob_mismatch_raises(self, tmp_path):
+        path = self._write_journal(tmp_path, [self._meta()])
+        with pytest.raises(JournalError, match="breaker mismatch"):
+            _open(path, _manifest(), _fresh(threshold=99),
+                  resume=True)
+
+    def test_bad_json_mid_file_raises(self, tmp_path):
+        path = tmp_path / "j.journal"
+        path.write_text(json.dumps(self._meta(), sort_keys=True)
+                        + "\n{not json\n"
+                        + '{"record": "intent", "index": 0}\n')
+        with pytest.raises(JournalError, match="malformed record"):
+            jm.read_journal(str(path))
+
+    def test_duplicate_result_raises(self, tmp_path):
+        result = {"record": "result", "index": 0, "id": "t0",
+                  "op": "check", "dtd_sha": None, "fds_sha": None,
+                  "reason": None, "signature": None,
+                  "payload": {"id": "t0", "op": "check",
+                              "status": "ok", "attempts": 1,
+                              "retried": False, "delays_ms": []}}
+        path = self._write_journal(
+            tmp_path, [self._meta(), result, result])
+        with pytest.raises(JournalError, match="duplicate result"):
+            jm.read_journal(str(path))
+
+    def test_meta_mid_file_raises(self, tmp_path):
+        path = self._write_journal(
+            tmp_path,
+            [self._meta(), {"record": "intent", "index": 0,
+                            "id": "t0"}, self._meta()])
+        with pytest.raises(JournalError, match="only allowed on"):
+            jm.read_journal(str(path))
+
+    def test_records_without_meta_raise(self, tmp_path):
+        path = self._write_journal(
+            tmp_path, [{"record": "intent", "index": 0, "id": "t0"}])
+        with pytest.raises(JournalError,
+                           match="first record must be the meta"):
+            jm.read_journal(str(path))
+
+
+class TestBreakerReplay:
+    def test_transient_faults_board_is_reconstructed(self, tmp_path):
+        """Run under an injected-fault storm (retries, opens, skips,
+        half-open probes all happen), then resume the complete journal
+        with a *fresh* board: no task re-executes — so the fault plan
+        cannot diverge — and the summary, breaker snapshot included,
+        must reproduce byte-for-byte."""
+        path = tmp_path / "j.journal"
+        dtd = ("<!ELEMENT db (r*)>\n<!ELEMENT r EMPTY>\n"
+               "<!ATTLIST r a CDATA #REQUIRED b CDATA #REQUIRED>")
+        tasks = [{"id": f"t{index}", "op": "check", "dtd_text": dtd,
+                  "fds_text": "db.r.@a -> db.r.@b"}
+                 for index in range(10)]
+        spec = ",".join(["fd.closure.iteration:exception"] * 24)
+        manifest = _manifest(tasks)
+        kwargs = _fresh(threshold=2)
+        journal = _open(path, manifest, kwargs)
+        with faults.use(faults.plan_from_spec(spec)):
+            base = run_batch(manifest, journal=journal, **kwargs)
+        journal.close()
+        assert base["breakers"], "storm should have tripped a breaker"
+        resumed, _ = _journaled_run(path, tasks=tasks, resume=True)
+        assert _dumps(resumed) == _dumps(base)
+
+    def test_worker_crash_outcomes_leave_board_untouched(self):
+        outcome = jm.ReplayedOutcome({
+            "index": 0, "id": "t0", "op": "check",
+            "reason": "worker_crash", "signature": "crash:signal-9",
+            "payload": {"id": "t0", "op": "check",
+                        "status": "dead-letter", "attempts": 2,
+                        "retried": True, "delays_ms": [],
+                        "failures": [
+                            {"attempt": 0,
+                             "signature": "crash:signal-9",
+                             "transient": True, "chain": []},
+                            {"attempt": 1,
+                             "signature": "crash:signal-9",
+                             "transient": True, "chain": []}]}})
+        journal = jm.BatchJournal.__new__(jm.BatchJournal)
+        journal._completed = {0: outcome}
+        journal._board_replayed = False
+        board = BreakerBoard()
+        journal.replay_board(board)
+        # Crash breaker traffic lives on the pool's private board; the
+        # summary board must not see it on replay either.
+        assert board.snapshot() == {}
+
+
+class TestReplayedOutcome:
+    def test_duck_types_the_summary_slice(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _journaled_run(path)
+        state = jm.read_journal(str(path))
+        replayed = jm.ReplayedOutcome(state.results[1])  # dead-letter
+        assert replayed.status == "dead-letter"
+        assert not replayed.ok
+        letter = replayed.dead_letter()
+        assert letter["id"] == "t1"
+        assert letter["reason"] == "permanent"
+        assert letter["error_chain"]
+        # to_json returns a copy: mutating it cannot corrupt a second
+        # summarize pass.
+        replayed.to_json()["status"] = "mutated"
+        assert replayed.status == "dead-letter"
+
+
+class TestHeartbeatIntegration:
+    def test_journal_state_in_heartbeats(self, tmp_path):
+        import io
+        path = tmp_path / "j.journal"
+        manifest = _manifest()
+        kwargs = _fresh()
+        journal = _open(path, manifest, kwargs)
+        stream = io.StringIO()
+        writer = HeartbeatWriter(stream, total=8,
+                                 board=kwargs["board"],
+                                 journal=journal, interval_s=0)
+        run_batch(manifest, journal=journal,
+                  on_task_done=writer.task_done, **kwargs)
+        journal.close()
+        records = [json.loads(line) for line
+                   in stream.getvalue().splitlines()]
+        assert records, "heartbeats should have been emitted"
+        for record in records:
+            validate_heartbeat(record)
+            assert set(record["journal"]) == {"appended", "replayed",
+                                              "skipped"}
+        # meta + 8 intents + 8 results
+        assert records[-1]["journal"]["appended"] == 17
+
+    def test_no_journal_key_without_a_journal(self):
+        import io
+        writer = HeartbeatWriter(io.StringIO(), total=1, interval_s=0)
+        assert "journal" not in writer.record()
+
+
+class TestStreamingResume:
+    def test_10k_stream_resumed_at_7k_skips_completed(
+            self, tmp_path, monkeypatch):
+        """Satellite: a streaming manifest resumed deep into the run
+        must not re-materialize or re-validate the completed prefix —
+        pinned by counting ``_build_task`` calls and the
+        ``runtime.journal.skipped`` counter."""
+        total, done = 10_000, 7_000
+        manifest_path = tmp_path / "big.jsonl"
+        with open(manifest_path, "w") as stream:
+            stream.write(json.dumps(
+                {"schema": "repro.runtime.manifest", "version": 1,
+                 "defaults": {"seed": 7}, "count": total}) + "\n")
+            for index in range(total):
+                stream.write(json.dumps(
+                    {"id": f"s-{index:05d}", "op": "check",
+                     "dtd_text": GOOD_DTD}) + "\n")
+        manifest = mf.load(str(manifest_path))
+        kwargs = _fresh()
+        # Fabricate the journal of a run killed after `done` tasks.
+        path = tmp_path / "big.journal"
+        with open(path, "w") as stream:
+            stream.write(json.dumps(
+                jm.meta_record(manifest, kwargs["policy"],
+                               kwargs["board"], "off"),
+                sort_keys=True) + "\n")
+            for index in range(done):
+                task_id = f"s-{index:05d}"
+                stream.write(json.dumps(
+                    {"record": "intent", "index": index,
+                     "id": task_id}, sort_keys=True) + "\n")
+                stream.write(json.dumps(
+                    {"record": "result", "index": index,
+                     "id": task_id, "op": "check", "dtd_sha": None,
+                     "fds_sha": None, "reason": None,
+                     "signature": None,
+                     "payload": {"id": task_id, "op": "check",
+                                 "status": "ok", "attempts": 1,
+                                 "retried": False, "delays_ms": [],
+                                 "result": {"in_xnf": True,
+                                            "violations": []}}},
+                    sort_keys=True) + "\n")
+        built = []
+        original = mf._build_task
+
+        def counting_build(raw, index, defaults, base_dir):
+            built.append(index)
+            return original(raw, index, defaults, base_dir)
+
+        monkeypatch.setattr(mf, "_build_task", counting_build)
+        metrics.enable()
+        metrics.reset()
+        journal = _open(path, manifest, kwargs, resume=True)
+        try:
+            summary = run_batch(manifest, journal=journal, **kwargs)
+            assert metrics.counter_value(
+                "runtime.journal.skipped") == done
+        finally:
+            metrics.reset()
+            metrics.disable()
+            journal.close()
+        assert summary["counts"] == {"total": total, "ok": total,
+                                     "failed": 0, "lost": 0}
+        assert len(built) == total - done
+        assert min(built) == done
+
+
+class TestPoolResume:
+    def test_pool_prefix_resume_matches_serial_bytes(self, tmp_path):
+        pool_mod = pytest.importorskip("repro.runtime.pool")
+        if not pool_mod.pool_available():
+            pytest.skip("fork start method unavailable")
+        path = tmp_path / "j.journal"
+        base, _ = _journaled_run(path, threshold=100)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:7]))
+        manifest = _manifest()
+        kwargs = _fresh(threshold=100)
+        journal = _open(path, manifest, kwargs, resume=True)
+        try:
+            resumed = run_batch(
+                manifest, journal=journal,
+                backend=pool_mod.PoolBackend(2), **kwargs)
+        finally:
+            journal.close()
+        assert _dumps(resumed) == _dumps(base)
